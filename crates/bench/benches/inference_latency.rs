@@ -1,0 +1,43 @@
+//! Criterion bench: single-image inference latency of the little networks vs
+//! the big network, and of the full collaborative routing step — the runtime
+//! costs the paper's cost model (Eq. 5 / Eq. 15) abstracts into c1 and c0.
+
+use appeal_hw::SystemModel;
+use appeal_models::{ModelFamily, ModelSpec};
+use appeal_tensor::{SeededRng, Tensor};
+use appealnet_core::system::CollaborativeSystem;
+use appealnet_core::two_head::TwoHeadNet;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_latency");
+    group.sample_size(20);
+    let mut rng = SeededRng::new(0);
+    let image = Tensor::randn(&[1, 3, 12, 12], &mut rng);
+
+    for family in ModelFamily::little_families() {
+        let mut model = ModelSpec::little(family, [3, 12, 12], 10).build(&mut rng);
+        group.bench_function(format!("little_{}_single_image", family.name()), |b| {
+            b.iter(|| model.forward(black_box(&image), false))
+        });
+    }
+    let mut big = ModelSpec::big([3, 12, 12], 10).build(&mut rng);
+    group.bench_function("big_resnet_like_single_image", |b| {
+        b.iter(|| big.forward(black_box(&image), false))
+    });
+
+    // Full collaborative routing of a small batch.
+    let little = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10).build(&mut rng);
+    let net = TwoHeadNet::from_parts(little, &mut rng);
+    let big = ModelSpec::big([3, 12, 12], 10).build(&mut rng);
+    let mut system = CollaborativeSystem::new(net, big, 0.5, SystemModel::typical());
+    let batch = Tensor::randn(&[16, 3, 12, 12], &mut rng);
+    group.bench_function("collaborative_routing_16_images", |b| {
+        b.iter(|| system.classify(black_box(&batch)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: evaluation of the AppealNet joint objective (Eq. 9 /
+//! Eq. 10) and one joint-training step, the inner loop of Algorithm 1.
+
+use appeal_dataset::{DatasetPreset, Fidelity};
+use appeal_models::{ModelFamily, ModelSpec};
+use appeal_tensor::SeededRng;
+use appeal_tensor::Tensor;
+use appealnet_core::loss::{AppealLoss, CloudMode};
+use appealnet_core::two_head::TwoHeadNet;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_loss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joint_loss");
+    group.sample_size(20);
+
+    // Pure loss evaluation on a realistic batch.
+    let mut rng = SeededRng::new(0);
+    let batch = 48;
+    let classes = 10;
+    let logits = Tensor::randn(&[batch, classes], &mut rng);
+    let q: Vec<f32> = (0..batch).map(|_| rng.uniform(0.05, 0.95)).collect();
+    let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+    let big: Vec<f32> = (0..batch).map(|_| rng.uniform(0.0, 0.5)).collect();
+    for (name, loss) in [
+        ("whitebox", AppealLoss::new(0.15, CloudMode::WhiteBox)),
+        ("blackbox", AppealLoss::new(0.15, CloudMode::BlackBox)),
+    ] {
+        group.bench_function(format!("loss_compute_{name}_48x10"), |b| {
+            b.iter(|| {
+                loss.compute(
+                    black_box(&logits),
+                    black_box(&q),
+                    black_box(&labels),
+                    black_box(&big),
+                )
+            })
+        });
+    }
+
+    // One full joint-training step (forward + loss + backward) on a smoke batch.
+    let pair = DatasetPreset::Cifar10Like.spec(Fidelity::Smoke).generate();
+    let mut net_rng = SeededRng::new(1);
+    let parts = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10).build(&mut net_rng);
+    let mut net = TwoHeadNet::from_parts(parts, &mut net_rng);
+    let loss = AppealLoss::new(0.15, CloudMode::BlackBox);
+    let batch = pair.train.gather(&(0..32).collect::<Vec<_>>());
+    group.bench_function("joint_training_step_32_images", |b| {
+        b.iter(|| {
+            net.zero_grad();
+            let out = net.forward(black_box(&batch.images), true);
+            let loss_out = loss.compute(&out.logits, &out.q, &batch.labels, &[]);
+            net.backward(&loss_out.grad_logits, &loss_out.grad_q);
+            loss_out.loss
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_loss);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! β ablation: how the trade-off weight of the joint objective (Eq. 9/10)
+//! moves the predictor's operating point.
+//!
+//! Runs in black-box mode so no big-network training is needed per β value.
+
+use appeal_bench::{harness_context, write_report};
+use appeal_dataset::DatasetPreset;
+use appeal_models::ModelFamily;
+use appealnet_core::experiments::{ablations, PreparedExperiment};
+use appealnet_core::loss::CloudMode;
+use appealnet_core::scores::ScoreKind;
+
+fn main() {
+    let ctx = harness_context();
+    let betas = [0.02f32, 0.05, 0.15, 0.5, 1.0];
+    let preset = DatasetPreset::Cifar10Like;
+    let family = ModelFamily::MobileNetLike;
+    let pair = preset.spec(ctx.fidelity).generate();
+
+    let mut rows = Vec::new();
+    for &beta in &betas {
+        let prepared = PreparedExperiment::prepare_with_data(
+            preset,
+            &pair,
+            family,
+            CloudMode::BlackBox,
+            &ctx.with_beta(beta),
+        );
+        let art = prepared.artifacts(ScoreKind::AppealNetQ);
+        rows.push(ablations::BetaAblationRow {
+            beta,
+            appealnet_accuracy: prepared.appealnet_accuracy,
+            mean_q: art.scores.iter().map(|&s| s as f64).sum::<f64>() / art.len() as f64,
+            accuracy_at_sr90: art.at_skipping_rate(0.9).overall_accuracy,
+            q_auroc: appealnet_core::experiments::fig4::auroc(&art.scores, &art.little_correct),
+        });
+    }
+    let text = format!(
+        "Beta ablation (black-box, CIFAR-10-like, MobileNet-like little network)\n\n{}",
+        ablations::render_beta_table(&rows)
+    );
+    write_report("ablation_beta", &text);
+}

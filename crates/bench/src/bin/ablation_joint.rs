@@ -1,0 +1,27 @@
+//! Ablation: jointly trained predictor head vs. a post-hoc predictor trained
+//! on the frozen little network — the central architectural claim of the paper.
+
+use appeal_bench::{harness_context, write_report};
+use appeal_dataset::DatasetPreset;
+use appeal_models::ModelFamily;
+use appealnet_core::experiments::{ablations, PreparedExperiment};
+use appealnet_core::loss::CloudMode;
+
+fn main() {
+    let ctx = harness_context();
+    let preset = DatasetPreset::Cifar10Like;
+    let pair = preset.spec(ctx.fidelity).generate();
+    let mut prepared = PreparedExperiment::prepare_with_data(
+        preset,
+        &pair,
+        ModelFamily::MobileNetLike,
+        CloudMode::WhiteBox,
+        &ctx,
+    );
+    let result = ablations::joint_vs_posthoc(&mut prepared, &pair, &ctx);
+    let text = format!(
+        "Joint training vs post-hoc predictor (CIFAR-10-like, MobileNet-like little network)\n\n{}",
+        result.render_text()
+    );
+    write_report("ablation_joint", &text);
+}

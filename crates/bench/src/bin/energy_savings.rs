@@ -1,0 +1,36 @@
+//! Regenerates the headline energy-savings claim: translates the Table I
+//! operating points into per-input energy under the `appeal-hw` system model
+//! (mobile SoC edge device + cloud GPU + Wi-Fi link).
+
+use appeal_bench::{harness_context, write_report};
+use appeal_dataset::DatasetPreset;
+use appeal_hw::SystemModel;
+use appeal_models::ModelFamily;
+use appealnet_core::experiments::{energy, PreparedExperiment};
+use appealnet_core::loss::CloudMode;
+
+fn main() {
+    let ctx = harness_context();
+    let hardware = SystemModel::typical();
+    let mut text = String::from("Energy savings of AppealNet vs the score-margin baseline\n\n");
+    let mut max_saving: f64 = 0.0;
+    for preset in DatasetPreset::all() {
+        let prepared = PreparedExperiment::prepare(
+            preset,
+            ModelFamily::MobileNetLike,
+            CloudMode::WhiteBox,
+            &ctx,
+        );
+        let report = energy::run(&prepared, &hardware);
+        if let Some(s) = report.max_saving() {
+            max_saving = max_saving.max(s);
+        }
+        text.push_str(&report.render_text());
+        text.push('\n');
+    }
+    text.push_str(&format!(
+        "Maximum relative energy saving observed: {:.1}%\n",
+        max_saving * 100.0
+    ));
+    write_report("energy_savings", &text);
+}

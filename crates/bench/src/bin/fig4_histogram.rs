@@ -1,0 +1,21 @@
+//! Regenerates Fig. 4: MSP vs. AppealNet `q(z|x)` score histograms for
+//! correctly / incorrectly classified inputs (EfficientNet little network,
+//! CIFAR-10-like dataset).
+
+use appeal_bench::{harness_context, write_report};
+use appeal_dataset::DatasetPreset;
+use appeal_models::ModelFamily;
+use appealnet_core::experiments::{fig4, PreparedExperiment};
+use appealnet_core::loss::CloudMode;
+
+fn main() {
+    let ctx = harness_context();
+    let prepared = PreparedExperiment::prepare(
+        DatasetPreset::Cifar10Like,
+        ModelFamily::EfficientNetLike,
+        CloudMode::WhiteBox,
+        &ctx,
+    );
+    let result = fig4::run(&prepared, 10);
+    write_report("fig4_histogram", &result.render_text());
+}

@@ -1,0 +1,25 @@
+//! Regenerates Fig. 5: overall accuracy vs. skipping rate for
+//! MSP / SM / Entropy / AppealNet with a MobileNet-like little network on all
+//! four dataset presets.
+
+use appeal_bench::{harness_context, write_report};
+use appeal_dataset::DatasetPreset;
+use appeal_models::ModelFamily;
+use appealnet_core::experiments::{fig5, PreparedExperiment};
+use appealnet_core::loss::CloudMode;
+
+fn main() {
+    let ctx = harness_context();
+    let mut text = String::new();
+    for preset in DatasetPreset::all() {
+        let prepared = PreparedExperiment::prepare(
+            preset,
+            ModelFamily::MobileNetLike,
+            CloudMode::WhiteBox,
+            &ctx,
+        );
+        text.push_str(&fig5::run(&prepared).render_text());
+        text.push('\n');
+    }
+    write_report("fig5_accuracy_vs_sr", &text);
+}

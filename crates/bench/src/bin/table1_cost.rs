@@ -1,0 +1,26 @@
+//! Regenerates Table I: overall computational cost (MFLOPs) of the
+//! edge/cloud system at AccI targets {50, 75, 90, 95}%, score-margin baseline
+//! vs. AppealNet, on all four dataset presets.
+
+use appeal_bench::{harness_context, write_report};
+use appeal_dataset::DatasetPreset;
+use appeal_models::ModelFamily;
+use appealnet_core::experiments::{table1, PreparedExperiment};
+use appealnet_core::loss::CloudMode;
+
+fn main() {
+    let ctx = harness_context();
+    let mut text =
+        String::from("Table I — overall computational cost under accuracy-improvement targets\n\n");
+    for preset in DatasetPreset::all() {
+        let prepared = PreparedExperiment::prepare(
+            preset,
+            ModelFamily::MobileNetLike,
+            CloudMode::WhiteBox,
+            &ctx,
+        );
+        text.push_str(&table1::run(&prepared).render_text());
+        text.push('\n');
+    }
+    write_report("table1_cost", &text);
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table II: appealing rate of the black-box (oracle cloud)
+//! configuration at AccI targets on CIFAR-10, for the three efficient
+//! little-network families.
+
+use appeal_bench::{harness_context, write_report};
+use appeal_dataset::DatasetPreset;
+use appeal_models::ModelFamily;
+use appealnet_core::experiments::{table2, PreparedExperiment};
+use appealnet_core::loss::CloudMode;
+
+fn main() {
+    let ctx = harness_context();
+    let mut text =
+        String::from("Table II — appealing rate of black-box AppealNet on CIFAR-10\n\n");
+    for family in ModelFamily::little_families() {
+        let prepared = PreparedExperiment::prepare(
+            DatasetPreset::Cifar10Like,
+            family,
+            CloudMode::BlackBox,
+            &ctx,
+        );
+        text.push_str(&table2::run(&prepared).render_text());
+        text.push('\n');
+    }
+    write_report("table2_blackbox", &text);
+}

@@ -1,0 +1,92 @@
+//! # appeal-bench
+//!
+//! Benchmark and experiment harnesses that regenerate every table and figure
+//! of the AppealNet paper's evaluation section.
+//!
+//! Two kinds of targets live in this crate:
+//!
+//! * **Binaries** (`src/bin/*.rs`) — run the full experiment pipelines
+//!   (dataset generation, training, threshold tuning) and print the same
+//!   rows/series the paper reports. `cargo run --release -p appeal-bench
+//!   --bin paper_suite` regenerates everything in one pass and writes the
+//!   reports consumed by `EXPERIMENTS.md`.
+//! * **Criterion benches** (`benches/*.rs`) — micro-benchmarks of the hot
+//!   paths (inference latency, score computation, sweeps, threshold tuning,
+//!   joint-loss evaluation) at smoke scale so `cargo bench --workspace`
+//!   completes quickly.
+//!
+//! The experiment fidelity of the binaries can be overridden with the
+//! `APPEALNET_FIDELITY` environment variable (`smoke` or `paper`).
+
+use appeal_dataset::Fidelity;
+use appealnet_core::experiments::ExperimentContext;
+use std::fs;
+use std::path::PathBuf;
+
+/// Reads the experiment fidelity from `APPEALNET_FIDELITY` (default: `paper`).
+pub fn fidelity_from_env() -> Fidelity {
+    match std::env::var("APPEALNET_FIDELITY")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
+        "smoke" => Fidelity::Smoke,
+        _ => Fidelity::Paper,
+    }
+}
+
+/// The experiment context used by all harness binaries.
+pub fn harness_context() -> ExperimentContext {
+    ExperimentContext::new(fidelity_from_env(), 2021)
+}
+
+/// Directory where harness binaries write their text reports.
+pub fn report_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("reports");
+    fs::create_dir_all(&dir).expect("failed to create reports directory");
+    dir
+}
+
+/// Writes a report to `reports/<name>.txt` and echoes it to stdout.
+pub fn write_report(name: &str, text: &str) {
+    println!("{text}");
+    let path = report_dir().join(format!("{name}.txt"));
+    if let Err(err) = fs::write(&path, text) {
+        eprintln!("warning: failed to write {}: {err}", path.display());
+    } else {
+        eprintln!("[report written to {}]", path.display());
+    }
+}
+
+/// Seconds elapsed since `start`, formatted for progress logs.
+pub fn elapsed_secs(start: std::time::Instant) -> String {
+    format!("{:.1}s", start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fidelity_env_parsing_defaults_to_paper() {
+        // The env var is not set in the test environment.
+        if std::env::var("APPEALNET_FIDELITY").is_err() {
+            assert_eq!(fidelity_from_env(), Fidelity::Paper);
+        }
+    }
+
+    #[test]
+    fn context_uses_env_fidelity() {
+        let ctx = harness_context();
+        assert!(ctx.beta > 0.0);
+    }
+
+    #[test]
+    fn report_dir_is_creatable() {
+        let dir = report_dir();
+        assert!(dir.exists());
+    }
+}

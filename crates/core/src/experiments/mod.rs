@@ -1,0 +1,394 @@
+//! Ready-made experiment pipelines for every figure and table in the paper's
+//! evaluation section (Section VI).
+//!
+//! The heavy lifting — generating a dataset, training the big network, the
+//! baseline little network and the AppealNet two-head network, and
+//! precomputing per-sample routing artifacts — is done once by
+//! [`PreparedExperiment::prepare`]; each figure/table module then reads the
+//! cheap precomputed artifacts.
+
+pub mod ablations;
+pub mod energy;
+pub mod fig4;
+pub mod fig5;
+pub mod table1;
+pub mod table2;
+
+use crate::loss::{AppealLoss, CloudMode};
+use crate::scores::ScoreKind;
+use crate::system::EvaluationArtifacts;
+use crate::training::{
+    big_model_losses, evaluate_classifier, train_appealnet, train_classifier, TrainerConfig,
+};
+use crate::two_head::TwoHeadNet;
+use appeal_dataset::{DatasetPair, DatasetPreset, Fidelity};
+use appeal_models::{ClassifierParts, ModelFamily, ModelSpec};
+use appeal_tensor::{Layer, SeededRng};
+use serde::{Deserialize, Serialize};
+
+/// Extension helpers on [`CloudMode`] used by the experiment harnesses.
+pub trait CloudModeExt {
+    /// Short name used in report file names.
+    fn short_name(&self) -> &'static str;
+}
+
+impl CloudModeExt for CloudMode {
+    fn short_name(&self) -> &'static str {
+        match self {
+            CloudMode::WhiteBox => "whitebox",
+            CloudMode::BlackBox => "blackbox",
+        }
+    }
+}
+
+/// Shared configuration of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentContext {
+    /// Dataset / training scale.
+    pub fidelity: Fidelity,
+    /// Master seed; every component derives its own stream from it.
+    pub seed: u64,
+    /// Trade-off weight β of the joint objective (Eq. 9 / Eq. 10).
+    pub beta: f32,
+}
+
+impl ExperimentContext {
+    /// Creates a context with the default β used throughout the evaluation.
+    pub fn new(fidelity: Fidelity, seed: u64) -> Self {
+        Self {
+            fidelity,
+            seed,
+            beta: 0.15,
+        }
+    }
+
+    /// Returns a copy with a different β (used by the β ablation).
+    pub fn with_beta(mut self, beta: f32) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Trainer configuration for the big cloud network.
+    pub fn big_config(&self) -> TrainerConfig {
+        let mut config = match self.fidelity {
+            Fidelity::Smoke => TrainerConfig::new(2, 32, 0.08),
+            Fidelity::Paper => TrainerConfig::new(6, 48, 0.08),
+        };
+        config.seed = self.seed ^ 0xB16;
+        config
+    }
+
+    /// Trainer configuration for the stand-alone little network.
+    pub fn little_config(&self) -> TrainerConfig {
+        let mut config = match self.fidelity {
+            Fidelity::Smoke => TrainerConfig::new(2, 32, 0.08),
+            Fidelity::Paper => TrainerConfig::new(8, 48, 0.08),
+        };
+        config.seed = self.seed ^ 0x117;
+        config
+    }
+
+    /// Trainer configuration for AppealNet joint training (Algorithm 1).
+    pub fn joint_config(&self) -> TrainerConfig {
+        let mut config = match self.fidelity {
+            Fidelity::Smoke => TrainerConfig::new(2, 32, 0.04),
+            Fidelity::Paper => TrainerConfig::new(6, 48, 0.04),
+        };
+        config.seed = self.seed ^ 0x107;
+        config
+    }
+
+    /// Batch size used for evaluation passes.
+    pub fn eval_batch(&self) -> usize {
+        128
+    }
+}
+
+/// Copies parameter values from `src` into `dst`.
+///
+/// Both models must have been built from the same [`ModelSpec`] so their
+/// parameter lists line up. Used to implement Algorithm 1's "initialize with
+/// the pre-trained little model" without retraining.
+fn copy_params(src: &mut ClassifierParts, dst: &mut ClassifierParts) {
+    let mut src_params = src.backbone.params_mut();
+    src_params.extend(src.head.params_mut());
+    let mut dst_params = dst.backbone.params_mut();
+    dst_params.extend(dst.head.params_mut());
+    assert_eq!(
+        src_params.len(),
+        dst_params.len(),
+        "models must share an architecture to copy parameters"
+    );
+    for (s, d) in src_params.iter().zip(dst_params.iter_mut()) {
+        assert_eq!(s.value.shape(), d.value.shape(), "parameter shape mismatch");
+        d.value = s.value.clone();
+    }
+}
+
+/// The trained models retained by a [`PreparedExperiment`] so that ablations
+/// and deployment examples can reuse them without retraining.
+pub struct TrainedModels {
+    /// The big cloud network (untrained in black-box mode).
+    pub big: ClassifierParts,
+    /// The stand-alone baseline little network.
+    pub baseline: ClassifierParts,
+    /// The jointly trained AppealNet two-head network.
+    pub appealnet: TwoHeadNet,
+}
+
+/// A fully trained little/big model pair with precomputed routing artifacts
+/// for every score kind, ready to answer any Fig. 5 / Table I / Table II query.
+pub struct PreparedExperiment {
+    /// Dataset preset this experiment ran on.
+    pub preset: DatasetPreset,
+    /// Little-network family.
+    pub family: ModelFamily,
+    /// White-box or black-box cloud model.
+    pub mode: CloudMode,
+    /// Test accuracy of the stand-alone baseline little network.
+    pub little_accuracy: f64,
+    /// Test accuracy of the AppealNet two-head network's approximator head.
+    pub appealnet_accuracy: f64,
+    /// Test accuracy of the big network (1.0 in black-box / oracle mode).
+    pub big_accuracy: f64,
+    /// Per-inference FLOPs of the little network (with predictor head).
+    pub little_flops: u64,
+    /// Per-inference FLOPs of the big network.
+    pub big_flops: u64,
+    /// Bytes uploaded per offloaded input (raw f32 image).
+    pub input_bytes: u64,
+    /// Training reports (big, little, joint) for diagnostics.
+    pub training_losses: Vec<(String, Vec<f32>)>,
+    /// The trained models themselves (for ablations and deployment examples).
+    pub models: TrainedModels,
+    artifacts: Vec<(ScoreKind, EvaluationArtifacts)>,
+}
+
+impl std::fmt::Debug for PreparedExperiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PreparedExperiment({}, {}, {}, little={:.3}, appeal={:.3}, big={:.3})",
+            self.preset, self.family, self.mode, self.little_accuracy, self.appealnet_accuracy,
+            self.big_accuracy
+        )
+    }
+}
+
+impl PreparedExperiment {
+    /// Runs the full preparation pipeline:
+    ///
+    /// 1. generate the dataset preset;
+    /// 2. train the big network (white-box mode only);
+    /// 3. train the stand-alone little network (the confidence baselines);
+    /// 4. initialize AppealNet from the trained little network, insert the
+    ///    predictor head and jointly train it (Algorithm 1);
+    /// 5. evaluate everything on the test split and precompute routing
+    ///    artifacts for every score kind.
+    pub fn prepare(
+        preset: DatasetPreset,
+        family: ModelFamily,
+        mode: CloudMode,
+        ctx: &ExperimentContext,
+    ) -> Self {
+        let spec = preset.spec(ctx.fidelity);
+        let pair = spec.generate();
+        Self::prepare_with_data(preset, &pair, family, mode, ctx)
+    }
+
+    /// Like [`PreparedExperiment::prepare`] but with a caller-provided dataset
+    /// pair (lets several experiments share one generated dataset).
+    pub fn prepare_with_data(
+        preset: DatasetPreset,
+        pair: &DatasetPair,
+        family: ModelFamily,
+        mode: CloudMode,
+        ctx: &ExperimentContext,
+    ) -> Self {
+        let spec = preset.spec(ctx.fidelity);
+        let input_shape = [spec.channels, spec.height, spec.width];
+        let num_classes = spec.num_classes;
+        let mut rng = SeededRng::new(ctx.seed ^ preset.spec(ctx.fidelity).seed);
+        let mut big_rng = rng.split();
+        let mut little_rng = rng.split();
+        let eval_batch = ctx.eval_batch();
+        let mut training_losses = Vec::new();
+
+        // --- Big (cloud) network ---
+        let mut big = ModelSpec::big(input_shape, num_classes).build(&mut big_rng);
+        let (big_accuracy, big_train_losses) = match mode {
+            CloudMode::WhiteBox => {
+                let report = train_classifier(&mut big, &pair.train, &ctx.big_config());
+                training_losses.push(("big".to_string(), report.epoch_losses.clone()));
+                let acc = evaluate_classifier(&mut big, &pair.test, eval_batch);
+                let losses = big_model_losses(&mut big, &pair.train, eval_batch);
+                (acc, losses)
+            }
+            CloudMode::BlackBox => (1.0, Vec::new()),
+        };
+
+        // --- Stand-alone little network (confidence baselines) ---
+        let little_spec = ModelSpec::little(family, input_shape, num_classes);
+        let mut init_rng = little_rng.split();
+        let mut baseline = little_spec.build(&mut init_rng);
+        let report = train_classifier(&mut baseline, &pair.train, &ctx.little_config());
+        training_losses.push(("little".to_string(), report.epoch_losses.clone()));
+        let little_accuracy = evaluate_classifier(&mut baseline, &pair.test, eval_batch);
+
+        // --- AppealNet two-head network, initialized from the trained little net ---
+        let mut appeal_init_rng = little_rng.split();
+        let mut appeal_little = little_spec.build(&mut appeal_init_rng);
+        copy_params(&mut baseline, &mut appeal_little);
+        let mut appealnet = TwoHeadNet::from_parts(appeal_little, &mut little_rng);
+        let loss = AppealLoss::new(ctx.beta, mode);
+        let report = train_appealnet(
+            &mut appealnet,
+            &pair.train,
+            &loss,
+            &big_train_losses,
+            &ctx.joint_config(),
+        );
+        training_losses.push(("joint".to_string(), report.epoch_losses.clone()));
+
+        // --- Evaluation artifacts on the test split ---
+        let test = &pair.test;
+        let hard = test.hard_flags();
+        let mut artifacts = Vec::new();
+        let mut appeal_art = EvaluationArtifacts::from_two_head(
+            &mut appealnet,
+            &mut big,
+            test.images(),
+            test.labels(),
+            hard,
+            eval_batch,
+        );
+        let appealnet_accuracy =
+            appeal_art.little_correct.iter().filter(|&&c| c).count() as f64 / test.len() as f64;
+        if mode == CloudMode::BlackBox {
+            appeal_art.big_correct = vec![true; test.len()];
+        }
+        artifacts.push((ScoreKind::AppealNetQ, appeal_art));
+        for kind in ScoreKind::baselines() {
+            let mut art = EvaluationArtifacts::from_confidence_baseline(
+                &mut baseline,
+                &mut big,
+                test.images(),
+                test.labels(),
+                hard,
+                kind,
+                eval_batch,
+            );
+            if mode == CloudMode::BlackBox {
+                art.big_correct = vec![true; test.len()];
+            }
+            artifacts.push((kind, art));
+        }
+
+        let little_flops = appealnet.flops();
+        let big_flops = big.total_flops();
+        Self {
+            preset,
+            family,
+            mode,
+            little_accuracy,
+            appealnet_accuracy,
+            big_accuracy,
+            little_flops,
+            big_flops,
+            input_bytes: (input_shape.iter().product::<usize>() * 4) as u64,
+            training_losses,
+            models: TrainedModels {
+                big,
+                baseline,
+                appealnet,
+            },
+            artifacts,
+        }
+    }
+
+    /// Routing artifacts for a particular score kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the score kind was not prepared (never happens for the four
+    /// standard kinds).
+    pub fn artifacts(&self, kind: ScoreKind) -> &EvaluationArtifacts {
+        self.artifacts
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, a)| a)
+            .unwrap_or_else(|| panic!("no artifacts prepared for {kind}"))
+    }
+
+    /// All prepared score kinds.
+    pub fn score_kinds(&self) -> Vec<ScoreKind> {
+        self.artifacts.iter().map(|(k, _)| *k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExperimentContext {
+        ExperimentContext::new(Fidelity::Smoke, 7)
+    }
+
+    #[test]
+    fn context_configs_scale_with_fidelity() {
+        let smoke = ExperimentContext::new(Fidelity::Smoke, 1);
+        let paper = ExperimentContext::new(Fidelity::Paper, 1);
+        assert!(smoke.big_config().epochs < paper.big_config().epochs);
+        assert!(smoke.joint_config().epochs <= paper.joint_config().epochs);
+        assert_eq!(smoke.with_beta(0.5).beta, 0.5);
+        assert_eq!(CloudMode::WhiteBox.short_name(), "whitebox");
+    }
+
+    #[test]
+    fn prepare_whitebox_smoke_produces_all_artifacts() {
+        let prepared = PreparedExperiment::prepare(
+            DatasetPreset::Cifar10Like,
+            ModelFamily::MobileNetLike,
+            CloudMode::WhiteBox,
+            &ctx(),
+        );
+        assert_eq!(prepared.score_kinds().len(), 4);
+        for kind in ScoreKind::all() {
+            let art = prepared.artifacts(kind);
+            assert_eq!(art.len(), 30);
+            assert!(art.scores.iter().all(|s| s.is_finite()));
+        }
+        assert!(prepared.little_flops < prepared.big_flops);
+        assert!(prepared.big_accuracy > 0.0 && prepared.big_accuracy <= 1.0);
+        assert_eq!(prepared.training_losses.len(), 3);
+        assert!(!format!("{prepared:?}").is_empty());
+    }
+
+    #[test]
+    fn prepare_blackbox_treats_cloud_as_oracle() {
+        let prepared = PreparedExperiment::prepare(
+            DatasetPreset::Cifar10Like,
+            ModelFamily::ShuffleNetLike,
+            CloudMode::BlackBox,
+            &ctx(),
+        );
+        assert_eq!(prepared.big_accuracy, 1.0);
+        let art = prepared.artifacts(ScoreKind::AppealNetQ);
+        assert!(art.big_correct.iter().all(|&c| c));
+        // Only big + little + joint training entries minus the untrained big.
+        assert_eq!(prepared.training_losses.len(), 2);
+    }
+
+    #[test]
+    fn copy_params_transfers_trained_weights() {
+        let mut rng = SeededRng::new(3);
+        let spec = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10);
+        let mut a = spec.build(&mut rng);
+        let mut b = spec.build(&mut SeededRng::new(99));
+        // Make them differ, then copy.
+        let x = appeal_tensor::Tensor::randn(&[2, 3, 12, 12], &mut rng);
+        assert!(a.forward(&x, false).max_abs_diff(&b.forward(&x, false)) > 1e-6);
+        copy_params(&mut a, &mut b);
+        assert!(a.forward(&x, false).max_abs_diff(&b.forward(&x, false)) < 1e-6);
+    }
+}

@@ -1,0 +1,89 @@
+//! # appealnet-core
+//!
+//! A Rust reproduction of **AppealNet** (Li et al., DAC 2021): an edge/cloud
+//! collaborative architecture for DNN inference that explicitly models
+//! inference difficulty with a two-head little network and jointly optimizes
+//! the approximator and the offloading predictor.
+//!
+//! ## The idea
+//!
+//! A little network runs on the edge device. Its backbone feeds two heads:
+//!
+//! * the **approximator head** produces the class distribution `p(y|x)`;
+//! * the **predictor head** (one fully-connected layer + sigmoid) produces
+//!   `q(1|x)`, the probability that the little network's answer can be
+//!   trusted for this input.
+//!
+//! At deployment (the paper's Eq. 1) the input is handled on the edge when
+//! `q(1|x) ≥ δ` and *appealed* to the big cloud network otherwise. Training
+//! minimizes the joint objective of Eq. 9 (white-box cloud model) or Eq. 10
+//! (black-box / oracle cloud model):
+//!
+//! ```text
+//! L = q·ℓ(f1(x), y) + (1 − q)·ℓ(f0(x), y) + β·(−log q)
+//! ```
+//!
+//! ## Crate layout
+//!
+//! * [`two_head`] — the two-head little network.
+//! * [`loss`] — the joint training objective.
+//! * [`training`] — Algorithm 1 (joint training) and plain classifier training.
+//! * [`scores`] — AppealNet's `q` score and the confidence baselines
+//!   (MSP, score margin, entropy).
+//! * [`system`] — per-input routing artifacts and the collaborative system.
+//! * [`metrics`] — SR / AR / overall accuracy / AccI / overall cost (Eq. 11–15).
+//! * [`tuning`] — threshold selection for target skipping rates or accuracy.
+//! * [`sweep`] — skipping-rate sweeps across routing methods.
+//! * [`experiments`] — ready-made harnesses for every figure and table in the
+//!   paper's evaluation section.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use appealnet_core::prelude::*;
+//! use appeal_dataset::prelude::*;
+//! use appeal_models::prelude::*;
+//!
+//! let ctx = ExperimentContext::new(Fidelity::Smoke, 42);
+//! let prepared = PreparedExperiment::prepare(
+//!     DatasetPreset::Cifar10Like,
+//!     ModelFamily::MobileNetLike,
+//!     CloudMode::WhiteBox,
+//!     &ctx,
+//! );
+//! let metrics = prepared.artifacts(ScoreKind::AppealNetQ).at_skipping_rate(0.9);
+//! println!("overall accuracy at SR=90%: {:.2}%", 100.0 * metrics.overall_accuracy);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod loss;
+pub mod metrics;
+pub mod scores;
+pub mod sweep;
+pub mod system;
+pub mod training;
+pub mod tuning;
+pub mod two_head;
+
+pub use loss::{AppealLoss, CloudMode};
+pub use metrics::RoutedMetrics;
+pub use scores::ScoreKind;
+pub use system::{CollaborativeSystem, EvaluationArtifacts};
+pub use training::{TrainerConfig, TrainingReport};
+pub use two_head::{TwoHeadNet, TwoHeadOutput};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::experiments::{CloudModeExt, ExperimentContext, PreparedExperiment};
+    pub use crate::loss::{AppealLoss, CloudMode};
+    pub use crate::metrics::RoutedMetrics;
+    pub use crate::scores::ScoreKind;
+    pub use crate::sweep::{MethodSeries, SweepResult};
+    pub use crate::system::{CollaborativeSystem, EvaluationArtifacts};
+    pub use crate::training::{TrainerConfig, TrainingReport};
+    pub use crate::tuning::ThresholdChoice;
+    pub use crate::two_head::{TwoHeadNet, TwoHeadOutput};
+}

@@ -1,0 +1,475 @@
+//! The edge/cloud collaborative system (paper Eq. 1) and precomputed
+//! evaluation artifacts.
+//!
+//! For experiments it is wasteful to re-run both networks for every candidate
+//! threshold δ, so [`EvaluationArtifacts`] stores per-sample routing scores
+//! and correctness flags once; every threshold or skipping-rate query is then
+//! a cheap scan. [`CollaborativeSystem`] is the runtime counterpart used by
+//! the examples: it owns the two models and routes live batches.
+
+use crate::metrics::{routed_metrics, RoutedMetrics};
+use crate::scores::{confidence_scores, ScoreKind};
+use crate::two_head::TwoHeadNet;
+use appeal_hw::{InferenceCost, SystemModel};
+use appeal_models::ClassifierParts;
+use appeal_tensor::loss::SoftmaxCrossEntropy;
+use appeal_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Per-sample artifacts of evaluating a little/big model pair on a dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvaluationArtifacts {
+    /// Routing score per input (higher = keep on the edge).
+    pub scores: Vec<f32>,
+    /// Whether the little network classifies each input correctly.
+    pub little_correct: Vec<bool>,
+    /// Whether the big network classifies each input correctly.
+    pub big_correct: Vec<bool>,
+    /// Ground-truth difficulty flags from the dataset synthesizer (analysis only).
+    pub hard_flags: Vec<bool>,
+    /// Per-inference FLOPs of the little network (including the predictor head).
+    pub little_flops: u64,
+    /// Per-inference FLOPs of the big network.
+    pub big_flops: u64,
+    /// Which score produced `scores`.
+    pub score_kind: ScoreKind,
+}
+
+impl EvaluationArtifacts {
+    /// Number of evaluated samples.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Returns `true` if no samples were evaluated.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Metrics when inputs with score `≥ δ` stay on the edge (Eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the artifacts are empty.
+    pub fn at_threshold(&self, delta: f64) -> RoutedMetrics {
+        let keep: Vec<bool> = self.scores.iter().map(|&s| (s as f64) >= delta).collect();
+        routed_metrics(
+            &keep,
+            &self.little_correct,
+            &self.big_correct,
+            self.little_flops,
+            self.big_flops,
+            delta,
+        )
+    }
+
+    /// The threshold δ that keeps (approximately) a `target_sr` fraction of
+    /// inputs on the edge: the `(1 − target_sr)` quantile of the scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the artifacts are empty or `target_sr` is outside `[0, 1]`.
+    pub fn threshold_for_skipping_rate(&self, target_sr: f64) -> f64 {
+        assert!(!self.is_empty(), "no evaluation artifacts");
+        assert!(
+            (0.0..=1.0).contains(&target_sr),
+            "target skipping rate must be in [0, 1]"
+        );
+        let mut sorted: Vec<f32> = self.scores.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("scores must not be NaN"));
+        let n = sorted.len();
+        // Keep the top `target_sr` fraction on the edge.
+        let k = ((1.0 - target_sr) * n as f64).round() as usize;
+        if k >= n {
+            // Nothing stays on the edge: use a threshold above the maximum.
+            sorted[n - 1] as f64 + 1.0
+        } else {
+            sorted[k] as f64
+        }
+    }
+
+    /// Metrics at (approximately) the requested skipping rate.
+    pub fn at_skipping_rate(&self, target_sr: f64) -> RoutedMetrics {
+        self.at_threshold(self.threshold_for_skipping_rate(target_sr))
+    }
+
+    /// Candidate thresholds: every distinct score value (plus one above the
+    /// maximum), which is sufficient to enumerate every possible routing.
+    pub fn candidate_thresholds(&self) -> Vec<f64> {
+        let mut t: Vec<f64> = self.scores.iter().map(|&s| s as f64).collect();
+        t.sort_by(|a, b| a.partial_cmp(b).expect("scores must not be NaN"));
+        t.dedup();
+        if let Some(&max) = t.last() {
+            t.push(max + 1.0);
+        }
+        t
+    }
+
+    /// Builds artifacts for an AppealNet two-head model: the routing score is
+    /// the predictor output `q(1|x)`.
+    pub fn from_two_head(
+        net: &mut TwoHeadNet,
+        big: &mut ClassifierParts,
+        images: &Tensor,
+        labels: &[usize],
+        hard_flags: &[bool],
+        batch_size: usize,
+    ) -> Self {
+        let out = net.evaluate(images, batch_size);
+        let little_correct: Vec<bool> = out
+            .predictions()
+            .iter()
+            .zip(labels.iter())
+            .map(|(p, y)| p == y)
+            .collect();
+        let big_correct = classifier_correctness(big, images, labels, batch_size);
+        Self {
+            scores: out.q,
+            little_correct,
+            big_correct,
+            hard_flags: hard_flags.to_vec(),
+            little_flops: net.flops(),
+            big_flops: big.total_flops(),
+            score_kind: ScoreKind::AppealNetQ,
+        }
+    }
+
+    /// Builds artifacts for a plain little classifier using one of the
+    /// confidence-score baselines (MSP, SM, Entropy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is [`ScoreKind::AppealNetQ`].
+    pub fn from_confidence_baseline(
+        little: &mut ClassifierParts,
+        big: &mut ClassifierParts,
+        images: &Tensor,
+        labels: &[usize],
+        hard_flags: &[bool],
+        kind: ScoreKind,
+        batch_size: usize,
+    ) -> Self {
+        assert!(
+            kind.is_confidence_baseline(),
+            "use from_two_head for the AppealNet score"
+        );
+        let logits = classifier_logits(little, images, batch_size);
+        let probs = SoftmaxCrossEntropy::new().probabilities(&logits);
+        let scores = confidence_scores(&probs, kind);
+        let little_correct: Vec<bool> = logits
+            .argmax_rows()
+            .iter()
+            .zip(labels.iter())
+            .map(|(p, y)| p == y)
+            .collect();
+        let big_correct = classifier_correctness(big, images, labels, batch_size);
+        Self {
+            scores,
+            little_correct,
+            big_correct,
+            hard_flags: hard_flags.to_vec(),
+            little_flops: little.total_flops(),
+            big_flops: big.total_flops(),
+            score_kind: kind,
+        }
+    }
+}
+
+/// Runs a classifier over a dataset in batches and returns the stacked logits.
+pub(crate) fn classifier_logits(
+    model: &mut ClassifierParts,
+    images: &Tensor,
+    batch_size: usize,
+) -> Tensor {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let n = images.shape()[0];
+    let mut rows = Vec::with_capacity(n);
+    let mut start = 0;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let idx: Vec<usize> = (start..end).collect();
+        let batch = images.select_rows(&idx);
+        let logits = model.forward(&batch, false);
+        for i in 0..(end - start) {
+            rows.push(logits.row(i));
+        }
+        start = end;
+    }
+    Tensor::stack_rows(&rows)
+}
+
+fn classifier_correctness(
+    model: &mut ClassifierParts,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+) -> Vec<bool> {
+    let logits = classifier_logits(model, images, batch_size);
+    logits
+        .argmax_rows()
+        .iter()
+        .zip(labels.iter())
+        .map(|(p, y)| p == y)
+        .collect()
+}
+
+/// The decision made for one input at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutingOutcome {
+    /// Predicted class label.
+    pub label: usize,
+    /// Predictor score `q(1|x)` for this input.
+    pub score: f32,
+    /// Whether the input was offloaded to the cloud.
+    pub offloaded: bool,
+    /// Cost charged for this input.
+    pub cost: InferenceCost,
+}
+
+/// A deployable edge/cloud collaborative system: the jointly trained two-head
+/// little network on the edge, the big network in the cloud, a threshold δ
+/// and a hardware cost model.
+pub struct CollaborativeSystem {
+    little: TwoHeadNet,
+    big: ClassifierParts,
+    threshold: f64,
+    hardware: SystemModel,
+    input_bytes: u64,
+}
+
+impl std::fmt::Debug for CollaborativeSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CollaborativeSystem(little={:?}, threshold={}, hardware={:?})",
+            self.little, self.threshold, self.hardware
+        )
+    }
+}
+
+impl CollaborativeSystem {
+    /// Assembles a collaborative system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is outside `[0, 1]`.
+    pub fn new(little: TwoHeadNet, big: ClassifierParts, threshold: f64, hardware: SystemModel) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1]"
+        );
+        let input_bytes = (little.spec().input_shape.iter().product::<usize>() * 4) as u64;
+        Self {
+            little,
+            big,
+            threshold,
+            hardware,
+            input_bytes,
+        }
+    }
+
+    /// The routing threshold δ.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Updates the routing threshold δ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is outside `[0, 1]`.
+    pub fn set_threshold(&mut self, threshold: f64) {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1]"
+        );
+        self.threshold = threshold;
+    }
+
+    /// Classifies a batch of images, routing each input per Eq. 1.
+    pub fn classify(&mut self, images: &Tensor) -> Vec<RoutingOutcome> {
+        let n = images.shape()[0];
+        let out = self.little.forward(images, false);
+        let little_preds = out.predictions();
+        // Find which inputs must be appealed to the cloud.
+        let offload_idx: Vec<usize> = (0..n)
+            .filter(|&i| (out.q[i] as f64) < self.threshold)
+            .collect();
+        let big_preds: Vec<usize> = if offload_idx.is_empty() {
+            Vec::new()
+        } else {
+            let batch = images.select_rows(&offload_idx);
+            self.big.forward(&batch, false).argmax_rows()
+        };
+        let edge_cost = self.hardware.edge_only_cost(self.little.flops());
+        let offload_cost = self.hardware.offload_cost(
+            self.little.flops(),
+            self.big.total_flops(),
+            self.input_bytes,
+        );
+        let mut big_iter = big_preds.into_iter();
+        (0..n)
+            .map(|i| {
+                let offloaded = (out.q[i] as f64) < self.threshold;
+                RoutingOutcome {
+                    label: if offloaded {
+                        big_iter.next().expect("one big prediction per offloaded input")
+                    } else {
+                        little_preds[i]
+                    },
+                    score: out.q[i],
+                    offloaded,
+                    cost: if offloaded { offload_cost } else { edge_cost },
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregate cost of a set of routing outcomes.
+    pub fn total_cost(outcomes: &[RoutingOutcome]) -> InferenceCost {
+        outcomes
+            .iter()
+            .fold(InferenceCost::zero(), |acc, o| acc.add(&o.cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appeal_models::{ModelFamily, ModelSpec};
+    use appeal_tensor::SeededRng;
+
+    fn synthetic_artifacts() -> EvaluationArtifacts {
+        // Scores 0.0..1.0 over 10 samples; little correct on high-score ones.
+        EvaluationArtifacts {
+            scores: (0..10).map(|i| i as f32 / 10.0).collect(),
+            little_correct: (0..10).map(|i| i >= 4).collect(),
+            big_correct: vec![true; 10],
+            hard_flags: (0..10).map(|i| i < 4).collect(),
+            little_flops: 100,
+            big_flops: 1000,
+            score_kind: ScoreKind::AppealNetQ,
+        }
+    }
+
+    #[test]
+    fn threshold_zero_keeps_everything_on_edge() {
+        let a = synthetic_artifacts();
+        let m = a.at_threshold(0.0);
+        assert_eq!(m.skipping_rate, 1.0);
+        assert_eq!(m.overall_accuracy, 0.6);
+    }
+
+    #[test]
+    fn high_threshold_offloads_everything() {
+        let a = synthetic_artifacts();
+        let m = a.at_threshold(2.0);
+        assert_eq!(m.skipping_rate, 0.0);
+        assert_eq!(m.overall_accuracy, 1.0);
+        assert_eq!(m.overall_flops, 1100.0);
+    }
+
+    #[test]
+    fn perfect_scores_give_perfect_accuracy_at_intermediate_sr() {
+        // Keeping the 60% of inputs the little model gets right and
+        // offloading the rest yields 100% accuracy here.
+        let a = synthetic_artifacts();
+        let m = a.at_skipping_rate(0.6);
+        assert!((m.skipping_rate - 0.6).abs() < 1e-9);
+        assert_eq!(m.overall_accuracy, 1.0);
+    }
+
+    #[test]
+    fn threshold_for_sr_hits_requested_rate() {
+        let a = synthetic_artifacts();
+        for target in [0.0, 0.3, 0.5, 0.8, 1.0] {
+            let m = a.at_skipping_rate(target);
+            assert!(
+                (m.skipping_rate - target).abs() <= 0.1 + 1e-9,
+                "target {target} got {}",
+                m.skipping_rate
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_thresholds_cover_all_routings() {
+        let a = synthetic_artifacts();
+        let thresholds = a.candidate_thresholds();
+        assert_eq!(thresholds.len(), 11);
+        let srs: Vec<f64> = thresholds.iter().map(|&t| a.at_threshold(t).skipping_rate).collect();
+        assert!(srs.contains(&1.0));
+        assert!(srs.contains(&0.0));
+    }
+
+    fn tiny_models(classes: usize) -> (TwoHeadNet, ClassifierParts) {
+        let mut rng = SeededRng::new(3);
+        let little =
+            ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], classes).build(&mut rng);
+        let big = ModelSpec::big([3, 12, 12], classes).build(&mut rng);
+        (TwoHeadNet::from_parts(little, &mut rng), big)
+    }
+
+    #[test]
+    fn artifacts_from_models_have_consistent_lengths() {
+        let (mut net, mut big) = tiny_models(4);
+        let mut rng = SeededRng::new(4);
+        let images = Tensor::randn(&[12, 3, 12, 12], &mut rng);
+        let labels: Vec<usize> = (0..12).map(|i| i % 4).collect();
+        let hard = vec![false; 12];
+        let art = EvaluationArtifacts::from_two_head(&mut net, &mut big, &images, &labels, &hard, 5);
+        assert_eq!(art.len(), 12);
+        assert!(!art.is_empty());
+        assert!(art.little_flops < art.big_flops);
+        assert_eq!(art.score_kind, ScoreKind::AppealNetQ);
+    }
+
+    #[test]
+    fn baseline_artifacts_use_requested_score() {
+        let mut rng = SeededRng::new(5);
+        let mut little =
+            ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 4).build(&mut rng);
+        let mut big = ModelSpec::big([3, 12, 12], 4).build(&mut rng);
+        let images = Tensor::randn(&[8, 3, 12, 12], &mut rng);
+        let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+        let hard = vec![false; 8];
+        let art = EvaluationArtifacts::from_confidence_baseline(
+            &mut little,
+            &mut big,
+            &images,
+            &labels,
+            &hard,
+            ScoreKind::ScoreMargin,
+            4,
+        );
+        assert_eq!(art.score_kind, ScoreKind::ScoreMargin);
+        assert!(art.scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn collaborative_system_routes_and_costs() {
+        let (net, big) = tiny_models(4);
+        let mut system = CollaborativeSystem::new(net, big, 0.5, SystemModel::typical());
+        let mut rng = SeededRng::new(6);
+        let images = Tensor::randn(&[6, 3, 12, 12], &mut rng);
+        let outcomes = system.classify(&images);
+        assert_eq!(outcomes.len(), 6);
+        for o in &outcomes {
+            assert!(o.label < 4);
+            assert_eq!(o.offloaded, (o.score as f64) < 0.5);
+        }
+        let total = CollaborativeSystem::total_cost(&outcomes);
+        assert!(total.flops > 0);
+        // Threshold 0 keeps everything on the edge and must be cheaper.
+        system.set_threshold(0.0);
+        let cheap = CollaborativeSystem::total_cost(&system.classify(&images));
+        assert!(cheap.energy_mj <= total.energy_mj + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in")]
+    fn rejects_bad_threshold() {
+        let (net, big) = tiny_models(2);
+        let _ = CollaborativeSystem::new(net, big, 1.5, SystemModel::typical());
+    }
+}

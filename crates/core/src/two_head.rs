@@ -1,0 +1,293 @@
+//! The two-head little network (paper Fig. 2).
+//!
+//! A shared backbone (feature extractor) feeds an *approximator head* that
+//! produces class logits and a *predictor head* — a single fully-connected
+//! layer followed by a sigmoid — that produces `q(1|x)`, the probability that
+//! the little network's answer is trustworthy for this input.
+
+use appeal_models::{ClassifierParts, ModelSpec};
+use appeal_tensor::layers::{Dense, Sequential, Sigmoid};
+use appeal_tensor::loss::SoftmaxCrossEntropy;
+use appeal_tensor::{Layer, Param, SeededRng, Tensor};
+
+/// Output of one forward pass through the two-head network.
+#[derive(Debug, Clone)]
+pub struct TwoHeadOutput {
+    /// Class logits from the approximator head, `[n, num_classes]`.
+    pub logits: Tensor,
+    /// Predictor outputs `q(1|x) ∈ [0, 1]`, one per sample.
+    pub q: Vec<f32>,
+}
+
+impl TwoHeadOutput {
+    /// Softmax class probabilities of the approximator head.
+    pub fn probabilities(&self) -> Tensor {
+        SoftmaxCrossEntropy::new().probabilities(&self.logits)
+    }
+
+    /// Predicted class per sample.
+    pub fn predictions(&self) -> Vec<usize> {
+        self.logits.argmax_rows()
+    }
+}
+
+/// The AppealNet two-head little network.
+///
+/// Built from a [`ClassifierParts`] little model by re-using its backbone and
+/// classifier head as feature extractor / approximator head and inserting a
+/// freshly initialized predictor head — exactly the "initialize from the
+/// pre-trained little network, then insert the predictor head" step of the
+/// paper's Algorithm 1.
+pub struct TwoHeadNet {
+    backbone: Sequential,
+    approximator_head: Sequential,
+    predictor_head: Sequential,
+    feature_dim: usize,
+    spec: ModelSpec,
+}
+
+impl std::fmt::Debug for TwoHeadNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TwoHeadNet(spec={}, feature_dim={})",
+            self.spec, self.feature_dim
+        )
+    }
+}
+
+impl TwoHeadNet {
+    /// Creates a two-head network from a (possibly pre-trained) little model,
+    /// inserting a new predictor head.
+    pub fn from_parts(parts: ClassifierParts, rng: &mut SeededRng) -> Self {
+        let ClassifierParts {
+            backbone,
+            head,
+            feature_dim,
+            spec,
+        } = parts;
+        let predictor_head = Sequential::new(vec![
+            Box::new(Dense::new(feature_dim, 1, rng)),
+            Box::new(Sigmoid::new()),
+        ]);
+        Self {
+            backbone,
+            approximator_head: head,
+            predictor_head,
+            feature_dim,
+            spec,
+        }
+    }
+
+    /// The model specification of the underlying little network.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Dimensionality of the shared feature vector.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Number of classes produced by the approximator head.
+    pub fn num_classes(&self) -> usize {
+        self.spec.num_classes
+    }
+
+    /// Runs the network on a batch of images.
+    pub fn forward(&mut self, images: &Tensor, train: bool) -> TwoHeadOutput {
+        let features = self.backbone.forward(images, train);
+        let logits = self.approximator_head.forward(&features, train);
+        let q_tensor = self.predictor_head.forward(&features, train);
+        let q = q_tensor.data().to_vec();
+        TwoHeadOutput { logits, q }
+    }
+
+    /// Backpropagates gradients from both heads.
+    ///
+    /// `grad_logits` is the gradient of the loss with respect to the
+    /// approximator logits; `grad_q` is the gradient with respect to the
+    /// predictor output `q` (after the sigmoid), shaped `[n, 1]`.
+    /// The two head gradients are merged at the shared feature vector and
+    /// propagated through the backbone, mirroring the joint optimization of
+    /// `(f1, q)` in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`TwoHeadNet::forward`].
+    pub fn backward(&mut self, grad_logits: &Tensor, grad_q: &Tensor) {
+        let grad_from_approx = self.approximator_head.backward(grad_logits);
+        let grad_from_pred = self.predictor_head.backward(grad_q);
+        let merged = grad_from_approx.add(&grad_from_pred);
+        let _ = self.backbone.backward(&merged);
+    }
+
+    /// All trainable parameters (backbone + both heads).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = self.backbone.params_mut();
+        params.extend(self.approximator_head.params_mut());
+        params.extend(self.predictor_head.params_mut());
+        params
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// FLOPs of one inference for a single sample (backbone + both heads).
+    ///
+    /// This is the edge cost `cost(f1, q)` of the paper's Eq. 5: the predictor
+    /// head rides along with the little network at negligible extra cost.
+    pub fn flops(&self) -> u64 {
+        let input_shape = self.spec.input_shape.to_vec();
+        let backbone = self.backbone.flops(&input_shape);
+        let feature_shape = self.backbone.output_shape(&input_shape);
+        backbone
+            + self.approximator_head.flops(&feature_shape)
+            + self.predictor_head.flops(&feature_shape)
+    }
+
+    /// FLOPs of the predictor head alone (to quantify its overhead).
+    pub fn predictor_head_flops(&self) -> u64 {
+        let input_shape = self.spec.input_shape.to_vec();
+        let feature_shape = self.backbone.output_shape(&input_shape);
+        self.predictor_head.flops(&feature_shape)
+    }
+
+    /// Runs inference over a dataset in batches and concatenates the outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn evaluate(&mut self, images: &Tensor, batch_size: usize) -> TwoHeadOutput {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let n = images.shape()[0];
+        let mut logits_rows = Vec::with_capacity(n);
+        let mut q_all = Vec::with_capacity(n);
+        let mut start = 0;
+        while start < n {
+            let end = (start + batch_size).min(n);
+            let idx: Vec<usize> = (start..end).collect();
+            let batch = images.select_rows(&idx);
+            let out = self.forward(&batch, false);
+            for i in 0..(end - start) {
+                logits_rows.push(out.logits.row(i));
+            }
+            q_all.extend_from_slice(&out.q);
+            start = end;
+        }
+        TwoHeadOutput {
+            logits: Tensor::stack_rows(&logits_rows),
+            q: q_all,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appeal_models::{ModelFamily, ModelSpec};
+
+    fn small_two_head(classes: usize) -> TwoHeadNet {
+        let mut rng = SeededRng::new(1);
+        let parts = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], classes)
+            .build(&mut rng);
+        TwoHeadNet::from_parts(parts, &mut rng)
+    }
+
+    #[test]
+    fn forward_produces_logits_and_q_in_range() {
+        let mut net = small_two_head(10);
+        let mut rng = SeededRng::new(2);
+        let x = Tensor::randn(&[4, 3, 12, 12], &mut rng);
+        let out = net.forward(&x, true);
+        assert_eq!(out.logits.shape(), &[4, 10]);
+        assert_eq!(out.q.len(), 4);
+        assert!(out.q.iter().all(|&q| (0.0..=1.0).contains(&q)));
+        assert_eq!(out.predictions().len(), 4);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut net = small_two_head(5);
+        let mut rng = SeededRng::new(3);
+        let x = Tensor::randn(&[3, 3, 12, 12], &mut rng);
+        let out = net.forward(&x, false);
+        let probs = out.probabilities();
+        for i in 0..3 {
+            assert!((probs.row(i).sum() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn predictor_head_overhead_is_tiny() {
+        let net = small_two_head(10);
+        let overhead = net.predictor_head_flops() as f64 / net.flops() as f64;
+        assert!(
+            overhead < 0.02,
+            "predictor head should add <2% FLOPs, added {:.3}%",
+            overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn param_count_exceeds_plain_little_model() {
+        let mut rng = SeededRng::new(4);
+        let mut plain =
+            ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10).build(&mut rng);
+        let plain_params = plain.param_count();
+        let mut net = small_two_head(10);
+        // The two-head net adds exactly feature_dim + 1 parameters (Dense(feature_dim, 1)).
+        assert_eq!(net.param_count(), plain_params + net.feature_dim() + 1);
+    }
+
+    #[test]
+    fn backward_accumulates_gradients_in_all_parts() {
+        let mut net = small_two_head(4);
+        let mut rng = SeededRng::new(5);
+        let x = Tensor::randn(&[2, 3, 12, 12], &mut rng);
+        let out = net.forward(&x, true);
+        let grad_logits = Tensor::ones(out.logits.shape());
+        let grad_q = Tensor::ones(&[2, 1]);
+        net.backward(&grad_logits, &grad_q);
+        let any_nonzero = net
+            .params_mut()
+            .iter()
+            .filter(|p| p.grad.norm_sq() > 0.0)
+            .count();
+        assert!(any_nonzero >= 3, "gradients should reach most parameters");
+        net.zero_grad();
+        assert!(net.params_mut().iter().all(|p| p.grad.norm_sq() == 0.0));
+    }
+
+    #[test]
+    fn evaluate_matches_single_batch_forward() {
+        let mut net = small_two_head(6);
+        let mut rng = SeededRng::new(6);
+        let x = Tensor::randn(&[7, 3, 12, 12], &mut rng);
+        let full = net.forward(&x, false);
+        let batched = net.evaluate(&x, 3);
+        assert!(full.logits.max_abs_diff(&batched.logits) < 1e-4);
+        for (a, b) in full.q.iter().zip(batched.q.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn flops_close_to_plain_little_model() {
+        let mut rng = SeededRng::new(7);
+        let plain = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10).build(&mut rng);
+        let plain_flops = plain.total_flops();
+        let net = small_two_head(10);
+        let ratio = net.flops() as f64 / plain_flops as f64;
+        assert!(ratio < 1.02, "two-head FLOPs should be within 2% of the plain model");
+    }
+}

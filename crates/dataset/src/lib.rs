@@ -1,0 +1,44 @@
+//! # appeal-dataset
+//!
+//! Synthetic long-tail image-classification datasets for the AppealNet
+//! reproduction.
+//!
+//! The paper evaluates on GTSRB, CIFAR-10, CIFAR-100 and Tiny-ImageNet. Those
+//! datasets are not available in this offline environment, so this crate
+//! generates *synthetic* classification problems that preserve the property
+//! AppealNet exploits: the bulk of the distribution is "easy" (a small model
+//! classifies it correctly) while a long tail of "difficult" inputs — heavy
+//! noise, occlusions, class mixtures — requires a larger model.
+//!
+//! Each named preset ([`presets::DatasetPreset`]) mirrors one of the paper's
+//! datasets in class count and relative difficulty, at a reduced resolution
+//! and sample count so the full experiment suite runs on a CPU in minutes.
+//!
+//! # Example
+//!
+//! ```
+//! use appeal_dataset::prelude::*;
+//!
+//! let spec = DatasetPreset::Cifar10Like.spec(Fidelity::Smoke);
+//! let pair = spec.generate();
+//! assert_eq!(pair.train.num_classes(), 10);
+//! assert!(pair.test.len() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+pub mod presets;
+pub mod synth;
+
+pub use dataset::{Batch, Dataset};
+pub use presets::{DatasetPreset, Fidelity};
+pub use synth::{DatasetPair, SynthSpec};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::dataset::{Batch, Dataset};
+    pub use crate::presets::{DatasetPreset, Fidelity};
+    pub use crate::synth::{DatasetPair, SynthSpec};
+}

@@ -1,0 +1,130 @@
+//! Compute device specifications.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A compute device (edge or cloud) described by throughput, energy
+/// efficiency and memory capacity.
+///
+/// The numbers in the presets are order-of-magnitude figures for the three
+/// device classes the paper targets (IoT microcontroller, mobile SoC, cloud
+/// GPU); they drive the *relative* cost comparisons, which is what the
+/// paper's evaluation reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Sustained throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Energy per floating-point operation, in picojoules.
+    pub energy_per_flop_pj: f64,
+    /// Memory available for model parameters, in kilobytes.
+    pub memory_kb: u64,
+}
+
+impl DeviceSpec {
+    /// Creates a custom device specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any numeric field is not positive.
+    pub fn new(name: impl Into<String>, peak_gflops: f64, energy_per_flop_pj: f64, memory_kb: u64) -> Self {
+        assert!(peak_gflops > 0.0, "peak_gflops must be positive");
+        assert!(energy_per_flop_pj > 0.0, "energy_per_flop_pj must be positive");
+        assert!(memory_kb > 0, "memory_kb must be positive");
+        Self {
+            name: name.into(),
+            peak_gflops,
+            energy_per_flop_pj,
+            memory_kb,
+        }
+    }
+
+    /// A resource-starved IoT microcontroller (Cortex-M class).
+    pub fn edge_mcu() -> Self {
+        Self::new("edge-mcu", 0.5, 120.0, 512)
+    }
+
+    /// A mobile system-on-chip (smartphone / robot vacuum class).
+    pub fn mobile_soc() -> Self {
+        Self::new("mobile-soc", 20.0, 30.0, 64 * 1024)
+    }
+
+    /// A cloud GPU accelerator.
+    pub fn cloud_gpu() -> Self {
+        Self::new("cloud-gpu", 10_000.0, 8.0, 16 * 1024 * 1024)
+    }
+
+    /// Time to execute `flops` floating-point operations, in milliseconds.
+    pub fn latency_ms(&self, flops: u64) -> f64 {
+        flops as f64 / (self.peak_gflops * 1e9) * 1e3
+    }
+
+    /// Energy to execute `flops` floating-point operations, in millijoules.
+    pub fn energy_mj(&self, flops: u64) -> f64 {
+        flops as f64 * self.energy_per_flop_pj * 1e-12 * 1e3
+    }
+
+    /// Whether a model with `params` f32 parameters fits in device memory.
+    pub fn fits(&self, params: u64) -> bool {
+        params * 4 <= self.memory_kb * 1024
+    }
+}
+
+impl fmt::Display for DeviceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} GFLOP/s, {} pJ/FLOP, {} kB)",
+            self.name, self.peak_gflops, self.energy_per_flop_pj, self.memory_kb
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_capability() {
+        let mcu = DeviceSpec::edge_mcu();
+        let soc = DeviceSpec::mobile_soc();
+        let gpu = DeviceSpec::cloud_gpu();
+        assert!(mcu.peak_gflops < soc.peak_gflops);
+        assert!(soc.peak_gflops < gpu.peak_gflops);
+        assert!(mcu.energy_per_flop_pj > gpu.energy_per_flop_pj);
+        assert!(mcu.memory_kb < gpu.memory_kb);
+    }
+
+    #[test]
+    fn latency_and_energy_scale_linearly_with_flops() {
+        let dev = DeviceSpec::mobile_soc();
+        assert!((dev.latency_ms(2_000_000) - 2.0 * dev.latency_ms(1_000_000)).abs() < 1e-9);
+        assert!((dev.energy_mj(2_000_000) - 2.0 * dev.energy_mj(1_000_000)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_latency_value() {
+        // 20 GFLOP/s device, 20 MFLOPs of work -> 1 ms.
+        let dev = DeviceSpec::mobile_soc();
+        assert!((dev.latency_ms(20_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_fit_check() {
+        let mcu = DeviceSpec::edge_mcu();
+        assert!(mcu.fits(100_000)); // 400 kB
+        assert!(!mcu.fits(1_000_000)); // 4 MB
+    }
+
+    #[test]
+    #[should_panic(expected = "peak_gflops must be positive")]
+    fn rejects_nonpositive_throughput() {
+        let _ = DeviceSpec::new("bad", 0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(DeviceSpec::cloud_gpu().to_string().contains("cloud-gpu"));
+    }
+}

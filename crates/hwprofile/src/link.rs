@@ -1,0 +1,113 @@
+//! Edge-to-cloud communication link specifications.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A wireless (or wired) uplink between the edge device and the cloud.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Human-readable link name.
+    pub name: String,
+    /// Sustained throughput in megabits per second.
+    pub bandwidth_mbps: f64,
+    /// Transmission energy per byte, in nanojoules.
+    pub energy_per_byte_nj: f64,
+    /// Round-trip time in milliseconds.
+    pub rtt_ms: f64,
+}
+
+impl LinkSpec {
+    /// Creates a custom link specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidth or energy is not positive, or RTT is negative.
+    pub fn new(
+        name: impl Into<String>,
+        bandwidth_mbps: f64,
+        energy_per_byte_nj: f64,
+        rtt_ms: f64,
+    ) -> Self {
+        assert!(bandwidth_mbps > 0.0, "bandwidth must be positive");
+        assert!(energy_per_byte_nj > 0.0, "energy per byte must be positive");
+        assert!(rtt_ms >= 0.0, "rtt must be non-negative");
+        Self {
+            name: name.into(),
+            bandwidth_mbps,
+            energy_per_byte_nj,
+            rtt_ms,
+        }
+    }
+
+    /// A home/office Wi-Fi link.
+    pub fn wifi() -> Self {
+        Self::new("wifi", 50.0, 90.0, 10.0)
+    }
+
+    /// A cellular LTE link.
+    pub fn lte() -> Self {
+        Self::new("lte", 10.0, 400.0, 50.0)
+    }
+
+    /// A constrained LPWAN-style link (worst case for offloading).
+    pub fn lpwan() -> Self {
+        Self::new("lpwan", 0.25, 1500.0, 500.0)
+    }
+
+    /// Time to transmit `bytes` one way plus half the round trip, in milliseconds.
+    pub fn latency_ms(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 / (self.bandwidth_mbps * 1e6) * 1e3 + self.rtt_ms / 2.0
+    }
+
+    /// Transmission energy for `bytes`, in millijoules.
+    pub fn energy_mj(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.energy_per_byte_nj * 1e-9 * 1e3
+    }
+}
+
+impl fmt::Display for LinkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} Mbps, {} nJ/B, rtt {} ms)",
+            self.name, self.bandwidth_mbps, self.energy_per_byte_nj, self.rtt_ms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(LinkSpec::wifi().bandwidth_mbps > LinkSpec::lte().bandwidth_mbps);
+        assert!(LinkSpec::lte().bandwidth_mbps > LinkSpec::lpwan().bandwidth_mbps);
+        assert!(LinkSpec::wifi().energy_per_byte_nj < LinkSpec::lpwan().energy_per_byte_nj);
+    }
+
+    #[test]
+    fn latency_includes_rtt() {
+        let link = LinkSpec::wifi();
+        assert!(link.latency_ms(0) >= link.rtt_ms / 2.0);
+        assert!(link.latency_ms(1_000_000) > link.latency_ms(1_000));
+    }
+
+    #[test]
+    fn energy_scales_with_bytes() {
+        let link = LinkSpec::lte();
+        assert!((link.energy_mj(2000) - 2.0 * link.energy_mj(1000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_energy_value() {
+        // 90 nJ per byte * 1e6 bytes = 0.09 J = 90 mJ.
+        assert!((LinkSpec::wifi().energy_mj(1_000_000) - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_zero_bandwidth() {
+        let _ = LinkSpec::new("bad", 0.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # appeal-models
+//!
+//! The model zoo used by the AppealNet reproduction.
+//!
+//! The paper builds its little (edge) networks from three off-the-shelf
+//! efficient CNN families — MobileNet, EfficientNet and ShuffleNet — and uses
+//! ResNet-101 as the big (cloud) network. This crate provides scaled-down
+//! Rust counterparts built from the [`appeal_tensor`] layer library:
+//!
+//! * [`ModelFamily::MobileNetLike`] — depthwise-separable convolutions.
+//! * [`ModelFamily::EfficientNetLike`] — wider standard convolutions with a
+//!   residual stage.
+//! * [`ModelFamily::ShuffleNetLike`] — depthwise + pointwise convolutions
+//!   with channel shuffles.
+//! * [`ModelFamily::ResNetLike`] — the big network: a deep residual CNN with
+//!   roughly 20–30× the little networks' FLOPs, mirroring the
+//!   ResNet-101 : MobileNet ratio in the paper's Table I.
+//!
+//! Every model is split into a *backbone* (feature extractor) and a *head*
+//! (classifier) because AppealNet attaches its predictor head to the shared
+//! backbone. Exact per-layer FLOP accounting is available for the cost model.
+//!
+//! # Example
+//!
+//! ```
+//! use appeal_models::prelude::*;
+//! use appeal_tensor::SeededRng;
+//!
+//! let mut rng = SeededRng::new(0);
+//! let spec = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10);
+//! let model = spec.build(&mut rng);
+//! assert!(model.total_flops() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod cost;
+pub mod zoo;
+
+pub use builder::ClassifierParts;
+pub use cost::ModelCost;
+pub use zoo::{ModelFamily, ModelSpec};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::builder::ClassifierParts;
+    pub use crate::cost::ModelCost;
+    pub use crate::zoo::{ModelFamily, ModelSpec};
+}

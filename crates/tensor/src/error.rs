@@ -1,0 +1,96 @@
+//! Error type shared by the tensor library.
+
+use std::fmt;
+
+/// Error produced by fallible tensor operations.
+///
+/// Most hot-path operations (`matmul`, elementwise arithmetic) panic on shape
+/// mismatch instead, because a mismatch there is a programming error in the
+/// layer implementation rather than a recoverable condition. `TensorError` is
+/// returned by the user-facing constructors and reshaping helpers where the
+/// caller supplies the shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the product of the shape.
+    ShapeDataMismatch {
+        /// Requested shape.
+        shape: Vec<usize>,
+        /// Length of the provided buffer.
+        data_len: usize,
+    },
+    /// A reshape was requested to a shape with a different number of elements.
+    ReshapeMismatch {
+        /// Shape of the existing tensor.
+        from: Vec<usize>,
+        /// Requested new shape.
+        to: Vec<usize>,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Offending axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// A tensor with an empty shape (zero elements) was supplied where data is required.
+    EmptyTensor,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { shape, data_len } => write!(
+                f,
+                "data length {data_len} does not match shape {shape:?} (expected {})",
+                shape.iter().product::<usize>()
+            ),
+            TensorError::ReshapeMismatch { from, to } => write!(
+                f,
+                "cannot reshape tensor of shape {from:?} into {to:?}: element counts differ"
+            ),
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for tensor of rank {rank}")
+            }
+            TensorError::EmptyTensor => write!(f, "operation requires a non-empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_data_mismatch() {
+        let err = TensorError::ShapeDataMismatch {
+            shape: vec![2, 3],
+            data_len: 5,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("data length 5"));
+        assert!(msg.contains("expected 6"));
+    }
+
+    #[test]
+    fn display_reshape_mismatch() {
+        let err = TensorError::ReshapeMismatch {
+            from: vec![2, 2],
+            to: vec![3],
+        };
+        assert!(err.to_string().contains("cannot reshape"));
+    }
+
+    #[test]
+    fn display_axis_out_of_range() {
+        let err = TensorError::AxisOutOfRange { axis: 4, rank: 2 };
+        assert!(err.to_string().contains("axis 4"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,105 @@
+//! Weight initializers.
+//!
+//! All initializers draw from a [`SeededRng`] so that model construction is
+//! reproducible.
+
+use crate::rng::SeededRng;
+use crate::tensor::Tensor;
+
+/// Weight initialization schemes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// Zero initialization (typically used for biases).
+    Zeros,
+    /// Constant initialization.
+    Constant(f32),
+    /// Kaiming / He normal initialization: `N(0, sqrt(2 / fan_in))`.
+    ///
+    /// The default for layers followed by ReLU.
+    KaimingNormal,
+    /// Xavier / Glorot uniform initialization: `U(-a, a)` with
+    /// `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Plain normal with a fixed standard deviation.
+    Normal(f32),
+}
+
+impl Init {
+    /// Materializes a tensor of the given shape.
+    ///
+    /// `fan_in` / `fan_out` are the effective fan values of the layer the
+    /// weights belong to (for convolutions they include the receptive-field
+    /// size).
+    pub fn build(
+        self,
+        shape: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut SeededRng,
+    ) -> Tensor {
+        match self {
+            Init::Zeros => Tensor::zeros(shape),
+            Init::Constant(c) => Tensor::full(shape, c),
+            Init::KaimingNormal => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                Tensor::randn(shape, rng).scale(std)
+            }
+            Init::XavierUniform => {
+                let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                Tensor::rand_uniform(shape, -a, a, rng)
+            }
+            Init::Normal(std) => Tensor::randn(shape, rng).scale(std),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_constant() {
+        let mut rng = SeededRng::new(0);
+        assert_eq!(Init::Zeros.build(&[3, 3], 3, 3, &mut rng).sum(), 0.0);
+        assert_eq!(
+            Init::Constant(2.0).build(&[2, 2], 2, 2, &mut rng).sum(),
+            8.0
+        );
+    }
+
+    #[test]
+    fn kaiming_scale_tracks_fan_in() {
+        let mut rng = SeededRng::new(1);
+        let wide = Init::KaimingNormal.build(&[1000, 100], 100, 1000, &mut rng);
+        let narrow = Init::KaimingNormal.build(&[1000, 100], 4, 1000, &mut rng);
+        let std_wide = (wide.norm_sq() / wide.len() as f32).sqrt();
+        let std_narrow = (narrow.norm_sq() / narrow.len() as f32).sqrt();
+        assert!(std_narrow > std_wide * 2.0);
+        assert!((std_wide - (2.0f32 / 100.0).sqrt()).abs() < 0.02);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = SeededRng::new(2);
+        let w = Init::XavierUniform.build(&[64, 64], 64, 64, &mut rng);
+        let a = (6.0f32 / 128.0).sqrt();
+        assert!(w.data().iter().all(|&x| x >= -a && x < a));
+    }
+
+    #[test]
+    fn normal_std_respected() {
+        let mut rng = SeededRng::new(3);
+        let w = Init::Normal(0.01).build(&[1000, 10], 10, 1000, &mut rng);
+        let std = (w.norm_sq() / w.len() as f32).sqrt();
+        assert!((std - 0.01).abs() < 0.002);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        let wa = Init::KaimingNormal.build(&[4, 4], 4, 4, &mut a);
+        let wb = Init::KaimingNormal.build(&[4, 4], 4, 4, &mut b);
+        assert_eq!(wa, wb);
+    }
+}

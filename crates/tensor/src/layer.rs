@@ -1,0 +1,109 @@
+//! The [`Layer`] abstraction and trainable [`Param`]eters.
+//!
+//! Rather than a tape-based autograd engine, this library uses explicit
+//! layer-local backward passes (the classic "caffe-style" design): each layer
+//! caches whatever it needs during `forward` and produces the gradient with
+//! respect to its input during `backward`, accumulating gradients of its own
+//! parameters along the way. This is simpler, easy to verify with numerical
+//! gradient checks (see [`crate::gradcheck`]) and entirely sufficient for the
+//! feed-forward architectures used by AppealNet.
+
+use crate::tensor::Tensor;
+
+/// A trainable parameter: value plus accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value of the parameter.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass(es).
+    pub grad: Tensor,
+    /// Human-readable name, used in debugging output.
+    pub name: String,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient of the same shape.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self {
+            value,
+            grad,
+            name: name.into(),
+        }
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Number of scalar values in the parameter.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Returns `true` if the parameter holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A neural-network layer with explicit forward and backward passes.
+///
+/// Layers are stateful: `forward` caches activations needed by `backward`,
+/// and `backward` must be called with the gradient of the loss with respect
+/// to the most recent `forward` output.
+pub trait Layer: Send {
+    /// Runs the layer on a batch.
+    ///
+    /// `train` toggles training-time behaviour (dropout masks, batch-norm
+    /// batch statistics vs. running statistics).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagates `grad_output` (gradient w.r.t. the last forward output)
+    /// and returns the gradient w.r.t. the last forward input. Parameter
+    /// gradients are accumulated into the layer's [`Param`]s.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Mutable access to this layer's parameters (empty for stateless layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Shape produced by `forward` for a given input shape (excluding the batch dimension).
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize>;
+
+    /// Number of multiply-accumulate-equivalent floating point operations for
+    /// one input sample of the given (batch-less) shape.
+    fn flops(&self, input_shape: &[usize]) -> u64;
+
+    /// Short layer name used in summaries.
+    fn name(&self) -> &'static str;
+
+    /// Total number of trainable scalars in this layer.
+    fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_new_zeroes_grad() {
+        let p = Param::new("w", Tensor::ones(&[2, 2]));
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.name, "w");
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut p = Param::new("b", Tensor::ones(&[3]));
+        p.grad = Tensor::full(&[3], 5.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

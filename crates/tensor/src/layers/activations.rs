@@ -1,0 +1,148 @@
+//! Elementwise activation layers.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Rectified linear unit: `y = max(0, x)`.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation layer.
+    pub fn new() -> Self {
+        Self { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
+        input.map(|x| x.max(0.0))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        assert_eq!(mask.len(), grad_output.len(), "ReLU grad shape mismatch");
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_output.shape()).expect("shape preserved")
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+
+    fn flops(&self, input_shape: &[usize]) -> u64 {
+        input_shape.iter().product::<usize>() as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "Relu"
+    }
+}
+
+/// Logistic sigmoid: `y = 1 / (1 + exp(-x))`.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation layer.
+    pub fn new() -> Self {
+        Self { output: None }
+    }
+
+    /// The sigmoid function applied to a scalar.
+    pub fn apply(x: f32) -> f32 {
+        if x >= 0.0 {
+            1.0 / (1.0 + (-x).exp())
+        } else {
+            let e = x.exp();
+            e / (1.0 + e)
+        }
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let out = input.map(Sigmoid::apply);
+        self.output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let out = self.output.as_ref().expect("backward before forward");
+        grad_output.zip(out, |g, y| g * y * (1.0 - y))
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+
+    fn flops(&self, input_shape: &[usize]) -> u64 {
+        4 * input_shape.iter().product::<usize>() as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "Sigmoid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn relu_clamps_negative() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        let y = relu.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 3.0], &[2]).unwrap();
+        relu.forward(&x, true);
+        let g = relu.backward(&Tensor::ones(&[2]));
+        assert_eq!(g.data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_vec(vec![-50.0, 0.0, 50.0], &[3]).unwrap();
+        let y = s.forward(&x, true);
+        assert!(y.data()[0] < 1e-6);
+        assert!((y.data()[1] - 0.5).abs() < 1e-6);
+        assert!(y.data()[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_numerically_stable_for_large_negative() {
+        assert!(Sigmoid::apply(-1000.0).is_finite());
+        assert!(Sigmoid::apply(1000.0).is_finite());
+    }
+
+    #[test]
+    fn relu_gradcheck() {
+        let mut rng = SeededRng::new(7);
+        check_layer_gradients(Box::new(Relu::new()), &[3, 5], 1e-2, &mut rng);
+    }
+
+    #[test]
+    fn sigmoid_gradcheck() {
+        let mut rng = SeededRng::new(8);
+        check_layer_gradients(Box::new(Sigmoid::new()), &[3, 5], 1e-2, &mut rng);
+    }
+}

@@ -1,0 +1,481 @@
+//! 2-D convolution layers (standard and depthwise), NCHW layout.
+
+use crate::init::Init;
+use crate::layer::{Layer, Param};
+use crate::rng::SeededRng;
+use crate::tensor::Tensor;
+
+fn conv_output_hw(h: usize, w: usize, kernel: usize, stride: usize, padding: usize) -> (usize, usize) {
+    let oh = (h + 2 * padding - kernel) / stride + 1;
+    let ow = (w + 2 * padding - kernel) / stride + 1;
+    (oh, ow)
+}
+
+/// Standard 2-D convolution over NCHW tensors.
+///
+/// Weights have shape `[out_channels, in_channels, k, k]`; biases `[out_channels]`.
+///
+/// # Example
+///
+/// ```
+/// use appeal_tensor::prelude::*;
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+/// let x = Tensor::randn(&[2, 3, 8, 8], &mut rng);
+/// let y = conv.forward(&x, true);
+/// assert_eq!(y.shape(), &[2, 8, 8, 8]);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let weight = Init::KaimingNormal.build(
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            fan_out,
+            rng,
+        );
+        Self {
+            weight: Param::new("conv.weight", weight),
+            bias: Param::new("conv.bias", Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            cached_input: None,
+        }
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    fn check_input(&self, input: &Tensor) {
+        assert_eq!(input.rank(), 4, "Conv2d expects NCHW input");
+        assert_eq!(
+            input.shape()[1],
+            self.in_channels,
+            "Conv2d channel mismatch"
+        );
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.check_input(input);
+        self.cached_input = Some(input.clone());
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let k = self.kernel;
+        let (oh, ow) = conv_output_hw(h, w, k, self.stride, self.padding);
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        let x = input.data();
+        let wgt = self.weight.value.data();
+        let bias = self.bias.value.data();
+        let odata = out.data_mut();
+        for b in 0..n {
+            for oc in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias[oc];
+                        for ic in 0..c {
+                            for ky in 0..k {
+                                let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix =
+                                        (ox * self.stride + kx) as isize - self.padding as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = ((b * c + ic) * h + iy as usize) * w + ix as usize;
+                                    let wi = ((oc * c + ic) * k + ky) * k + kx;
+                                    acc += x[xi] * wgt[wi];
+                                }
+                            }
+                        }
+                        odata[((b * self.out_channels + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let k = self.kernel;
+        let (oh, ow) = conv_output_hw(h, w, k, self.stride, self.padding);
+        assert_eq!(
+            grad_output.shape(),
+            &[n, self.out_channels, oh, ow],
+            "Conv2d backward shape mismatch"
+        );
+        let mut grad_input = Tensor::zeros(input.shape());
+        let x = input.data();
+        let wgt = self.weight.value.data();
+        let go = grad_output.data();
+        let gw = self.weight.grad.data_mut();
+        let gb = self.bias.grad.data_mut();
+        let gi = grad_input.data_mut();
+        for b in 0..n {
+            for oc in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go[((b * self.out_channels + oc) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[oc] += g;
+                        for ic in 0..c {
+                            for ky in 0..k {
+                                let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix =
+                                        (ox * self.stride + kx) as isize - self.padding as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = ((b * c + ic) * h + iy as usize) * w + ix as usize;
+                                    let wi = ((oc * c + ic) * k + ky) * k + kx;
+                                    gw[wi] += g * x[xi];
+                                    gi[xi] += g * wgt[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let (h, w) = (input_shape[1], input_shape[2]);
+        let (oh, ow) = conv_output_hw(h, w, self.kernel, self.stride, self.padding);
+        vec![self.out_channels, oh, ow]
+    }
+
+    fn flops(&self, input_shape: &[usize]) -> u64 {
+        let (h, w) = (input_shape[1], input_shape[2]);
+        let (oh, ow) = conv_output_hw(h, w, self.kernel, self.stride, self.padding);
+        // 2 FLOPs per MAC, over out_c * oh * ow output positions each summing
+        // in_c * k * k products, plus the bias add.
+        let macs = self.out_channels * oh * ow * self.in_channels * self.kernel * self.kernel;
+        (2 * macs + self.out_channels * oh * ow) as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+/// Depthwise 2-D convolution: each input channel is convolved with its own
+/// single-channel kernel (the building block of MobileNet-style models).
+#[derive(Debug)]
+pub struct DepthwiseConv2d {
+    weight: Param,
+    bias: Param,
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise convolution with Kaiming-normal weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        let fan_in = kernel * kernel;
+        let weight = Init::KaimingNormal.build(
+            &[channels, kernel, kernel],
+            fan_in,
+            fan_in,
+            rng,
+        );
+        Self {
+            weight: Param::new("dwconv.weight", weight),
+            bias: Param::new("dwconv.bias", Tensor::zeros(&[channels])),
+            channels,
+            kernel,
+            stride,
+            padding,
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "DepthwiseConv2d expects NCHW input");
+        assert_eq!(input.shape()[1], self.channels, "channel mismatch");
+        self.cached_input = Some(input.clone());
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let k = self.kernel;
+        let (oh, ow) = conv_output_hw(h, w, k, self.stride, self.padding);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let x = input.data();
+        let wgt = self.weight.value.data();
+        let bias = self.bias.value.data();
+        let odata = out.data_mut();
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias[ch];
+                        for ky in 0..k {
+                            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xi = ((b * c + ch) * h + iy as usize) * w + ix as usize;
+                                let wi = (ch * k + ky) * k + kx;
+                                acc += x[xi] * wgt[wi];
+                            }
+                        }
+                        odata[((b * c + ch) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let k = self.kernel;
+        let (oh, ow) = conv_output_hw(h, w, k, self.stride, self.padding);
+        let mut grad_input = Tensor::zeros(input.shape());
+        let x = input.data();
+        let wgt = self.weight.value.data();
+        let go = grad_output.data();
+        let gw = self.weight.grad.data_mut();
+        let gb = self.bias.grad.data_mut();
+        let gi = grad_input.data_mut();
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go[((b * c + ch) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[ch] += g;
+                        for ky in 0..k {
+                            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xi = ((b * c + ch) * h + iy as usize) * w + ix as usize;
+                                let wi = (ch * k + ky) * k + kx;
+                                gw[wi] += g * x[xi];
+                                gi[xi] += g * wgt[wi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let (h, w) = (input_shape[1], input_shape[2]);
+        let (oh, ow) = conv_output_hw(h, w, self.kernel, self.stride, self.padding);
+        vec![self.channels, oh, ow]
+    }
+
+    fn flops(&self, input_shape: &[usize]) -> u64 {
+        let (h, w) = (input_shape[1], input_shape[2]);
+        let (oh, ow) = conv_output_hw(h, w, self.kernel, self.stride, self.padding);
+        let macs = self.channels * oh * ow * self.kernel * self.kernel;
+        (2 * macs + self.channels * oh * ow) as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "DepthwiseConv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn output_hw_formula() {
+        assert_eq!(conv_output_hw(8, 8, 3, 1, 1), (8, 8));
+        assert_eq!(conv_output_hw(8, 8, 3, 2, 1), (4, 4));
+        assert_eq!(conv_output_hw(7, 7, 3, 1, 0), (5, 5));
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        let mut rng = SeededRng::new(0);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        conv.weight.value = Tensor::ones(&[1, 1, 1, 1]);
+        conv.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::randn(&[1, 1, 4, 4], &mut rng);
+        let y = conv.forward(&x, true);
+        assert!(y.max_abs_diff(&x) < 1e-6);
+    }
+
+    #[test]
+    fn conv_known_values() {
+        // 2x2 input, 2x2 kernel of ones, no padding: output = sum of inputs.
+        let mut rng = SeededRng::new(0);
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, &mut rng);
+        conv.weight.value = Tensor::ones(&[1, 1, 2, 2]);
+        conv.bias.value = Tensor::from_vec(vec![0.5], &[1]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 10.5);
+    }
+
+    #[test]
+    fn conv_stride_and_padding_shapes() {
+        let mut rng = SeededRng::new(1);
+        let mut conv = Conv2d::new(3, 6, 3, 2, 1, &mut rng);
+        let x = Tensor::randn(&[2, 3, 16, 16], &mut rng);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 6, 8, 8]);
+        assert_eq!(conv.output_shape(&[3, 16, 16]), vec![6, 8, 8]);
+    }
+
+    #[test]
+    fn conv_gradcheck() {
+        let mut rng = SeededRng::new(2);
+        let conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        check_layer_gradients(Box::new(conv), &[2, 2, 5, 5], 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn conv_gradcheck_strided() {
+        let mut rng = SeededRng::new(3);
+        let conv = Conv2d::new(2, 2, 3, 2, 1, &mut rng);
+        check_layer_gradients(Box::new(conv), &[1, 2, 6, 6], 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn depthwise_preserves_channels() {
+        let mut rng = SeededRng::new(4);
+        let mut dw = DepthwiseConv2d::new(5, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[2, 5, 8, 8], &mut rng);
+        let y = dw.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 5, 8, 8]);
+    }
+
+    #[test]
+    fn depthwise_gradcheck() {
+        let mut rng = SeededRng::new(5);
+        let dw = DepthwiseConv2d::new(3, 3, 1, 1, &mut rng);
+        check_layer_gradients(Box::new(dw), &[2, 3, 5, 5], 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn depthwise_flops_less_than_full_conv() {
+        let mut rng = SeededRng::new(6);
+        let conv = Conv2d::new(16, 16, 3, 1, 1, &mut rng);
+        let dw = DepthwiseConv2d::new(16, 3, 1, 1, &mut rng);
+        assert!(dw.flops(&[16, 8, 8]) < conv.flops(&[16, 8, 8]) / 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn conv_rejects_wrong_channels() {
+        let mut rng = SeededRng::new(7);
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros(&[1, 2, 8, 8]);
+        let _ = conv.forward(&x, true);
+    }
+}

@@ -1,0 +1,139 @@
+//! Inverted dropout.
+
+use crate::layer::Layer;
+use crate::rng::SeededRng;
+use crate::tensor::Tensor;
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and the survivors are scaled by `1/(1-p)`; at evaluation
+/// time the layer is the identity.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: SeededRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(p: f32, rng: &mut SeededRng) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Self {
+            p,
+            rng: rng.split(),
+            mask: None,
+        }
+    }
+
+    /// The configured drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| if self.rng.bernoulli(keep) { scale } else { 0.0 })
+            .collect();
+        let data = input
+            .data()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&x, &m)| x * m)
+            .collect();
+        self.mask = Some(mask);
+        Tensor::from_vec(data, input.shape()).expect("shape preserved")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        match &self.mask {
+            None => grad_output.clone(),
+            Some(mask) => {
+                let data = grad_output
+                    .data()
+                    .iter()
+                    .zip(mask.iter())
+                    .map(|(&g, &m)| g * m)
+                    .collect();
+                Tensor::from_vec(data, grad_output.shape()).expect("shape preserved")
+            }
+        }
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+
+    fn flops(&self, input_shape: &[usize]) -> u64 {
+        input_shape.iter().product::<usize>() as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut rng = SeededRng::new(0);
+        let mut d = Dropout::new(0.5, &mut rng);
+        let x = Tensor::randn(&[4, 4], &mut rng);
+        let y = d.forward(&x, false);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn train_mode_zeroes_roughly_p_fraction() {
+        let mut rng = SeededRng::new(1);
+        let mut d = Dropout::new(0.3, &mut rng);
+        let x = Tensor::ones(&[100, 100]);
+        let y = d.forward(&x, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "zero fraction {frac}");
+    }
+
+    #[test]
+    fn expectation_is_preserved() {
+        let mut rng = SeededRng::new(2);
+        let mut d = Dropout::new(0.4, &mut rng);
+        let x = Tensor::ones(&[200, 200]);
+        let y = d.forward(&x, true);
+        assert!((y.mean() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let mut rng = SeededRng::new(3);
+        let mut d = Dropout::new(0.5, &mut rng);
+        let x = Tensor::ones(&[10, 10]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones(&[10, 10]));
+        // Gradient must be zero exactly where the activation was dropped.
+        for (a, b) in y.data().iter().zip(g.data().iter()) {
+            assert_eq!(*a == 0.0, *b == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in")]
+    fn rejects_invalid_probability() {
+        let mut rng = SeededRng::new(4);
+        let _ = Dropout::new(1.0, &mut rng);
+    }
+}

@@ -1,0 +1,161 @@
+//! Additional elementwise activations (tanh, leaky ReLU).
+//!
+//! These are not used by the default AppealNet model zoo but are part of the
+//! layer library so downstream users can build their own little/big
+//! architectures with the activation functions common in efficient CNNs.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Hyperbolic tangent activation.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation layer.
+    pub fn new() -> Self {
+        Self { output: None }
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let out = input.map(f32::tanh);
+        self.output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let out = self.output.as_ref().expect("backward before forward");
+        grad_output.zip(out, |g, y| g * (1.0 - y * y))
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+
+    fn flops(&self, input_shape: &[usize]) -> u64 {
+        4 * input_shape.iter().product::<usize>() as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "Tanh"
+    }
+}
+
+/// Leaky ReLU: `y = x` for `x > 0`, `y = slope·x` otherwise.
+#[derive(Debug)]
+pub struct LeakyRelu {
+    slope: f32,
+    mask: Option<Vec<bool>>,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with the given negative-side slope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slope` is not in `[0, 1)`.
+    pub fn new(slope: f32) -> Self {
+        assert!((0.0..1.0).contains(&slope), "slope must be in [0, 1)");
+        Self { slope, mask: None }
+    }
+
+    /// The configured negative-side slope.
+    pub fn slope(&self) -> f32 {
+        self.slope
+    }
+}
+
+impl Default for LeakyRelu {
+    fn default() -> Self {
+        Self::new(0.01)
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
+        let slope = self.slope;
+        input.map(|x| if x > 0.0 { x } else { slope * x })
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        assert_eq!(mask.len(), grad_output.len(), "grad shape mismatch");
+        let slope = self.slope;
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&g, &m)| if m { g } else { slope * g })
+            .collect();
+        Tensor::from_vec(data, grad_output.shape()).expect("shape preserved")
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+
+    fn flops(&self, input_shape: &[usize]) -> u64 {
+        input_shape.iter().product::<usize>() as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "LeakyRelu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn tanh_saturates_and_is_odd() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_vec(vec![-20.0, 0.0, 20.0], &[3]).unwrap();
+        let y = t.forward(&x, true);
+        assert!((y.data()[0] + 1.0).abs() < 1e-6);
+        assert_eq!(y.data()[1], 0.0);
+        assert!((y.data()[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_gradcheck() {
+        let mut rng = SeededRng::new(1);
+        check_layer_gradients(Box::new(Tanh::new()), &[3, 4], 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn leaky_relu_applies_slope_on_negative_side() {
+        let mut l = LeakyRelu::new(0.1);
+        let x = Tensor::from_vec(vec![-2.0, 3.0], &[2]).unwrap();
+        let y = l.forward(&x, true);
+        assert!((y.data()[0] + 0.2).abs() < 1e-6);
+        assert_eq!(y.data()[1], 3.0);
+        let g = l.backward(&Tensor::ones(&[2]));
+        assert!((g.data()[0] - 0.1).abs() < 1e-6);
+        assert_eq!(g.data()[1], 1.0);
+    }
+
+    #[test]
+    fn leaky_relu_gradcheck() {
+        let mut rng = SeededRng::new(2);
+        check_layer_gradients(Box::new(LeakyRelu::new(0.2)), &[3, 5], 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn leaky_relu_default_slope() {
+        assert!((LeakyRelu::default().slope() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "slope must be in")]
+    fn leaky_relu_rejects_bad_slope() {
+        let _ = LeakyRelu::new(1.5);
+    }
+}

@@ -1,0 +1,67 @@
+//! Flatten layer: collapses all non-batch dimensions.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Reshapes `[n, d1, d2, ...]` into `[n, d1*d2*...]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self { input_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert!(input.rank() >= 2, "Flatten expects at least [batch, ...]");
+        self.input_shape = Some(input.shape().to_vec());
+        let n = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        input.reshape(&[n, rest]).expect("element count unchanged")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape = self.input_shape.as_ref().expect("backward before forward");
+        grad_output.reshape(shape).expect("element count unchanged")
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape.iter().product()]
+    }
+
+    fn flops(&self, _input_shape: &[usize]) -> u64 {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut rng = SeededRng::new(0);
+        let mut flatten = Flatten::new();
+        let x = Tensor::randn(&[2, 3, 4, 5], &mut rng);
+        let y = flatten.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 60]);
+        let g = flatten.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn flatten_has_zero_flops() {
+        assert_eq!(Flatten::new().flops(&[3, 4, 4]), 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Loss functions.
+//!
+//! The AppealNet joint objective (paper Eq. 9 / Eq. 10) needs *per-sample*
+//! cross-entropy values and the ability to weight each sample's gradient by
+//! its predictor output `q(1|x)`, so both losses here expose per-sample
+//! results in addition to the batch mean.
+
+use crate::layers::Sigmoid;
+use crate::tensor::Tensor;
+
+/// Numerically stable log-softmax of one row of logits.
+fn log_softmax_row(row: &[f32]) -> Vec<f32> {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+    row.iter().map(|&x| x - max - log_sum).collect()
+}
+
+/// Softmax cross-entropy between logits `[n, k]` and integer class labels.
+///
+/// # Example
+///
+/// ```
+/// use appeal_tensor::prelude::*;
+///
+/// # fn main() -> Result<(), appeal_tensor::TensorError> {
+/// let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 0.0, 3.0, 0.0], &[2, 3])?;
+/// let loss = SoftmaxCrossEntropy::new();
+/// let per_sample = loss.per_sample(&logits, &[0, 1]);
+/// assert!(per_sample[0] < 1.0 && per_sample[1] < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Softmax probabilities for each row of `logits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not rank 2.
+    pub fn probabilities(&self, logits: &Tensor) -> Tensor {
+        assert_eq!(logits.rank(), 2, "logits must be [batch, classes]");
+        let (n, k) = (logits.shape()[0], logits.shape()[1]);
+        let mut out = Tensor::zeros(&[n, k]);
+        for i in 0..n {
+            let ls = log_softmax_row(logits.row(i).data());
+            for j in 0..k {
+                out.data_mut()[i * k + j] = ls[j].exp();
+            }
+        }
+        out
+    }
+
+    /// Per-sample cross-entropy losses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent or a label is out of range.
+    pub fn per_sample(&self, logits: &Tensor, labels: &[usize]) -> Vec<f32> {
+        assert_eq!(logits.rank(), 2, "logits must be [batch, classes]");
+        let (n, k) = (logits.shape()[0], logits.shape()[1]);
+        assert_eq!(labels.len(), n, "label count must match batch size");
+        (0..n)
+            .map(|i| {
+                let y = labels[i];
+                assert!(y < k, "label {y} out of range for {k} classes");
+                -log_softmax_row(logits.row(i).data())[y]
+            })
+            .collect()
+    }
+
+    /// Mean cross-entropy over the batch.
+    pub fn mean(&self, logits: &Tensor, labels: &[usize]) -> f32 {
+        let per = self.per_sample(logits, labels);
+        per.iter().sum::<f32>() / per.len().max(1) as f32
+    }
+
+    /// Gradient of `sum_i w_i * CE_i / n` with respect to the logits, where
+    /// `w_i` is a per-sample weight (all ones recovers the ordinary mean CE
+    /// gradient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight or label counts do not match the batch size.
+    pub fn grad_weighted(&self, logits: &Tensor, labels: &[usize], weights: &[f32]) -> Tensor {
+        assert_eq!(logits.rank(), 2, "logits must be [batch, classes]");
+        let (n, k) = (logits.shape()[0], logits.shape()[1]);
+        assert_eq!(labels.len(), n, "label count must match batch size");
+        assert_eq!(weights.len(), n, "weight count must match batch size");
+        let probs = self.probabilities(logits);
+        let mut grad = Tensor::zeros(&[n, k]);
+        let scale = 1.0 / n as f32;
+        for i in 0..n {
+            let w = weights[i] * scale;
+            for j in 0..k {
+                let indicator = if j == labels[i] { 1.0 } else { 0.0 };
+                grad.data_mut()[i * k + j] = w * (probs.data()[i * k + j] - indicator);
+            }
+        }
+        grad
+    }
+
+    /// Gradient of the ordinary mean cross-entropy.
+    pub fn grad(&self, logits: &Tensor, labels: &[usize]) -> Tensor {
+        self.grad_weighted(logits, labels, &vec![1.0; labels.len()])
+    }
+}
+
+/// Binary cross-entropy on raw scores passed through a sigmoid.
+///
+/// Used for auxiliary binary targets (for instance training a post-hoc
+/// "difficulty" classifier baseline in the ablations).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BinaryCrossEntropy;
+
+impl BinaryCrossEntropy {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Per-sample BCE given raw (pre-sigmoid) scores `[n, 1]` or `[n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of scores and targets differ.
+    pub fn per_sample(&self, scores: &Tensor, targets: &[f32]) -> Vec<f32> {
+        assert_eq!(scores.len(), targets.len(), "score/target count mismatch");
+        scores
+            .data()
+            .iter()
+            .zip(targets.iter())
+            .map(|(&s, &t)| {
+                let p = Sigmoid::apply(s).clamp(1e-7, 1.0 - 1e-7);
+                -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+            })
+            .collect()
+    }
+
+    /// Mean BCE over the batch.
+    pub fn mean(&self, scores: &Tensor, targets: &[f32]) -> f32 {
+        let per = self.per_sample(scores, targets);
+        per.iter().sum::<f32>() / per.len().max(1) as f32
+    }
+
+    /// Gradient of the mean BCE with respect to the raw scores.
+    pub fn grad(&self, scores: &Tensor, targets: &[f32]) -> Tensor {
+        assert_eq!(scores.len(), targets.len(), "score/target count mismatch");
+        let n = targets.len().max(1) as f32;
+        let data = scores
+            .data()
+            .iter()
+            .zip(targets.iter())
+            .map(|(&s, &t)| (Sigmoid::apply(s) - t) / n)
+            .collect();
+        Tensor::from_vec(data, scores.shape()).expect("shape preserved")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut rng = SeededRng::new(0);
+        let logits = Tensor::randn(&[5, 7], &mut rng).scale(3.0);
+        let probs = SoftmaxCrossEntropy::new().probabilities(&logits);
+        for i in 0..5 {
+            let s: f32 = probs.row(i).data().iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_small_loss() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0], &[1, 3]).unwrap();
+        let loss = SoftmaxCrossEntropy::new().mean(&logits, &[0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let loss = SoftmaxCrossEntropy::new().mean(&logits, &[2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stable_for_large_logits() {
+        let logits = Tensor::from_vec(vec![1e4, -1e4], &[1, 2]).unwrap();
+        let loss = SoftmaxCrossEntropy::new().mean(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let mut rng = SeededRng::new(1);
+        let mut logits = Tensor::randn(&[3, 4], &mut rng);
+        let labels = vec![0, 2, 3];
+        let ce = SoftmaxCrossEntropy::new();
+        let grad = ce.grad(&logits, &labels);
+        let eps = 1e-3;
+        for idx in 0..logits.len() {
+            let orig = logits.data()[idx];
+            logits.data_mut()[idx] = orig + eps;
+            let plus = ce.mean(&logits, &labels);
+            logits.data_mut()[idx] = orig - eps;
+            let minus = ce.mean(&logits, &labels);
+            logits.data_mut()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (grad.data()[idx] - numeric).abs() < 1e-3,
+                "idx {idx}: analytic {} numeric {numeric}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_grad_scales_per_sample() {
+        let mut rng = SeededRng::new(2);
+        let logits = Tensor::randn(&[2, 3], &mut rng);
+        let labels = vec![1, 2];
+        let ce = SoftmaxCrossEntropy::new();
+        let g_full = ce.grad_weighted(&logits, &labels, &[1.0, 0.0]);
+        // Second sample's rows must be zero when its weight is zero.
+        assert!(g_full.row(1).norm_sq() == 0.0);
+        assert!(g_full.row(0).norm_sq() > 0.0);
+    }
+
+    #[test]
+    fn per_sample_matches_mean() {
+        let mut rng = SeededRng::new(3);
+        let logits = Tensor::randn(&[6, 5], &mut rng);
+        let labels = vec![0, 1, 2, 3, 4, 0];
+        let ce = SoftmaxCrossEntropy::new();
+        let per = ce.per_sample(&logits, &labels);
+        let mean = ce.mean(&logits, &labels);
+        assert!((per.iter().sum::<f32>() / 6.0 - mean).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 5 out of range")]
+    fn rejects_out_of_range_label() {
+        let logits = Tensor::zeros(&[1, 3]);
+        let _ = SoftmaxCrossEntropy::new().per_sample(&logits, &[5]);
+    }
+
+    #[test]
+    fn bce_known_values() {
+        let bce = BinaryCrossEntropy::new();
+        let scores = Tensor::from_vec(vec![0.0], &[1]).unwrap();
+        let loss = bce.mean(&scores, &[1.0]);
+        assert!((loss - (2.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_grad_matches_finite_difference() {
+        let mut rng = SeededRng::new(4);
+        let mut scores = Tensor::randn(&[5], &mut rng);
+        let targets = vec![1.0, 0.0, 1.0, 0.0, 1.0];
+        let bce = BinaryCrossEntropy::new();
+        let grad = bce.grad(&scores, &targets);
+        let eps = 1e-3;
+        for idx in 0..scores.len() {
+            let orig = scores.data()[idx];
+            scores.data_mut()[idx] = orig + eps;
+            let plus = bce.mean(&scores, &targets);
+            scores.data_mut()[idx] = orig - eps;
+            let minus = bce.mean(&scores, &targets);
+            scores.data_mut()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!((grad.data()[idx] - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_extreme_scores_are_finite() {
+        let bce = BinaryCrossEntropy::new();
+        let scores = Tensor::from_vec(vec![100.0, -100.0], &[2]).unwrap();
+        let losses = bce.per_sample(&scores, &[0.0, 1.0]);
+        assert!(losses.iter().all(|l| l.is_finite()));
+    }
+}

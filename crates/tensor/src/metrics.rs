@@ -1,0 +1,71 @@
+//! Basic classification metrics.
+
+use crate::tensor::Tensor;
+
+/// Fraction of rows of `logits` whose argmax equals the label.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2 or the label count does not match.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.rank(), 2, "logits must be [batch, classes]");
+    assert_eq!(logits.shape()[0], labels.len(), "label count mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.argmax_rows();
+    let correct = preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, y)| p == y)
+        .count();
+    correct as f32 / labels.len() as f32
+}
+
+/// Per-class confusion counts: `counts[actual][predicted]`.
+///
+/// # Panics
+///
+/// Panics if any label or prediction is `>= num_classes`.
+pub fn confusion_matrix(predictions: &[usize], labels: &[usize], num_classes: usize) -> Vec<Vec<u32>> {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut counts = vec![vec![0u32; num_classes]; num_classes];
+    for (&p, &y) in predictions.iter().zip(labels.iter()) {
+        assert!(p < num_classes && y < num_classes, "class index out of range");
+        counts[y][p] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_correct_rows() {
+        let logits = Tensor::from_vec(vec![2.0, 1.0, 0.0, 5.0, 1.0, 9.0], &[3, 2]).unwrap();
+        // argmax per row: 0, 1, 1
+        assert!((accuracy(&logits, &[0, 1, 0]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&logits, &[0, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn empty_batch_gives_zero() {
+        let logits = Tensor::zeros(&[0, 3]);
+        assert_eq!(accuracy(&logits, &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_totals() {
+        let preds = vec![0, 1, 1, 2, 0];
+        let labels = vec![0, 1, 2, 2, 1];
+        let cm = confusion_matrix(&preds, &labels, 3);
+        let total: u32 = cm.iter().flatten().sum();
+        assert_eq!(total, 5);
+        assert_eq!(cm[0][0], 1);
+        assert_eq!(cm[1][1], 1);
+        assert_eq!(cm[2][1], 1);
+        assert_eq!(cm[2][2], 1);
+        assert_eq!(cm[1][0], 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! The hardware-profiler workflow of the paper's Fig. 3: given a device
+//! specification and a pool of efficient DNN candidates, pick the most capable
+//! little model that fits the device, then (in the full flow) augment it with
+//! the predictor head and train it jointly.
+//!
+//! ```text
+//! cargo run --release --example hardware_profiling
+//! ```
+
+use appeal_hw::prelude::*;
+use appeal_models::prelude::*;
+
+fn main() {
+    // The "efficient DNN pool" of Fig. 3: every little family at two widths.
+    let input_shape = [3, 12, 12];
+    let classes = 10;
+    let mut pool = Vec::new();
+    for family in ModelFamily::little_families() {
+        pool.push(ModelSpec::little(family, input_shape, classes).with_width(0.5));
+        pool.push(ModelSpec::little(family, input_shape, classes));
+        pool.push(ModelSpec::little(family, input_shape, classes).with_width(2.0));
+    }
+
+    // Three deployment targets with very different budgets.
+    let targets = [
+        (DeviceSpec::edge_mcu(), 50.0),   // tight memory, generous latency
+        (DeviceSpec::mobile_soc(), 0.05), // plenty of memory, tight latency
+        (DeviceSpec::mobile_soc(), 5.0),  // the comfortable middle ground
+    ];
+
+    for (device, latency_budget_ms) in targets {
+        let profiler = HardwareProfiler::new(device.clone(), latency_budget_ms);
+        println!("device: {device}, latency budget: {latency_budget_ms} ms");
+        println!("  candidate                              MFLOPs   params(k)  latency(ms)  deployable");
+        for decision in profiler.profile_pool(&pool) {
+            println!(
+                "  {:<38} {:>7.3}  {:>9.1}  {:>11.4}  {}",
+                decision.spec.to_string(),
+                decision.cost.mflops(),
+                decision.cost.kparams(),
+                decision.latency_ms,
+                if decision.deployable() { "yes" } else { "no" }
+            );
+        }
+        match profiler.select(&pool) {
+            Some(best) => println!(
+                "  -> selected {} ({:.3} MFLOPs); AppealNet would now add the predictor head\n",
+                best.spec, best.cost.mflops()
+            ),
+            None => println!("  -> no candidate fits this budget\n"),
+        }
+    }
+}

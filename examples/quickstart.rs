@@ -1,0 +1,64 @@
+//! Quickstart: train a small AppealNet system end-to-end on the CIFAR-10-like
+//! preset and inspect the accuracy / cost trade-off it offers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use appeal_dataset::prelude::*;
+use appeal_models::prelude::*;
+use appealnet_core::prelude::*;
+use appealnet_core::scores::ScoreKind;
+
+fn main() {
+    // 1. Pick a dataset preset and an experiment context. `Fidelity::Smoke`
+    //    keeps the example fast; switch to `Fidelity::Paper` for the scale
+    //    used by the benchmark harness.
+    let ctx = ExperimentContext::new(Fidelity::Smoke, 42);
+    println!("Preparing an AppealNet system on {} ...", DatasetPreset::Cifar10Like);
+
+    // 2. Prepare the full pipeline: train the big cloud network, the baseline
+    //    little network, and the jointly trained two-head AppealNet model.
+    let prepared = PreparedExperiment::prepare(
+        DatasetPreset::Cifar10Like,
+        ModelFamily::MobileNetLike,
+        CloudMode::WhiteBox,
+        &ctx,
+    );
+
+    println!(
+        "stand-alone accuracies: little = {:.2}%, AppealNet approximator = {:.2}%, big = {:.2}%",
+        prepared.little_accuracy * 100.0,
+        prepared.appealnet_accuracy * 100.0,
+        prepared.big_accuracy * 100.0
+    );
+    println!(
+        "per-inference cost:      little = {:.3} MFLOPs, big = {:.3} MFLOPs",
+        prepared.little_flops as f64 / 1e6,
+        prepared.big_flops as f64 / 1e6
+    );
+
+    // 3. Explore the accuracy / cost trade-off by moving the threshold δ.
+    let artifacts = prepared.artifacts(ScoreKind::AppealNetQ);
+    println!("\n  SR%   overall acc   cost (MFLOPs)");
+    for sr in [0.70, 0.80, 0.90, 0.95, 1.00] {
+        let m = artifacts.at_skipping_rate(sr);
+        println!(
+            "  {:>3.0}   {:>10.2}%   {:>12.3}",
+            m.skipping_rate * 100.0,
+            m.overall_accuracy * 100.0,
+            m.overall_mflops()
+        );
+    }
+
+    // 4. Pick the cheapest operating point that recovers 90% of the
+    //    little-to-big accuracy gap (a Table I style query).
+    match appealnet_core::tuning::min_cost_for_acci(artifacts, 0.90) {
+        Some(choice) => println!(
+            "\ncheapest operating point with AccI >= 90%: SR = {:.1}%, cost = {:.3} MFLOPs",
+            choice.metrics.skipping_rate * 100.0,
+            choice.metrics.overall_mflops()
+        ),
+        None => println!("\nAccI >= 90% is not reachable at this (smoke) training scale"),
+    }
+}

@@ -1,0 +1,32 @@
+//! # appealnet-suite
+//!
+//! The workspace-level package of the AppealNet reproduction. It hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`); the actual functionality lives in the member crates:
+//!
+//! * [`appeal_tensor`] — tensor / layer / optimizer substrate.
+//! * [`appeal_dataset`] — synthetic long-tail dataset presets.
+//! * [`appeal_models`] — the little/big model zoo with FLOP accounting.
+//! * [`appeal_hw`] — device, link and energy cost models plus the hardware profiler.
+//! * [`appealnet_core`] — the AppealNet two-head architecture, joint training,
+//!   routing scores, metrics and experiment pipelines.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology and results.
+
+pub use appeal_dataset;
+pub use appeal_hw;
+pub use appeal_models;
+pub use appeal_tensor;
+pub use appealnet_core;
+
+/// Version of the reproduction suite.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Cross-crate consistency of the cost accounting: the FLOP counts reported
+//! by the model zoo, the Eq. 15 system cost computed by `appealnet-core`, and
+//! the energy/latency derived by `appeal-hw` must all tell the same story.
+
+use appeal_hw::{DeviceSpec, LinkSpec, SystemModel};
+use appeal_models::{ModelFamily, ModelSpec};
+use appeal_tensor::{Layer, SeededRng, Tensor};
+use appealnet_core::metrics::routed_metrics;
+use appealnet_core::two_head::TwoHeadNet;
+
+#[test]
+fn model_zoo_flops_match_layer_sums() {
+    let mut rng = SeededRng::new(1);
+    for family in ModelFamily::little_families() {
+        let model = ModelSpec::little(family, [3, 12, 12], 10).build(&mut rng);
+        let by_parts = model.backbone.flops(&[3, 12, 12])
+            + model
+                .head
+                .flops(&model.backbone.output_shape(&[3, 12, 12]));
+        assert_eq!(model.total_flops(), by_parts, "{family}");
+    }
+}
+
+#[test]
+fn predictor_head_overhead_is_negligible_for_every_family() {
+    // The paper argues the predictor head adds minimal overhead; verify the
+    // claim for every little family in the zoo.
+    let mut rng = SeededRng::new(2);
+    for family in ModelFamily::little_families() {
+        let parts = ModelSpec::little(family, [3, 12, 12], 10).build(&mut rng);
+        let plain_flops = parts.total_flops();
+        let net = TwoHeadNet::from_parts(parts, &mut rng);
+        let overhead = (net.flops() - plain_flops) as f64 / plain_flops as f64;
+        assert!(
+            overhead < 0.02,
+            "{family}: predictor head adds {:.2}% FLOPs",
+            overhead * 100.0
+        );
+    }
+}
+
+#[test]
+fn eq15_cost_matches_hw_model_expected_flops() {
+    let little = 130_000u64;
+    let big = 3_200_000u64;
+    let n = 100;
+    // Route 80% to the edge.
+    let keep: Vec<bool> = (0..n).map(|i| i % 5 != 0).collect();
+    let correct = vec![true; n];
+    let m = routed_metrics(&keep, &correct, &correct, little, big, 0.5);
+    assert!((m.skipping_rate - 0.8).abs() < 1e-9);
+
+    let hw = SystemModel::typical();
+    let expected = hw.expected_cost(m.skipping_rate, little, big, 1728);
+    assert!(
+        (m.overall_flops - expected.flops as f64).abs() <= 1.0,
+        "core Eq.15 flops {} vs hw model flops {}",
+        m.overall_flops,
+        expected.flops
+    );
+}
+
+#[test]
+fn energy_ordering_follows_flops_ordering_for_same_link() {
+    let hw = SystemModel::new(
+        DeviceSpec::mobile_soc(),
+        DeviceSpec::cloud_gpu(),
+        LinkSpec::wifi(),
+    );
+    let little = 130_000u64;
+    let big = 3_200_000u64;
+    let bytes = 1728;
+    let mut last_energy = -1.0f64;
+    // As the skipping rate drops, both FLOPs and energy must rise.
+    for sr in [1.0, 0.9, 0.7, 0.5, 0.2, 0.0] {
+        let c = hw.expected_cost(sr, little, big, bytes);
+        assert!(c.energy_mj > last_energy);
+        last_energy = c.energy_mj;
+    }
+}
+
+#[test]
+fn measured_forward_flops_scale_with_reported_flops() {
+    // The reported FLOPs are static estimates; verify they at least order the
+    // model families by actual arithmetic work (parameter count is a proxy).
+    let mut rng = SeededRng::new(3);
+    let mut little =
+        ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10).build(&mut rng);
+    let mut big = ModelSpec::big([3, 12, 12], 10).build(&mut rng);
+    assert!(big.total_flops() > 10 * little.total_flops());
+    assert!(big.param_count() > little.param_count());
+    // And both actually run.
+    let x = Tensor::randn(&[2, 3, 12, 12], &mut rng);
+    assert!(little.forward(&x, false).all_finite());
+    assert!(big.forward(&x, false).all_finite());
+}

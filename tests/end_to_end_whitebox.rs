@@ -1,0 +1,111 @@
+//! End-to-end integration test of the white-box pipeline: dataset synthesis →
+//! training (big, little, joint) → routing artifacts → figure/table queries.
+
+use appeal_dataset::{DatasetPreset, Fidelity};
+use appeal_models::ModelFamily;
+use appealnet_core::experiments::{fig4, fig5, table1, ExperimentContext, PreparedExperiment};
+use appealnet_core::loss::CloudMode;
+use appealnet_core::scores::ScoreKind;
+use appealnet_core::tuning::min_cost_for_acci;
+
+fn prepared() -> PreparedExperiment {
+    let ctx = ExperimentContext::new(Fidelity::Smoke, 1234);
+    PreparedExperiment::prepare(
+        DatasetPreset::Cifar10Like,
+        ModelFamily::MobileNetLike,
+        CloudMode::WhiteBox,
+        &ctx,
+    )
+}
+
+#[test]
+fn whitebox_pipeline_produces_consistent_artifacts() {
+    let prepared = prepared();
+
+    // All four score kinds evaluated on the same test set.
+    for kind in ScoreKind::all() {
+        let art = prepared.artifacts(kind);
+        assert_eq!(art.len(), 30, "smoke test split has 30 samples");
+        assert!(art.scores.iter().all(|s| s.is_finite()));
+        // The confidence baselines run the plain little network (no predictor
+        // head), so their per-inference cost may be marginally below the
+        // two-head model's cost but never above it.
+        assert!(art.little_flops <= prepared.little_flops);
+        assert!(art.little_flops as f64 >= prepared.little_flops as f64 * 0.98);
+        assert_eq!(art.big_flops, prepared.big_flops);
+    }
+
+    // Little/big correctness flags must agree across score kinds (they come
+    // from the same little-baseline / big models).
+    let msp = prepared.artifacts(ScoreKind::Msp);
+    let sm = prepared.artifacts(ScoreKind::ScoreMargin);
+    assert_eq!(msp.little_correct, sm.little_correct);
+    assert_eq!(msp.big_correct, sm.big_correct);
+
+    // The cost model (Eq. 15) must interpolate between edge-only and
+    // edge+cloud for every method.
+    let art = prepared.artifacts(ScoreKind::AppealNetQ);
+    let all_edge = art.at_threshold(-1.0);
+    let all_cloud = art.at_threshold(2.0);
+    assert_eq!(all_edge.skipping_rate, 1.0);
+    assert_eq!(all_cloud.skipping_rate, 0.0);
+    assert!(all_edge.overall_flops < all_cloud.overall_flops);
+    let mid = art.at_skipping_rate(0.5);
+    assert!(mid.overall_flops > all_edge.overall_flops);
+    assert!(mid.overall_flops < all_cloud.overall_flops);
+}
+
+#[test]
+fn skipping_rate_is_monotone_in_threshold() {
+    let prepared = prepared();
+    let art = prepared.artifacts(ScoreKind::AppealNetQ);
+    let mut last_sr = f64::INFINITY;
+    for t in art.candidate_thresholds() {
+        let sr = art.at_threshold(t).skipping_rate;
+        assert!(sr <= last_sr + 1e-12, "SR must not increase with threshold");
+        last_sr = sr;
+    }
+}
+
+#[test]
+fn figure_and_table_queries_run_on_the_same_prepared_system() {
+    let prepared = prepared();
+
+    let fig4_result = fig4::run(&prepared, 8);
+    assert_eq!(fig4_result.histograms.len(), 2);
+    for h in &fig4_result.histograms {
+        let total: usize =
+            h.correct_counts.iter().sum::<usize>() + h.incorrect_counts.iter().sum::<usize>();
+        assert_eq!(total, 30);
+    }
+
+    let fig5_result = fig5::run(&prepared);
+    assert_eq!(fig5_result.sweep.series.len(), 4);
+
+    let table1_row = table1::run(&prepared);
+    assert_eq!(table1_row.entries.len(), 4);
+    // Cost targets become monotonically harder: a stricter AccI target can
+    // never be cheaper than a looser one for the same method.
+    let costs: Vec<_> = table1_row
+        .entries
+        .iter()
+        .filter_map(|e| e.appealnet_cost_mflops)
+        .collect();
+    for w in costs.windows(2) {
+        assert!(w[1] + 1e-9 >= w[0], "costs {costs:?} must be non-decreasing");
+    }
+}
+
+#[test]
+fn acci_targets_are_reachable_by_offloading_everything() {
+    // With a trained big network that beats the little one, AccI = 1.0 is
+    // always reachable by appealing every input (threshold above max score).
+    let prepared = prepared();
+    if prepared.big_accuracy > prepared.little_accuracy {
+        for kind in ScoreKind::all() {
+            let art = prepared.artifacts(kind);
+            let choice = min_cost_for_acci(art, 1.0);
+            assert!(choice.is_some(), "{kind} could not reach AccI = 1.0");
+        }
+    }
+}
