@@ -9,7 +9,9 @@ use std::hint::black_box;
 
 fn artifacts(n: usize, kind: ScoreKind, phase: f32) -> EvaluationArtifacts {
     EvaluationArtifacts {
-        scores: (0..n).map(|i| ((i as f32 * 0.13 + phase).sin() + 1.0) / 2.0).collect(),
+        scores: (0..n)
+            .map(|i| ((i as f32 * 0.13 + phase).sin() + 1.0) / 2.0)
+            .collect(),
         little_correct: (0..n).map(|i| i % 5 != 0).collect(),
         big_correct: (0..n).map(|i| i % 23 != 0).collect(),
         hard_flags: vec![false; n],

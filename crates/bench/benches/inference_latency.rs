@@ -5,6 +5,7 @@
 use appeal_hw::SystemModel;
 use appeal_models::{ModelFamily, ModelSpec};
 use appeal_tensor::{SeededRng, Tensor};
+use appealnet_core::parallel::ChunkPolicy;
 use appealnet_core::system::CollaborativeSystem;
 use appealnet_core::two_head::TwoHeadNet;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -36,6 +37,41 @@ fn bench_inference(c: &mut Criterion) {
     group.bench_function("collaborative_routing_16_images", |b| {
         b.iter(|| system.classify(black_box(&batch)))
     });
+
+    // Sequential vs rayon-sharded routing of larger batches: both systems
+    // share one set of trained weights (cloned), so they route identically
+    // and differ only in the batch execution strategy. The parallel path
+    // wins once the batch is big enough to amortize the fan-out (it degrades
+    // to the sequential path on a single-core machine).
+    let little = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10).build(&mut rng);
+    let shared_net = TwoHeadNet::from_parts(little, &mut rng);
+    let shared_big = ModelSpec::big([3, 12, 12], 10).build(&mut rng);
+    for batch_size in [32usize, 64, 128] {
+        let batch = Tensor::randn(&[batch_size, 3, 12, 12], &mut rng);
+        let mut sequential = CollaborativeSystem::with_policy(
+            shared_net.clone(),
+            shared_big.clone(),
+            0.5,
+            SystemModel::typical(),
+            ChunkPolicy::sequential(),
+        );
+        group.bench_function(format!("routing_{batch_size}_images_sequential"), |b| {
+            b.iter(|| sequential.classify(black_box(&batch)))
+        });
+        let mut parallel = CollaborativeSystem::with_policy(
+            shared_net.clone(),
+            shared_big.clone(),
+            0.5,
+            SystemModel::typical(),
+            ChunkPolicy {
+                min_shard: 8,
+                max_shards: rayon::current_num_threads(),
+            },
+        );
+        group.bench_function(format!("routing_{batch_size}_images_rayon"), |b| {
+            b.iter(|| parallel.classify(black_box(&batch)))
+        });
+    }
     group.finish();
 }
 

@@ -9,7 +9,9 @@ use std::hint::black_box;
 
 fn blackbox_artifacts(n: usize) -> EvaluationArtifacts {
     EvaluationArtifacts {
-        scores: (0..n).map(|i| ((i * 104_729) % n) as f32 / n as f32).collect(),
+        scores: (0..n)
+            .map(|i| ((i * 104_729) % n) as f32 / n as f32)
+            .collect(),
         little_correct: (0..n).map(|i| i % 6 != 0).collect(),
         // Oracle cloud: always correct.
         big_correct: vec![true; n],

@@ -25,7 +25,8 @@ fn main() {
     // (Fig. 5, Table I, energy report).
     // ------------------------------------------------------------------
     let mut fig5_text = String::new();
-    let mut table1_text = String::from("Table I — overall computational cost under accuracy-improvement targets\n\n");
+    let mut table1_text =
+        String::from("Table I — overall computational cost under accuracy-improvement targets\n\n");
     let mut energy_text = String::from("Energy report — derived from Table I operating points\n\n");
     let hardware = SystemModel::typical();
 
@@ -70,7 +71,10 @@ fn main() {
     // ------------------------------------------------------------------
     // Fig. 4: EfficientNet little network on CIFAR-10 (white-box), as in the paper.
     // ------------------------------------------------------------------
-    eprintln!("[paper_suite] preparing Fig. 4 (EfficientNet, CIFAR-10) ... ({})", elapsed_secs(start));
+    eprintln!(
+        "[paper_suite] preparing Fig. 4 (EfficientNet, CIFAR-10) ... ({})",
+        elapsed_secs(start)
+    );
     let prepared = PreparedExperiment::prepare(
         DatasetPreset::Cifar10Like,
         ModelFamily::EfficientNetLike,

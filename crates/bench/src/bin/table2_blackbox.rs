@@ -10,8 +10,7 @@ use appealnet_core::loss::CloudMode;
 
 fn main() {
     let ctx = harness_context();
-    let mut text =
-        String::from("Table II — appealing rate of black-box AppealNet on CIFAR-10\n\n");
+    let mut text = String::from("Table II — appealing rate of black-box AppealNet on CIFAR-10\n\n");
     for family in ModelFamily::little_families() {
         let prepared = PreparedExperiment::prepare(
             DatasetPreset::Cifar10Like,

@@ -8,8 +8,8 @@
 //! * **Binaries** (`src/bin/*.rs`) — run the full experiment pipelines
 //!   (dataset generation, training, threshold tuning) and print the same
 //!   rows/series the paper reports. `cargo run --release -p appeal-bench
-//!   --bin paper_suite` regenerates everything in one pass and writes the
-//!   reports consumed by `EXPERIMENTS.md`.
+//!   --bin paper_suite` regenerates everything in one pass and writes text
+//!   reports into the repository's `reports/` directory.
 //! * **Criterion benches** (`benches/*.rs`) — micro-benchmarks of the hot
 //!   paths (inference latency, score computation, sweeps, threshold tuning,
 //!   joint-loss evaluation) at smoke scale so `cargo bench --workspace`

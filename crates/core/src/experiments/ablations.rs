@@ -65,9 +65,7 @@ pub fn beta_sweep(
 
 /// Renders a β-ablation table as text.
 pub fn render_beta_table(rows: &[BetaAblationRow]) -> String {
-    let mut out = String::from(
-        "beta      appeal acc    mean q    acc @ SR=90%    AUROC(q)\n",
-    );
+    let mut out = String::from("beta      appeal acc    mean q    acc @ SR=90%    AUROC(q)\n");
     for r in rows {
         out.push_str(&format!(
             "{:<10.3}{:<14.4}{:<10.4}{:<16.4}{:.4}\n",
@@ -171,10 +169,7 @@ pub fn joint_vs_posthoc(
     let posthoc_scores = sigmoid.forward(&raw, false).data().to_vec();
     let posthoc_art = EvaluationArtifacts {
         scores: posthoc_scores,
-        little_correct: prepared
-            .artifacts(ScoreKind::Msp)
-            .little_correct
-            .clone(),
+        little_correct: prepared.artifacts(ScoreKind::Msp).little_correct.clone(),
         big_correct: prepared.artifacts(ScoreKind::Msp).big_correct.clone(),
         hard_flags: pair.test.hard_flags().to_vec(),
         little_flops: prepared.little_flops,

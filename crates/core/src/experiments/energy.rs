@@ -2,8 +2,8 @@
 //! the `appeal-hw` system model, backing the paper's headline claim of
 //! "up to more than 40% energy savings ... without sacrificing accuracy".
 
-use crate::experiments::PreparedExperiment;
 use crate::experiments::table1::ACCI_TARGETS;
+use crate::experiments::PreparedExperiment;
 use crate::scores::ScoreKind;
 use crate::tuning::min_cost_for_acci;
 use appeal_hw::SystemModel;
@@ -46,10 +46,7 @@ pub struct EnergyReport {
 impl EnergyReport {
     /// Renders the report as text.
     pub fn render_text(&self) -> String {
-        let mut out = format!(
-            "Energy report — {} on {}\n",
-            self.dataset, self.hardware
-        );
+        let mut out = format!("Energy report — {} on {}\n", self.dataset, self.hardware);
         for e in &self.entries {
             let fmt = |v: Option<f64>| match v {
                 Some(x) => format!("{x:.4} mJ"),

@@ -56,10 +56,7 @@ impl Fig4Result {
                 h.kind.name(),
                 h.auroc
             ));
-            out.push_str(&format!(
-                "  {:<10} correct:   {:?}\n",
-                "", h.correct_counts
-            ));
+            out.push_str(&format!("  {:<10} correct:   {:?}\n", "", h.correct_counts));
             out.push_str(&format!(
                 "  {:<10} incorrect: {:?}\n",
                 "", h.incorrect_counts
@@ -82,7 +79,11 @@ pub fn auroc(scores: &[f32], positive: &[bool]) -> f64 {
     }
     // Rank the scores (average ranks for ties).
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("scores must not be NaN"));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .expect("scores must not be NaN")
+    });
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
     while i < order.len() {
@@ -113,10 +114,20 @@ pub fn auroc(scores: &[f32], positive: &[bool]) -> f64 {
 pub fn score_histogram(artifacts: &EvaluationArtifacts, bins: usize) -> ScoreHistogram {
     assert!(bins > 0, "bins must be positive");
     assert!(!artifacts.is_empty(), "no artifacts");
-    let min = artifacts.scores.iter().copied().fold(f32::INFINITY, f32::min) as f64;
-    let max = artifacts.scores.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+    let min = artifacts
+        .scores
+        .iter()
+        .copied()
+        .fold(f32::INFINITY, f32::min) as f64;
+    let max = artifacts
+        .scores
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max) as f64;
     let span = (max - min).max(1e-9);
-    let bin_edges: Vec<f64> = (0..=bins).map(|i| min + span * i as f64 / bins as f64).collect();
+    let bin_edges: Vec<f64> = (0..=bins)
+        .map(|i| min + span * i as f64 / bins as f64)
+        .collect();
     let mut correct_counts = vec![0usize; bins];
     let mut incorrect_counts = vec![0usize; bins];
     for (&s, &c) in artifacts.scores.iter().zip(artifacts.little_correct.iter()) {
@@ -196,8 +207,8 @@ mod tests {
             score_kind: ScoreKind::AppealNetQ,
         };
         let h = score_histogram(&artifacts, 4);
-        let total: usize = h.correct_counts.iter().sum::<usize>()
-            + h.incorrect_counts.iter().sum::<usize>();
+        let total: usize =
+            h.correct_counts.iter().sum::<usize>() + h.incorrect_counts.iter().sum::<usize>();
         assert_eq!(total, 5);
         assert_eq!(h.bin_edges.len(), 5);
         assert!(h.auroc > 0.9);

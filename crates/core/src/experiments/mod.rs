@@ -15,14 +15,17 @@ pub mod table1;
 pub mod table2;
 
 use crate::loss::{AppealLoss, CloudMode};
+use crate::parallel::{self, ChunkPolicy};
 use crate::scores::ScoreKind;
 use crate::system::EvaluationArtifacts;
 use crate::training::{
-    big_model_losses, evaluate_classifier, train_appealnet, train_classifier, TrainerConfig,
+    big_model_losses_with_policy, evaluate_classifier_with_policy, train_appealnet,
+    train_classifier, TrainerConfig,
 };
 use crate::two_head::TwoHeadNet;
 use appeal_dataset::{DatasetPair, DatasetPreset, Fidelity};
 use appeal_models::{ClassifierParts, ModelFamily, ModelSpec};
+use appeal_tensor::loss::SoftmaxCrossEntropy;
 use appeal_tensor::{Layer, SeededRng};
 use serde::{Deserialize, Serialize};
 
@@ -69,12 +72,17 @@ impl ExperimentContext {
     }
 
     /// Trainer configuration for the big cloud network.
+    ///
+    /// Configs carry the full fidelity-appropriate worker budget;
+    /// [`PreparedExperiment::prepare_with_data`] splits it across whichever
+    /// trainers it actually runs concurrently for the chosen [`CloudMode`].
     pub fn big_config(&self) -> TrainerConfig {
         let mut config = match self.fidelity {
             Fidelity::Smoke => TrainerConfig::new(2, 32, 0.08),
             Fidelity::Paper => TrainerConfig::new(6, 48, 0.08),
         };
         config.seed = self.seed ^ 0xB16;
+        config.eval_policy = ChunkPolicy::for_fidelity(self.fidelity);
         config
     }
 
@@ -85,6 +93,7 @@ impl ExperimentContext {
             Fidelity::Paper => TrainerConfig::new(8, 48, 0.08),
         };
         config.seed = self.seed ^ 0x117;
+        config.eval_policy = ChunkPolicy::for_fidelity(self.fidelity);
         config
     }
 
@@ -95,6 +104,7 @@ impl ExperimentContext {
             Fidelity::Paper => TrainerConfig::new(6, 48, 0.04),
         };
         config.seed = self.seed ^ 0x107;
+        config.eval_policy = ChunkPolicy::for_fidelity(self.fidelity);
         config
     }
 
@@ -169,7 +179,11 @@ impl std::fmt::Debug for PreparedExperiment {
         write!(
             f,
             "PreparedExperiment({}, {}, {}, little={:.3}, appeal={:.3}, big={:.3})",
-            self.preset, self.family, self.mode, self.little_accuracy, self.appealnet_accuracy,
+            self.preset,
+            self.family,
+            self.mode,
+            self.little_accuracy,
+            self.appealnet_accuracy,
             self.big_accuracy
         )
     }
@@ -198,6 +212,13 @@ impl PreparedExperiment {
 
     /// Like [`PreparedExperiment::prepare`] but with a caller-provided dataset
     /// pair (lets several experiments share one generated dataset).
+    ///
+    /// Training of the big network and the stand-alone little baseline run on
+    /// separate worker threads (they are independent given their derived RNG
+    /// streams), and the three evaluation passes over the test split — the
+    /// two-head network, the big network and the little baseline — also run
+    /// concurrently, with each pass internally sharded per the fidelity's
+    /// [`ChunkPolicy`]. Results are bit-identical to a sequential run.
     pub fn prepare_with_data(
         preset: DatasetPreset,
         pair: &DatasetPair,
@@ -212,28 +233,66 @@ impl PreparedExperiment {
         let mut big_rng = rng.split();
         let mut little_rng = rng.split();
         let eval_batch = ctx.eval_batch();
+        let policy = ChunkPolicy::for_fidelity(ctx.fidelity);
         let mut training_losses = Vec::new();
 
-        // --- Big (cloud) network ---
-        let mut big = ModelSpec::big(input_shape, num_classes).build(&mut big_rng);
-        let (big_accuracy, big_train_losses) = match mode {
-            CloudMode::WhiteBox => {
-                let report = train_classifier(&mut big, &pair.train, &ctx.big_config());
-                training_losses.push(("big".to_string(), report.epoch_losses.clone()));
-                let acc = evaluate_classifier(&mut big, &pair.test, eval_batch);
-                let losses = big_model_losses(&mut big, &pair.train, eval_batch);
-                (acc, losses)
-            }
-            CloudMode::BlackBox => (1.0, Vec::new()),
-        };
-
-        // --- Stand-alone little network (confidence baselines) ---
+        // --- Big (cloud) network and stand-alone little baseline ---
+        // Their RNG streams are derived up front, so the two training runs
+        // are independent and can proceed in parallel.
         let little_spec = ModelSpec::little(family, input_shape, num_classes);
         let mut init_rng = little_rng.split();
-        let mut baseline = little_spec.build(&mut init_rng);
-        let report = train_classifier(&mut baseline, &pair.train, &ctx.little_config());
-        training_losses.push(("little".to_string(), report.epoch_losses.clone()));
-        let little_accuracy = evaluate_classifier(&mut baseline, &pair.test, eval_batch);
+        // In black-box mode the big branch does no work, so the little
+        // trainer keeps the full worker budget.
+        let train_branches = match mode {
+            CloudMode::WhiteBox => 2,
+            CloudMode::BlackBox => 1,
+        };
+        let (
+            (mut big, big_accuracy, big_train_losses, big_report),
+            (mut baseline, little_accuracy, little_report),
+        ) = rayon::join(
+            || {
+                let mut big = ModelSpec::big(input_shape, num_classes).build(&mut big_rng);
+                match mode {
+                    CloudMode::WhiteBox => {
+                        let mut config = ctx.big_config();
+                        config.eval_policy = config.eval_policy.split_across(train_branches);
+                        let report = train_classifier(&mut big, &pair.train, &config);
+                        let acc = evaluate_classifier_with_policy(
+                            &mut big,
+                            &pair.test,
+                            eval_batch,
+                            &config.eval_policy,
+                        );
+                        let losses = big_model_losses_with_policy(
+                            &mut big,
+                            &pair.train,
+                            eval_batch,
+                            &config.eval_policy,
+                        );
+                        (big, acc, losses, Some(report))
+                    }
+                    CloudMode::BlackBox => (big, 1.0, Vec::new(), None),
+                }
+            },
+            || {
+                let mut baseline = little_spec.build(&mut init_rng);
+                let mut config = ctx.little_config();
+                config.eval_policy = config.eval_policy.split_across(train_branches);
+                let report = train_classifier(&mut baseline, &pair.train, &config);
+                let acc = evaluate_classifier_with_policy(
+                    &mut baseline,
+                    &pair.test,
+                    eval_batch,
+                    &config.eval_policy,
+                );
+                (baseline, acc, report)
+            },
+        );
+        if let Some(report) = big_report {
+            training_losses.push(("big".to_string(), report.epoch_losses));
+        }
+        training_losses.push(("little".to_string(), little_report.epoch_losses));
 
         // --- AppealNet two-head network, initialized from the trained little net ---
         let mut appeal_init_rng = little_rng.split();
@@ -251,41 +310,92 @@ impl PreparedExperiment {
         training_losses.push(("joint".to_string(), report.epoch_losses.clone()));
 
         // --- Evaluation artifacts on the test split ---
+        // Three independent model passes (two-head, big, baseline) run
+        // concurrently; the big network is evaluated once and its correctness
+        // flags shared by all four score kinds (it used to be re-run per
+        // kind), and the baseline's probabilities feed all three confidence
+        // baselines from a single logits pass.
         let test = &pair.test;
         let hard = test.hard_flags();
-        let mut artifacts = Vec::new();
-        let mut appeal_art = EvaluationArtifacts::from_two_head(
-            &mut appealnet,
-            &mut big,
-            test.images(),
-            test.labels(),
-            hard,
-            eval_batch,
+        // The concurrent branches split the worker budget so their combined
+        // thread count stays at the policy's budget; the black-box
+        // big-correctness branch is a constant, so it does not count.
+        let eval_branches = match mode {
+            CloudMode::WhiteBox => 3,
+            CloudMode::BlackBox => 2,
+        };
+        let policy = policy.split_across(eval_branches);
+        let (appeal_out, (big_correct, (baseline_probs, baseline_correct))) = rayon::join(
+            || appealnet.evaluate_with_policy(test.images(), eval_batch, &policy),
+            || {
+                rayon::join(
+                    || match mode {
+                        CloudMode::WhiteBox => parallel::classifier_correctness(
+                            &mut big,
+                            test.images(),
+                            test.labels(),
+                            eval_batch,
+                            &policy,
+                        ),
+                        // Oracle cloud: always correct, no need to run it.
+                        CloudMode::BlackBox => vec![true; test.len()],
+                    },
+                    || {
+                        let logits = parallel::classifier_logits(
+                            &mut baseline,
+                            test.images(),
+                            eval_batch,
+                            &policy,
+                        );
+                        let correct: Vec<bool> = logits
+                            .argmax_rows()
+                            .iter()
+                            .zip(test.labels().iter())
+                            .map(|(p, y)| p == y)
+                            .collect();
+                        (SoftmaxCrossEntropy::new().probabilities(&logits), correct)
+                    },
+                )
+            },
         );
-        let appealnet_accuracy =
-            appeal_art.little_correct.iter().filter(|&&c| c).count() as f64 / test.len() as f64;
-        if mode == CloudMode::BlackBox {
-            appeal_art.big_correct = vec![true; test.len()];
-        }
-        artifacts.push((ScoreKind::AppealNetQ, appeal_art));
-        for kind in ScoreKind::baselines() {
-            let mut art = EvaluationArtifacts::from_confidence_baseline(
-                &mut baseline,
-                &mut big,
-                test.images(),
-                test.labels(),
-                hard,
-                kind,
-                eval_batch,
-            );
-            if mode == CloudMode::BlackBox {
-                art.big_correct = vec![true; test.len()];
-            }
-            artifacts.push((kind, art));
-        }
 
         let little_flops = appealnet.flops();
         let big_flops = big.total_flops();
+        let appeal_little_correct: Vec<bool> = appeal_out
+            .predictions()
+            .iter()
+            .zip(test.labels().iter())
+            .map(|(p, y)| p == y)
+            .collect();
+        let appealnet_accuracy =
+            appeal_little_correct.iter().filter(|&&c| c).count() as f64 / test.len() as f64;
+        let mut artifacts = Vec::new();
+        artifacts.push((
+            ScoreKind::AppealNetQ,
+            EvaluationArtifacts {
+                scores: appeal_out.q,
+                little_correct: appeal_little_correct,
+                big_correct: big_correct.clone(),
+                hard_flags: hard.to_vec(),
+                little_flops,
+                big_flops,
+                score_kind: ScoreKind::AppealNetQ,
+            },
+        ));
+        for kind in ScoreKind::baselines() {
+            artifacts.push((
+                kind,
+                EvaluationArtifacts::from_probabilities(
+                    &baseline_probs,
+                    baseline_correct.clone(),
+                    big_correct.clone(),
+                    hard,
+                    baseline.total_flops(),
+                    big_flops,
+                    kind,
+                ),
+            ));
+        }
         Self {
             preset,
             family,

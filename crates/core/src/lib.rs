@@ -61,6 +61,7 @@
 pub mod experiments;
 pub mod loss;
 pub mod metrics;
+pub mod parallel;
 pub mod scores;
 pub mod sweep;
 pub mod system;
@@ -70,6 +71,7 @@ pub mod two_head;
 
 pub use loss::{AppealLoss, CloudMode};
 pub use metrics::RoutedMetrics;
+pub use parallel::ChunkPolicy;
 pub use scores::ScoreKind;
 pub use system::{CollaborativeSystem, EvaluationArtifacts};
 pub use training::{TrainerConfig, TrainingReport};
@@ -80,6 +82,7 @@ pub mod prelude {
     pub use crate::experiments::{CloudModeExt, ExperimentContext, PreparedExperiment};
     pub use crate::loss::{AppealLoss, CloudMode};
     pub use crate::metrics::RoutedMetrics;
+    pub use crate::parallel::ChunkPolicy;
     pub use crate::scores::ScoreKind;
     pub use crate::sweep::{MethodSeries, SweepResult};
     pub use crate::system::{CollaborativeSystem, EvaluationArtifacts};

@@ -163,9 +163,9 @@ mod tests {
     fn whitebox_loss_decreases_when_big_model_is_better() {
         let (logits, labels, q, _) = batch(6, 4, 2);
         let loss_good_cloud =
-            AppealLoss::new(0.1, CloudMode::WhiteBox).compute(&logits, &q, &labels, &vec![0.0; 6]);
+            AppealLoss::new(0.1, CloudMode::WhiteBox).compute(&logits, &q, &labels, &[0.0; 6]);
         let loss_bad_cloud =
-            AppealLoss::new(0.1, CloudMode::WhiteBox).compute(&logits, &q, &labels, &vec![5.0; 6]);
+            AppealLoss::new(0.1, CloudMode::WhiteBox).compute(&logits, &q, &labels, &[5.0; 6]);
         assert!(loss_good_cloud.loss < loss_bad_cloud.loss);
     }
 

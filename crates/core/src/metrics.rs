@@ -200,4 +200,97 @@ mod tests {
     fn rejects_empty_input() {
         let _ = routed_metrics(&[], &[], &[], 1, 2, 0.5);
     }
+
+    /// Hand-computed 4-sample fixture exercising Eq. 11 — Eq. 15 end to end,
+    /// including the δ-threshold boundary of Eq. 1 (`q(1|x) ≥ δ` stays on the
+    /// edge, so a score exactly equal to δ is *not* offloaded).
+    mod hand_computed_fixture {
+        use super::super::*;
+        use crate::scores::ScoreKind;
+        use crate::system::EvaluationArtifacts;
+
+        /// scores [0.9, 0.6, 0.4, 0.1], little correct on samples {0, 3},
+        /// big correct on samples {0, 1, 2}; little costs 100, big 1000.
+        fn fixture() -> EvaluationArtifacts {
+            EvaluationArtifacts {
+                scores: vec![0.9, 0.6, 0.4, 0.1],
+                little_correct: vec![true, false, false, true],
+                big_correct: vec![true, true, true, false],
+                hard_flags: vec![false, false, true, true],
+                little_flops: 100,
+                big_flops: 1000,
+                score_kind: ScoreKind::AppealNetQ,
+            }
+        }
+
+        #[test]
+        fn eq1_score_equal_to_delta_stays_on_edge() {
+            // δ = 0.6: samples 0 (0.9) and 1 (0.6, the boundary) stay on the
+            // edge; samples 2 and 3 are appealed.
+            let m = fixture().at_threshold(0.6);
+            // Eq. 11: SR = 2/4.
+            assert_eq!(m.skipping_rate, 0.5);
+            // Eq. 12: AR = 1 − SR = 2/4.
+            assert_eq!(m.appealing_rate, 0.5);
+            // Eq. 13: kept {0: little right, 1: little wrong},
+            //         appealed {2: big right, 3: big wrong} → 2/4.
+            assert_eq!(m.overall_accuracy, 0.5);
+            // Eq. 15: 0.5·100 + 0.5·(100 + 1000) = 600 FLOPs per input.
+            assert_eq!(m.overall_flops, 600.0);
+            // Eq. 14: overall equals little accuracy → AccI = 0.
+            assert_eq!(m.little_accuracy, 0.5);
+            assert_eq!(m.big_accuracy, 0.75);
+            assert_eq!(m.accuracy_improvement(), Some(0.0));
+        }
+
+        #[test]
+        fn eq1_delta_zero_keeps_all_scores_on_edge() {
+            // Every score is ≥ 0, so δ = 0 keeps all four on the edge.
+            let m = fixture().at_threshold(0.0);
+            assert_eq!(m.skipping_rate, 1.0);
+            assert_eq!(m.overall_accuracy, 0.5); // little accuracy
+            assert_eq!(m.overall_flops, 100.0); // Eq. 15 collapses to cost(f1)
+        }
+
+        #[test]
+        fn eq1_delta_above_max_appeals_everything() {
+            let m = fixture().at_threshold(0.9 + f32::EPSILON as f64 * 2.0);
+            assert_eq!(m.skipping_rate, 0.0);
+            assert_eq!(m.overall_accuracy, 0.75); // big accuracy
+            assert_eq!(m.overall_flops, 1100.0); // edge + cloud on every input
+                                                 // Eq. 14: full gap recovered.
+            assert_eq!(m.accuracy_improvement(), Some(1.0));
+        }
+
+        #[test]
+        fn eq14_partial_gap_recovery() {
+            // δ = 0.5 keeps {0, 1} on the edge (same routing as δ = 0.6 — no
+            // score lies in (0.5, 0.6)), but verify AccI via routed_metrics
+            // with a routing that recovers half the gap: keep {0, 1, 3}.
+            let keep = vec![true, true, false, true];
+            let m = routed_metrics(
+                &keep,
+                &[true, false, false, true],
+                &[true, true, true, false],
+                100,
+                1000,
+                0.2,
+            );
+            // kept: 0 right, 1 wrong, 3 right; appealed: 2 big right → 3/4.
+            assert_eq!(m.overall_accuracy, 0.75);
+            // AccI = (0.75 − 0.5) / (0.75 − 0.5) = 1.0.
+            assert_eq!(m.accuracy_improvement(), Some(1.0));
+            // Eq. 15 with SR = 3/4: 0.75·100 + 0.25·1100 = 350.
+            assert_eq!(m.skipping_rate, 0.75);
+            assert_eq!(m.overall_flops, 350.0);
+        }
+
+        #[test]
+        fn eq11_eq12_sum_to_one_on_fixture() {
+            for delta in [0.0, 0.1, 0.4, 0.6, 0.9, 1.0] {
+                let m = fixture().at_threshold(delta);
+                assert!((m.skipping_rate + m.appealing_rate - 1.0).abs() < 1e-12);
+            }
+        }
+    }
 }

@@ -99,7 +99,10 @@ pub fn confidence_scores(probs: &Tensor, kind: ScoreKind) -> Vec<f32> {
                         top1 - top2
                     }
                 }
-                ScoreKind::Entropy => row.iter().map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 }).sum(),
+                ScoreKind::Entropy => row
+                    .iter()
+                    .map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 })
+                    .sum(),
                 ScoreKind::AppealNetQ => unreachable!("rejected above"),
             }
         })
@@ -132,14 +135,20 @@ mod tests {
     #[test]
     fn entropy_score_ranks_confident_higher() {
         let s = confidence_scores(&probs(), ScoreKind::Entropy);
-        assert!(s[0] > s[1], "confident row must have higher (less negative) score");
+        assert!(
+            s[0] > s[1],
+            "confident row must have higher (less negative) score"
+        );
     }
 
     #[test]
     fn all_baselines_rank_confident_above_uncertain() {
         for kind in ScoreKind::baselines() {
             let s = confidence_scores(&probs(), kind);
-            assert!(s[0] > s[1], "{kind} failed to rank the confident row higher");
+            assert!(
+                s[0] > s[1],
+                "{kind} failed to rank the confident row higher"
+            );
         }
     }
 

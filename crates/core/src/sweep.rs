@@ -3,6 +3,7 @@
 use crate::metrics::RoutedMetrics;
 use crate::scores::ScoreKind;
 use crate::system::EvaluationArtifacts;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The accuracy-vs-skipping-rate curve of one routing method.
@@ -63,6 +64,10 @@ pub fn paper_sr_grid() -> Vec<f64> {
 
 /// Evaluates each method's artifacts at every requested skipping rate.
 ///
+/// Methods are swept on separate worker threads, and each method sorts its
+/// scores once for the whole grid instead of once per rate. The output is
+/// identical to (and ordered like) a sequential sweep.
+///
 /// # Panics
 ///
 /// Panics if `methods` is empty or any artifact set is empty.
@@ -72,18 +77,19 @@ pub fn sweep_methods(
 ) -> SweepResult {
     assert!(!methods.is_empty(), "at least one method is required");
     let series: Vec<MethodSeries> = methods
-        .iter()
+        .par_iter()
         .map(|(score, artifacts)| MethodSeries {
             score: *score,
-            points: skipping_rates
-                .iter()
-                .map(|&sr| artifacts.at_skipping_rate(sr))
+            points: artifacts
+                .thresholds_for_skipping_rates(skipping_rates)
+                .into_iter()
+                .map(|t| artifacts.at_threshold(t))
                 .collect(),
         })
         .collect();
     let reference = methods[0].1;
-    let all_little = reference.little_correct.iter().filter(|&&c| c).count() as f64
-        / reference.len() as f64;
+    let all_little =
+        reference.little_correct.iter().filter(|&&c| c).count() as f64 / reference.len() as f64;
     let all_big =
         reference.big_correct.iter().filter(|&&c| c).count() as f64 / reference.len() as f64;
     SweepResult {

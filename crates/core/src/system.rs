@@ -8,6 +8,7 @@
 //! the examples: it owns the two models and routes live batches.
 
 use crate::metrics::{routed_metrics, RoutedMetrics};
+use crate::parallel::{self, ChunkPolicy};
 use crate::scores::{confidence_scores, ScoreKind};
 use crate::two_head::TwoHeadNet;
 use appeal_hw::{InferenceCost, SystemModel};
@@ -15,6 +16,7 @@ use appeal_models::ClassifierParts;
 use appeal_tensor::loss::SoftmaxCrossEntropy;
 use appeal_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// Per-sample artifacts of evaluating a little/big model pair on a dataset.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -70,27 +72,42 @@ impl EvaluationArtifacts {
     ///
     /// Panics if the artifacts are empty or `target_sr` is outside `[0, 1]`.
     pub fn threshold_for_skipping_rate(&self, target_sr: f64) -> f64 {
-        assert!(!self.is_empty(), "no evaluation artifacts");
-        assert!(
-            (0.0..=1.0).contains(&target_sr),
-            "target skipping rate must be in [0, 1]"
-        );
-        let mut sorted: Vec<f32> = self.scores.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("scores must not be NaN"));
-        let n = sorted.len();
-        // Keep the top `target_sr` fraction on the edge.
-        let k = ((1.0 - target_sr) * n as f64).round() as usize;
-        if k >= n {
-            // Nothing stays on the edge: use a threshold above the maximum.
-            sorted[n - 1] as f64 + 1.0
-        } else {
-            sorted[k] as f64
-        }
+        self.thresholds_for_skipping_rates(std::slice::from_ref(&target_sr))[0]
     }
 
     /// Metrics at (approximately) the requested skipping rate.
     pub fn at_skipping_rate(&self, target_sr: f64) -> RoutedMetrics {
         self.at_threshold(self.threshold_for_skipping_rate(target_sr))
+    }
+
+    /// Thresholds for several target skipping rates at once, sorting the
+    /// scores a single time (the sweep hot path evaluates whole grids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the artifacts are empty or any rate is outside `[0, 1]`.
+    pub fn thresholds_for_skipping_rates(&self, target_srs: &[f64]) -> Vec<f64> {
+        assert!(!self.is_empty(), "no evaluation artifacts");
+        let mut sorted: Vec<f32> = self.scores.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("scores must not be NaN"));
+        let n = sorted.len();
+        target_srs
+            .iter()
+            .map(|&sr| {
+                assert!(
+                    (0.0..=1.0).contains(&sr),
+                    "target skipping rate must be in [0, 1]"
+                );
+                // Keep the top `sr` fraction on the edge.
+                let k = ((1.0 - sr) * n as f64).round() as usize;
+                if k >= n {
+                    // Nothing stays on the edge: a threshold above the maximum.
+                    sorted[n - 1] as f64 + 1.0
+                } else {
+                    sorted[k] as f64
+                }
+            })
+            .collect()
     }
 
     /// Candidate thresholds: every distinct score value (plus one above the
@@ -134,8 +151,48 @@ impl EvaluationArtifacts {
         }
     }
 
+    /// Assembles baseline artifacts for one confidence score from a
+    /// precomputed probability matrix and correctness flags. This is the
+    /// single assembly path shared by [`Self::from_confidence_baseline`] and
+    /// the multi-kind pipeline in [`crate::experiments::PreparedExperiment`],
+    /// which computes the probabilities/correctness passes once and reuses
+    /// them for every kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is [`ScoreKind::AppealNetQ`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_probabilities(
+        probs: &Tensor,
+        little_correct: Vec<bool>,
+        big_correct: Vec<bool>,
+        hard_flags: &[bool],
+        little_flops: u64,
+        big_flops: u64,
+        kind: ScoreKind,
+    ) -> Self {
+        assert!(
+            kind.is_confidence_baseline(),
+            "use from_two_head for the AppealNet score"
+        );
+        Self {
+            scores: confidence_scores(probs, kind),
+            little_correct,
+            big_correct,
+            hard_flags: hard_flags.to_vec(),
+            little_flops,
+            big_flops,
+            score_kind: kind,
+        }
+    }
+
     /// Builds artifacts for a plain little classifier using one of the
-    /// confidence-score baselines (MSP, SM, Entropy).
+    /// confidence-score baselines (MSP, SM, Entropy), running both models.
+    ///
+    /// Evaluating several kinds (or the AppealNet score alongside them)?
+    /// Use [`crate::experiments::PreparedExperiment`], which runs each model
+    /// once and shares the passes across kinds via
+    /// [`Self::from_probabilities`].
     ///
     /// # Panics
     ///
@@ -149,13 +206,8 @@ impl EvaluationArtifacts {
         kind: ScoreKind,
         batch_size: usize,
     ) -> Self {
-        assert!(
-            kind.is_confidence_baseline(),
-            "use from_two_head for the AppealNet score"
-        );
         let logits = classifier_logits(little, images, batch_size);
         let probs = SoftmaxCrossEntropy::new().probabilities(&logits);
-        let scores = confidence_scores(&probs, kind);
         let little_correct: Vec<bool> = logits
             .argmax_rows()
             .iter()
@@ -163,39 +215,27 @@ impl EvaluationArtifacts {
             .map(|(p, y)| p == y)
             .collect();
         let big_correct = classifier_correctness(big, images, labels, batch_size);
-        Self {
-            scores,
+        Self::from_probabilities(
+            &probs,
             little_correct,
             big_correct,
-            hard_flags: hard_flags.to_vec(),
-            little_flops: little.total_flops(),
-            big_flops: big.total_flops(),
-            score_kind: kind,
-        }
+            hard_flags,
+            little.total_flops(),
+            big.total_flops(),
+            kind,
+        )
     }
 }
 
-/// Runs a classifier over a dataset in batches and returns the stacked logits.
+/// Runs a classifier over a dataset in batches and returns the stacked
+/// logits, sharding the pass across worker threads when the workload is
+/// large enough for the runtime [`ChunkPolicy`].
 pub(crate) fn classifier_logits(
     model: &mut ClassifierParts,
     images: &Tensor,
     batch_size: usize,
 ) -> Tensor {
-    assert!(batch_size > 0, "batch_size must be positive");
-    let n = images.shape()[0];
-    let mut rows = Vec::with_capacity(n);
-    let mut start = 0;
-    while start < n {
-        let end = (start + batch_size).min(n);
-        let idx: Vec<usize> = (start..end).collect();
-        let batch = images.select_rows(&idx);
-        let logits = model.forward(&batch, false);
-        for i in 0..(end - start) {
-            rows.push(logits.row(i));
-        }
-        start = end;
-    }
-    Tensor::stack_rows(&rows)
+    parallel::classifier_logits(model, images, batch_size, &ChunkPolicy::runtime())
 }
 
 fn classifier_correctness(
@@ -204,13 +244,7 @@ fn classifier_correctness(
     labels: &[usize],
     batch_size: usize,
 ) -> Vec<bool> {
-    let logits = classifier_logits(model, images, batch_size);
-    logits
-        .argmax_rows()
-        .iter()
-        .zip(labels.iter())
-        .map(|(p, y)| p == y)
-        .collect()
+    parallel::classifier_correctness(model, images, labels, batch_size, &ChunkPolicy::runtime())
 }
 
 /// The decision made for one input at runtime.
@@ -229,12 +263,25 @@ pub struct RoutingOutcome {
 /// A deployable edge/cloud collaborative system: the jointly trained two-head
 /// little network on the edge, the big network in the cloud, a threshold δ
 /// and a hardware cost model.
+///
+/// Batches are routed across CPU cores: when a batch is large enough for the
+/// system's [`ChunkPolicy`], it is split into contiguous shards and each
+/// shard is classified by a per-worker replica of the models. Replicas are
+/// built lazily on first use and reused across calls (the models never change
+/// after construction). Per-sample results are identical to the sequential
+/// path and are returned in input order.
 pub struct CollaborativeSystem {
     little: TwoHeadNet,
     big: ClassifierParts,
     threshold: f64,
     hardware: SystemModel,
     input_bytes: u64,
+    policy: ChunkPolicy,
+    /// Lazily built little-network replicas, one per worker thread. Only the
+    /// little net is retained per worker: the big network is >10× its size,
+    /// and the big pass over the offloaded subset shards with transient
+    /// replicas instead (see [`CollaborativeSystem::classify`]).
+    workers: Vec<TwoHeadNet>,
 }
 
 impl std::fmt::Debug for CollaborativeSystem {
@@ -253,7 +300,28 @@ impl CollaborativeSystem {
     /// # Panics
     ///
     /// Panics if `threshold` is outside `[0, 1]`.
-    pub fn new(little: TwoHeadNet, big: ClassifierParts, threshold: f64, hardware: SystemModel) -> Self {
+    pub fn new(
+        little: TwoHeadNet,
+        big: ClassifierParts,
+        threshold: f64,
+        hardware: SystemModel,
+    ) -> Self {
+        Self::with_policy(little, big, threshold, hardware, ChunkPolicy::runtime())
+    }
+
+    /// Assembles a collaborative system with an explicit batch-routing policy
+    /// (use [`ChunkPolicy::sequential`] to force single-threaded routing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is outside `[0, 1]`.
+    pub fn with_policy(
+        little: TwoHeadNet,
+        big: ClassifierParts,
+        threshold: f64,
+        hardware: SystemModel,
+        policy: ChunkPolicy,
+    ) -> Self {
         assert!(
             (0.0..=1.0).contains(&threshold),
             "threshold must be in [0, 1]"
@@ -265,6 +333,8 @@ impl CollaborativeSystem {
             threshold,
             hardware,
             input_bytes,
+            policy,
+            workers: Vec::new(),
         }
     }
 
@@ -287,42 +357,92 @@ impl CollaborativeSystem {
     }
 
     /// Classifies a batch of images, routing each input per Eq. 1.
+    ///
+    /// Batches at least as large as the routing policy's shard floor are
+    /// processed in two parallel stages — the little network runs on every
+    /// input across per-worker replicas, then the big network runs one
+    /// (internally sharded) pass over the concatenated offloaded subset.
+    /// Results are identical to the sequential path and in input order.
     pub fn classify(&mut self, images: &Tensor) -> Vec<RoutingOutcome> {
         let n = images.shape()[0];
-        let out = self.little.forward(images, false);
-        let little_preds = out.predictions();
-        // Find which inputs must be appealed to the cloud.
-        let offload_idx: Vec<usize> = (0..n)
-            .filter(|&i| (out.q[i] as f64) < self.threshold)
-            .collect();
-        let big_preds: Vec<usize> = if offload_idx.is_empty() {
-            Vec::new()
-        } else {
-            let batch = images.select_rows(&offload_idx);
-            self.big.forward(&batch, false).argmax_rows()
-        };
+        let shards = self.policy.shards(n);
         let edge_cost = self.hardware.edge_only_cost(self.little.flops());
         let offload_cost = self.hardware.offload_cost(
             self.little.flops(),
             self.big.total_flops(),
             self.input_bytes,
         );
+        let threshold = self.threshold;
+        if shards.len() <= 1 {
+            return classify_range(
+                &mut self.little,
+                &mut self.big,
+                images,
+                0..n,
+                threshold,
+                edge_cost,
+                offload_cost,
+            );
+        }
+        // Stage 1: little network over every input, sharded across the
+        // retained worker replicas.
+        self.ensure_workers(shards.len());
+        let mut slots: Vec<(Vec<usize>, Vec<f32>)> = Vec::new();
+        slots.resize_with(shards.len(), Default::default);
+        rayon::scope(|s| {
+            for ((little, shard), slot) in self.workers.iter_mut().zip(shards).zip(slots.iter_mut())
+            {
+                s.spawn(move |_| {
+                    let idx: Vec<usize> = shard.collect();
+                    let out = little.forward(&images.select_rows(&idx), false);
+                    *slot = (out.predictions(), out.q);
+                });
+            }
+        });
+        let mut little_preds = Vec::with_capacity(n);
+        let mut q = Vec::with_capacity(n);
+        for (shard_preds, shard_q) in slots {
+            little_preds.extend(shard_preds);
+            q.extend(shard_q);
+        }
+        // Stage 2: one big-network pass over the offloaded subset, itself
+        // sharded per the policy (with transient replicas).
+        let offload_idx: Vec<usize> = (0..n).filter(|&i| (q[i] as f64) < threshold).collect();
+        let big_preds: Vec<usize> = if offload_idx.is_empty() {
+            Vec::new()
+        } else {
+            let big_batch = images.select_rows(&offload_idx);
+            parallel::classifier_logits(&mut self.big, &big_batch, offload_idx.len(), &self.policy)
+                .argmax_rows()
+        };
         let mut big_iter = big_preds.into_iter();
         (0..n)
             .map(|i| {
-                let offloaded = (out.q[i] as f64) < self.threshold;
+                let offloaded = (q[i] as f64) < threshold;
                 RoutingOutcome {
                     label: if offloaded {
-                        big_iter.next().expect("one big prediction per offloaded input")
+                        big_iter
+                            .next()
+                            .expect("one big prediction per offloaded input")
                     } else {
                         little_preds[i]
                     },
-                    score: out.q[i],
+                    score: q[i],
                     offloaded,
                     cost: if offloaded { offload_cost } else { edge_cost },
                 }
             })
             .collect()
+    }
+
+    /// Builds little-network replicas until at least `count` workers exist.
+    /// Workers live as long as the system, so replicas drop the source
+    /// model's activation caches (see [`parallel::Replica`]).
+    fn ensure_workers(&mut self, count: usize) {
+        use crate::parallel::Replica;
+        while self.workers.len() < count {
+            self.workers.push(self.little.replica());
+        }
     }
 
     /// Aggregate cost of a set of routing outcomes.
@@ -331,6 +451,63 @@ impl CollaborativeSystem {
             .iter()
             .fold(InferenceCost::zero(), |acc, o| acc.add(&o.cost))
     }
+}
+
+/// Routes the samples of `range` through one little/big model pair (Eq. 1).
+/// Shared by the sequential path and every parallel worker.
+fn classify_range(
+    little: &mut TwoHeadNet,
+    big: &mut ClassifierParts,
+    images: &Tensor,
+    range: Range<usize>,
+    threshold: f64,
+    edge_cost: InferenceCost,
+    offload_cost: InferenceCost,
+) -> Vec<RoutingOutcome> {
+    let local_n = range.end.saturating_sub(range.start);
+    if local_n == 0 {
+        return Vec::new();
+    }
+    // A range covering the whole tensor (the sequential path) is forwarded
+    // directly; shards materialize their row subset.
+    let shard_copy;
+    let batch: &Tensor = if range.start == 0 && range.end == images.shape()[0] {
+        images
+    } else {
+        let idx: Vec<usize> = range.collect();
+        shard_copy = images.select_rows(&idx);
+        &shard_copy
+    };
+    let out = little.forward(batch, false);
+    let little_preds = out.predictions();
+    // Find which inputs must be appealed to the cloud.
+    let offload_local: Vec<usize> = (0..local_n)
+        .filter(|&i| (out.q[i] as f64) < threshold)
+        .collect();
+    let big_preds: Vec<usize> = if offload_local.is_empty() {
+        Vec::new()
+    } else {
+        let big_batch = batch.select_rows(&offload_local);
+        big.forward(&big_batch, false).argmax_rows()
+    };
+    let mut big_iter = big_preds.into_iter();
+    (0..local_n)
+        .map(|i| {
+            let offloaded = (out.q[i] as f64) < threshold;
+            RoutingOutcome {
+                label: if offloaded {
+                    big_iter
+                        .next()
+                        .expect("one big prediction per offloaded input")
+                } else {
+                    little_preds[i]
+                },
+                score: out.q[i],
+                offloaded,
+                cost: if offloaded { offload_cost } else { edge_cost },
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -397,7 +574,10 @@ mod tests {
         let a = synthetic_artifacts();
         let thresholds = a.candidate_thresholds();
         assert_eq!(thresholds.len(), 11);
-        let srs: Vec<f64> = thresholds.iter().map(|&t| a.at_threshold(t).skipping_rate).collect();
+        let srs: Vec<f64> = thresholds
+            .iter()
+            .map(|&t| a.at_threshold(t).skipping_rate)
+            .collect();
         assert!(srs.contains(&1.0));
         assert!(srs.contains(&0.0));
     }
@@ -417,7 +597,8 @@ mod tests {
         let images = Tensor::randn(&[12, 3, 12, 12], &mut rng);
         let labels: Vec<usize> = (0..12).map(|i| i % 4).collect();
         let hard = vec![false; 12];
-        let art = EvaluationArtifacts::from_two_head(&mut net, &mut big, &images, &labels, &hard, 5);
+        let art =
+            EvaluationArtifacts::from_two_head(&mut net, &mut big, &images, &labels, &hard, 5);
         assert_eq!(art.len(), 12);
         assert!(!art.is_empty());
         assert!(art.little_flops < art.big_flops);
@@ -471,5 +652,48 @@ mod tests {
     fn rejects_bad_threshold() {
         let (net, big) = tiny_models(2);
         let _ = CollaborativeSystem::new(net, big, 1.5, SystemModel::typical());
+    }
+
+    #[test]
+    fn batch_thresholds_match_single_rate_queries() {
+        let a = synthetic_artifacts();
+        let rates = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let batch = a.thresholds_for_skipping_rates(&rates);
+        for (t, &sr) in batch.iter().zip(rates.iter()) {
+            assert_eq!(*t, a.threshold_for_skipping_rate(sr));
+        }
+    }
+
+    #[test]
+    fn parallel_routing_matches_sequential_routing() {
+        let (net, big) = tiny_models(4);
+        let policy = crate::parallel::ChunkPolicy {
+            min_shard: 8,
+            max_shards: 4,
+        };
+        let mut parallel_system =
+            CollaborativeSystem::with_policy(net, big, 0.5, SystemModel::typical(), policy);
+        let (net2, big2) = tiny_models(4);
+        let mut sequential_system = CollaborativeSystem::with_policy(
+            net2,
+            big2,
+            0.5,
+            SystemModel::typical(),
+            crate::parallel::ChunkPolicy::sequential(),
+        );
+        let mut rng = SeededRng::new(9);
+        let images = Tensor::randn(&[48, 3, 12, 12], &mut rng);
+        let par = parallel_system.classify(&images);
+        let seq = sequential_system.classify(&images);
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(seq.iter()) {
+            assert_eq!(p.label, s.label);
+            assert_eq!(p.offloaded, s.offloaded);
+            assert_eq!(
+                p.score.to_bits(),
+                s.score.to_bits(),
+                "scores must be bit-identical"
+            );
+        }
     }
 }

@@ -1,8 +1,14 @@
 //! Training loops: plain classifier training (for the big network and the
 //! baseline little networks) and AppealNet joint training (Algorithm 1).
+//!
+//! The SGD mini-batch loops are inherently sequential, but every full-dataset
+//! evaluation pass ([`evaluate_classifier`], [`big_model_losses`], the final
+//! train-accuracy measurement) routes through the parallel batch-evaluation
+//! engine in [`crate::parallel`], which shards large datasets across worker
+//! threads with deterministic, order-preserving results.
 
 use crate::loss::{AppealLoss, CloudMode};
-use crate::system::classifier_logits;
+use crate::parallel::{self, ChunkPolicy};
 use crate::two_head::TwoHeadNet;
 use appeal_dataset::Dataset;
 use appeal_models::ClassifierParts;
@@ -30,6 +36,11 @@ pub struct TrainerConfig {
     pub grad_clip: Option<f32>,
     /// Seed for batch shuffling.
     pub seed: u64,
+    /// Chunking policy for the trainer's evaluation passes. Callers running
+    /// several trainers concurrently should split the worker budget (see
+    /// [`ChunkPolicy::split_across`]) so combined thread counts stay at the
+    /// machine's budget.
+    pub eval_policy: ChunkPolicy,
 }
 
 impl TrainerConfig {
@@ -47,6 +58,7 @@ impl TrainerConfig {
             },
             grad_clip: Some(5.0),
             seed: 17,
+            eval_policy: ChunkPolicy::runtime(),
         }
     }
 
@@ -101,7 +113,8 @@ pub fn train_classifier(
 ) -> TrainingReport {
     config.validate();
     let mut rng = SeededRng::new(config.seed);
-    let mut optimizer = Sgd::with_momentum(config.learning_rate, config.momentum, config.weight_decay);
+    let mut optimizer =
+        Sgd::with_momentum(config.learning_rate, config.momentum, config.weight_decay);
     let clip = config.grad_clip.map(GradClip::new);
     let ce = SoftmaxCrossEntropy::new();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
@@ -132,19 +145,33 @@ pub fn train_classifier(
 
     TrainingReport {
         epoch_losses,
-        final_train_accuracy: evaluate_classifier(model, data, config.batch_size.max(64)),
+        final_train_accuracy: evaluate_classifier_with_policy(
+            model,
+            data,
+            config.batch_size.max(64),
+            &config.eval_policy,
+        ),
     }
 }
 
 /// Accuracy of a plain classifier on a dataset.
 pub fn evaluate_classifier(model: &mut ClassifierParts, data: &Dataset, batch_size: usize) -> f64 {
-    let logits = classifier_logits(model, data.images(), batch_size);
-    let correct = logits
-        .argmax_rows()
-        .iter()
-        .zip(data.labels().iter())
-        .filter(|(p, y)| p == y)
-        .count();
+    evaluate_classifier_with_policy(model, data, batch_size, &ChunkPolicy::runtime())
+}
+
+/// Like [`evaluate_classifier`] with an explicit chunking policy (callers
+/// evaluating several models concurrently split the worker budget).
+pub fn evaluate_classifier_with_policy(
+    model: &mut ClassifierParts,
+    data: &Dataset,
+    batch_size: usize,
+    policy: &ChunkPolicy,
+) -> f64 {
+    let correct =
+        parallel::classifier_correctness(model, data.images(), data.labels(), batch_size, policy)
+            .into_iter()
+            .filter(|&c| c)
+            .count();
     correct as f64 / data.len().max(1) as f64
 }
 
@@ -152,7 +179,17 @@ pub fn evaluate_classifier(model: &mut ClassifierParts, data: &Dataset, batch_si
 /// aligned with the dataset's sample order. These are the `ℓ(f0(x), y)`
 /// terms required by the white-box joint objective (Eq. 9).
 pub fn big_model_losses(big: &mut ClassifierParts, data: &Dataset, batch_size: usize) -> Vec<f32> {
-    let logits = classifier_logits(big, data.images(), batch_size);
+    big_model_losses_with_policy(big, data, batch_size, &ChunkPolicy::runtime())
+}
+
+/// Like [`big_model_losses`] with an explicit chunking policy.
+pub fn big_model_losses_with_policy(
+    big: &mut ClassifierParts,
+    data: &Dataset,
+    batch_size: usize,
+    policy: &ChunkPolicy,
+) -> Vec<f32> {
+    let logits = parallel::classifier_logits(big, data.images(), batch_size, policy);
     SoftmaxCrossEntropy::new().per_sample(&logits, data.labels())
 }
 
@@ -181,7 +218,8 @@ pub fn train_appealnet(
         );
     }
     let mut rng = SeededRng::new(config.seed);
-    let mut optimizer = Sgd::with_momentum(config.learning_rate, config.momentum, config.weight_decay);
+    let mut optimizer =
+        Sgd::with_momentum(config.learning_rate, config.momentum, config.weight_decay);
     let clip = config.grad_clip.map(GradClip::new);
     let mut epoch_losses = Vec::with_capacity(config.epochs);
 
@@ -209,7 +247,11 @@ pub fn train_appealnet(
         epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
     }
 
-    let out = net.evaluate(data.images(), config.batch_size.max(64));
+    let out = net.evaluate_with_policy(
+        data.images(),
+        config.batch_size.max(64),
+        &config.eval_policy,
+    );
     let correct = out
         .predictions()
         .iter()
@@ -271,8 +313,7 @@ mod tests {
     fn appealnet_joint_training_reduces_loss_whitebox() {
         let pair = smoke_data();
         let mut rng = SeededRng::new(4);
-        let little =
-            ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10).build(&mut rng);
+        let little = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10).build(&mut rng);
         let mut big = ModelSpec::big([3, 12, 12], 10).build(&mut rng);
         let big_losses = big_model_losses(&mut big, &pair.train, 64);
         let mut net = TwoHeadNet::from_parts(little, &mut rng);
@@ -301,8 +342,7 @@ mod tests {
     fn whitebox_requires_big_losses() {
         let pair = smoke_data();
         let mut rng = SeededRng::new(6);
-        let little =
-            ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10).build(&mut rng);
+        let little = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10).build(&mut rng);
         let mut net = TwoHeadNet::from_parts(little, &mut rng);
         let loss = AppealLoss::new(0.1, CloudMode::WhiteBox);
         let _ = train_appealnet(&mut net, &pair.train, &loss, &[], &TrainerConfig::smoke());

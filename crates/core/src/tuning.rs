@@ -7,7 +7,21 @@
 
 use crate::metrics::RoutedMetrics;
 use crate::system::EvaluationArtifacts;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Evaluates the metrics of every candidate threshold, in parallel for large
+/// evaluation sets. The scan over all candidates is the O(n²) hot path of
+/// Table I / Table II tuning; results come back in candidate order, so the
+/// downstream arg-min selection is deterministic.
+fn candidate_metrics(artifacts: &EvaluationArtifacts) -> Vec<(f64, RoutedMetrics)> {
+    artifacts
+        .candidate_thresholds()
+        .into_par_iter()
+        .with_min_len(64)
+        .map(|t| (t, artifacts.at_threshold(t)))
+        .collect()
+}
 
 /// A chosen threshold and the metrics it achieves.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -32,12 +46,18 @@ pub fn min_cost_for_acci(
     target_acci: f64,
 ) -> Option<ThresholdChoice> {
     assert!(!artifacts.is_empty(), "no evaluation artifacts");
+    // AccI (Eq. 14) is undefined exactly when the little/big accuracy gap
+    // vanishes, which is threshold-independent — check it once up front
+    // instead of after the full O(n²) candidate scan.
+    let n = artifacts.len() as f64;
+    let little_acc = artifacts.little_correct.iter().filter(|&&c| c).count() as f64 / n;
+    let big_acc = artifacts.big_correct.iter().filter(|&&c| c).count() as f64 / n;
+    if (big_acc - little_acc).abs() < 1e-9 {
+        return None;
+    }
     let mut best: Option<ThresholdChoice> = None;
-    for t in artifacts.candidate_thresholds() {
-        let metrics = artifacts.at_threshold(t);
-        let Some(acci) = metrics.accuracy_improvement() else {
-            return None;
-        };
+    for (t, metrics) in candidate_metrics(artifacts) {
+        let acci = metrics.accuracy_improvement()?;
         if acci + 1e-9 >= target_acci {
             let better = match &best {
                 None => true,
@@ -66,8 +86,7 @@ pub fn min_cost_for_accuracy(
 ) -> Option<ThresholdChoice> {
     assert!(!artifacts.is_empty(), "no evaluation artifacts");
     let mut best: Option<ThresholdChoice> = None;
-    for t in artifacts.candidate_thresholds() {
-        let metrics = artifacts.at_threshold(t);
+    for (t, metrics) in candidate_metrics(artifacts) {
         if metrics.overall_accuracy + 1e-9 >= target_accuracy {
             let better = match &best {
                 None => true,
@@ -98,8 +117,7 @@ pub fn max_accuracy_for_skipping_rate(
     assert!(!artifacts.is_empty(), "no evaluation artifacts");
     assert!((0.0..=1.0).contains(&min_sr), "min_sr must be in [0, 1]");
     let mut best: Option<ThresholdChoice> = None;
-    for t in artifacts.candidate_thresholds() {
-        let metrics = artifacts.at_threshold(t);
+    for (t, metrics) in candidate_metrics(artifacts) {
         if metrics.skipping_rate + 1e-9 >= min_sr {
             let better = match &best {
                 None => true,

@@ -38,6 +38,10 @@ impl TwoHeadOutput {
 /// freshly initialized predictor head — exactly the "initialize from the
 /// pre-trained little network, then insert the predictor head" step of the
 /// paper's Algorithm 1.
+///
+/// Cloning replicates the full network; the parallel evaluation engine uses
+/// this to give each worker thread its own replica.
+#[derive(Clone)]
 pub struct TwoHeadNet {
     backbone: Sequential,
     approximator_head: Sequential,
@@ -137,6 +141,13 @@ impl TwoHeadNet {
         }
     }
 
+    /// Drops all forward-pass activation caches (see [`Layer::clear_cache`]).
+    pub fn clear_cache(&mut self) {
+        self.backbone.clear_cache();
+        self.approximator_head.clear_cache();
+        self.predictor_head.clear_cache();
+    }
+
     /// Total number of trainable scalars.
     pub fn param_count(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.len()).sum()
@@ -164,30 +175,29 @@ impl TwoHeadNet {
 
     /// Runs inference over a dataset in batches and concatenates the outputs.
     ///
+    /// Large workloads are sharded across worker threads per the runtime
+    /// [`crate::parallel::ChunkPolicy`]; the output is identical to (and in
+    /// the same order as) a sequential pass.
+    ///
     /// # Panics
     ///
     /// Panics if `batch_size == 0`.
     pub fn evaluate(&mut self, images: &Tensor, batch_size: usize) -> TwoHeadOutput {
-        assert!(batch_size > 0, "batch_size must be positive");
-        let n = images.shape()[0];
-        let mut logits_rows = Vec::with_capacity(n);
-        let mut q_all = Vec::with_capacity(n);
-        let mut start = 0;
-        while start < n {
-            let end = (start + batch_size).min(n);
-            let idx: Vec<usize> = (start..end).collect();
-            let batch = images.select_rows(&idx);
-            let out = self.forward(&batch, false);
-            for i in 0..(end - start) {
-                logits_rows.push(out.logits.row(i));
-            }
-            q_all.extend_from_slice(&out.q);
-            start = end;
-        }
-        TwoHeadOutput {
-            logits: Tensor::stack_rows(&logits_rows),
-            q: q_all,
-        }
+        self.evaluate_with_policy(images, batch_size, &crate::parallel::ChunkPolicy::runtime())
+    }
+
+    /// Like [`TwoHeadNet::evaluate`] with an explicit chunking policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn evaluate_with_policy(
+        &mut self,
+        images: &Tensor,
+        batch_size: usize,
+        policy: &crate::parallel::ChunkPolicy,
+    ) -> TwoHeadOutput {
+        crate::parallel::two_head_output(self, images, batch_size, policy)
     }
 }
 
@@ -198,8 +208,8 @@ mod tests {
 
     fn small_two_head(classes: usize) -> TwoHeadNet {
         let mut rng = SeededRng::new(1);
-        let parts = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], classes)
-            .build(&mut rng);
+        let parts =
+            ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], classes).build(&mut rng);
         TwoHeadNet::from_parts(parts, &mut rng)
     }
 
@@ -288,6 +298,9 @@ mod tests {
         let plain_flops = plain.total_flops();
         let net = small_two_head(10);
         let ratio = net.flops() as f64 / plain_flops as f64;
-        assert!(ratio < 1.02, "two-head FLOPs should be within 2% of the plain model");
+        assert!(
+            ratio < 1.02,
+            "two-head FLOPs should be within 2% of the plain model"
+        );
     }
 }

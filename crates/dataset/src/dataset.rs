@@ -39,7 +39,11 @@ impl Dataset {
         assert_eq!(images.rank(), 4, "images must be [n, c, h, w]");
         let n = images.shape()[0];
         assert_eq!(labels.len(), n, "label count must match image count");
-        assert_eq!(hard.len(), n, "difficulty flag count must match image count");
+        assert_eq!(
+            hard.len(),
+            n,
+            "difficulty flag count must match image count"
+        );
         assert!(
             labels.iter().all(|&y| y < num_classes),
             "labels must be < num_classes"

@@ -299,7 +299,10 @@ mod tests {
             total += 1;
         }
         let acc = correct as f32 / total as f32;
-        assert!(acc > 0.9, "nearest-prototype accuracy on easy samples was {acc}");
+        assert!(
+            acc > 0.9,
+            "nearest-prototype accuracy on easy samples was {acc}"
+        );
     }
 
     #[test]

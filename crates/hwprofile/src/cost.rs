@@ -72,7 +72,11 @@ impl SystemModel {
 
     /// A typical deployment: mobile-class edge device, cloud GPU, Wi-Fi link.
     pub fn typical() -> Self {
-        Self::new(DeviceSpec::mobile_soc(), DeviceSpec::cloud_gpu(), LinkSpec::wifi())
+        Self::new(
+            DeviceSpec::mobile_soc(),
+            DeviceSpec::cloud_gpu(),
+            LinkSpec::wifi(),
+        )
     }
 
     /// Cost `c1` of Eq. 5: the input is handled entirely on the edge by the
@@ -88,7 +92,12 @@ impl SystemModel {
     /// Cost `c0` of Eq. 5: the edge runs the little network (to produce the
     /// predictor decision), uploads `input_bytes` to the cloud, the cloud runs
     /// the big network and returns the label.
-    pub fn offload_cost(&self, little_flops: u64, big_flops: u64, input_bytes: u64) -> InferenceCost {
+    pub fn offload_cost(
+        &self,
+        little_flops: u64,
+        big_flops: u64,
+        input_bytes: u64,
+    ) -> InferenceCost {
         let result_bytes = 16; // a class id + confidence comfortably fits
         let edge = self.edge_only_cost(little_flops);
         let uplink_energy = self.link.energy_mj(input_bytes + result_bytes);
@@ -227,7 +236,9 @@ mod tests {
         let wifi = SystemModel::typical();
         let bytes = 1728;
         assert!(
-            constrained.offload_cost(100_000, 3_000_000, bytes).latency_ms
+            constrained
+                .offload_cost(100_000, 3_000_000, bytes)
+                .latency_ms
                 > wifi.offload_cost(100_000, 3_000_000, bytes).latency_ms * 10.0
         );
     }

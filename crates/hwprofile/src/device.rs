@@ -28,9 +28,17 @@ impl DeviceSpec {
     /// # Panics
     ///
     /// Panics if any numeric field is not positive.
-    pub fn new(name: impl Into<String>, peak_gflops: f64, energy_per_flop_pj: f64, memory_kb: u64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        peak_gflops: f64,
+        energy_per_flop_pj: f64,
+        memory_kb: u64,
+    ) -> Self {
         assert!(peak_gflops > 0.0, "peak_gflops must be positive");
-        assert!(energy_per_flop_pj > 0.0, "energy_per_flop_pj must be positive");
+        assert!(
+            energy_per_flop_pj > 0.0,
+            "energy_per_flop_pj must be positive"
+        );
         assert!(memory_kb > 0, "memory_kb must be positive");
         Self {
             name: name.into(),

@@ -109,7 +109,11 @@ mod tests {
     #[test]
     fn profile_reports_cost_and_latency() {
         let profiler = HardwareProfiler::new(DeviceSpec::mobile_soc(), 10.0);
-        let d = profiler.profile(&ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10));
+        let d = profiler.profile(&ModelSpec::little(
+            ModelFamily::MobileNetLike,
+            [3, 12, 12],
+            10,
+        ));
         assert!(d.cost.flops > 0);
         assert!(d.latency_ms > 0.0);
         assert!(d.fits_memory);
@@ -128,7 +132,9 @@ mod tests {
         // A device whose memory holds the little models but not the big
         // network's parameters must select a little family.
         let mut rng = appeal_tensor::SeededRng::new(0);
-        let big_params = ModelSpec::big([3, 12, 12], 10).build(&mut rng).param_count() as u64;
+        let big_params = ModelSpec::big([3, 12, 12], 10)
+            .build(&mut rng)
+            .param_count() as u64;
         let tight = DeviceSpec::new("tight-mcu", 0.5, 120.0, (big_params * 4 / 1024).max(1) / 2);
         let profiler = HardwareProfiler::new(tight, 1e9);
         let selected = profiler.select(&pool()).expect("a little model must fit");

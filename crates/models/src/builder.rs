@@ -12,6 +12,11 @@ use appeal_tensor::{Layer, SeededRng, Tensor};
 ///
 /// AppealNet shares the backbone between its approximator head and its
 /// predictor head, which is why the split is part of the zoo's public API.
+///
+/// Cloning replicates the full model (parameters, running statistics and
+/// caches); the parallel evaluation engine uses this to give each worker
+/// thread its own replica.
+#[derive(Clone)]
 pub struct ClassifierParts {
     /// Feature extractor: images `[n, c, h, w]` → features `[n, feature_dim]`.
     pub backbone: Sequential,
@@ -50,7 +55,7 @@ impl ClassifierParts {
 
     /// FLOPs of the backbone alone for a single sample.
     pub fn backbone_flops(&self) -> u64 {
-        self.backbone.flops(&self.spec.input_shape.to_vec())
+        self.backbone.flops(self.spec.input_shape.as_ref())
     }
 
     /// Total number of trainable parameters.
@@ -71,6 +76,12 @@ impl ClassifierParts {
     pub fn zero_grad(&mut self) {
         self.backbone.zero_grad();
         self.head.zero_grad();
+    }
+
+    /// Drops all forward-pass activation caches (see [`Layer::clear_cache`]).
+    pub fn clear_cache(&mut self) {
+        self.backbone.clear_cache();
+        self.head.clear_cache();
     }
 }
 

@@ -72,7 +72,8 @@ pub fn check_layer_gradients(
         plus.data_mut()[idx] = orig + eps;
         let mut minus = input.clone();
         minus.data_mut()[idx] = orig - eps;
-        let numeric = (loss_with(&mut layer, &plus, &probe) - loss_with(&mut layer, &minus, &probe))
+        let numeric = (loss_with(&mut layer, &plus, &probe)
+            - loss_with(&mut layer, &minus, &probe))
             / (2.0 * eps);
         let analytic = analytic_input_grad.data()[idx];
         assert!(
@@ -125,9 +126,13 @@ mod tests {
 
     /// A deliberately wrong layer: forward computes `2x`, backward claims the
     /// gradient is `3 * dy`. The checker must catch it.
+    #[derive(Clone)]
     struct WrongLayer;
 
     impl Layer for WrongLayer {
+        fn clone_box(&self) -> Box<dyn Layer> {
+            Box::new(self.clone())
+        }
         fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
             input.scale(2.0)
         }

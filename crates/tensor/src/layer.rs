@@ -53,7 +53,11 @@ impl Param {
 /// Layers are stateful: `forward` caches activations needed by `backward`,
 /// and `backward` must be called with the gradient of the loss with respect
 /// to the most recent `forward` output.
-pub trait Layer: Send {
+///
+/// Layers are `Send + Sync` (they hold plain data, no interior mutability)
+/// and cloneable via [`Layer::clone_box`], which is what lets the parallel
+/// batch-evaluation engine replicate a trained model across worker threads.
+pub trait Layer: Send + Sync {
     /// Runs the layer on a batch.
     ///
     /// `train` toggles training-time behaviour (dropout masks, batch-norm
@@ -83,6 +87,21 @@ pub trait Layer: Send {
     /// Total number of trainable scalars in this layer.
     fn param_count(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// Clones this layer (parameters, running statistics and caches) into a
+    /// fresh box. Used to replicate models across evaluation worker threads.
+    fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Drops activations cached by `forward` for `backward`. Long-lived
+    /// evaluation replicas call this after cloning so they do not retain
+    /// copies of the source model's cached training activations.
+    fn clear_cache(&mut self) {}
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
     }
 }
 

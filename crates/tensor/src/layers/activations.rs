@@ -4,7 +4,7 @@ use crate::layer::Layer;
 use crate::tensor::Tensor;
 
 /// Rectified linear unit: `y = max(0, x)`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Relu {
     mask: Option<Vec<bool>>,
 }
@@ -17,6 +17,14 @@ impl Relu {
 }
 
 impl Layer for Relu {
+    fn clear_cache(&mut self) {
+        self.mask = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
         input.map(|x| x.max(0.0))
@@ -48,7 +56,7 @@ impl Layer for Relu {
 }
 
 /// Logistic sigmoid: `y = 1 / (1 + exp(-x))`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Sigmoid {
     output: Option<Tensor>,
 }
@@ -71,6 +79,14 @@ impl Sigmoid {
 }
 
 impl Layer for Sigmoid {
+    fn clear_cache(&mut self) {
+        self.output = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         let out = input.map(Sigmoid::apply);
         self.output = Some(out.clone());

@@ -5,7 +5,13 @@ use crate::layer::{Layer, Param};
 use crate::rng::SeededRng;
 use crate::tensor::Tensor;
 
-fn conv_output_hw(h: usize, w: usize, kernel: usize, stride: usize, padding: usize) -> (usize, usize) {
+fn conv_output_hw(
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> (usize, usize) {
     let oh = (h + 2 * padding - kernel) / stride + 1;
     let ow = (w + 2 * padding - kernel) / stride + 1;
     (oh, ow)
@@ -26,7 +32,7 @@ fn conv_output_hw(h: usize, w: usize, kernel: usize, stride: usize, padding: usi
 /// let y = conv.forward(&x, true);
 /// assert_eq!(y.shape(), &[2, 8, 8, 8]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Param,
     bias: Param,
@@ -52,7 +58,10 @@ impl Conv2d {
         padding: usize,
         rng: &mut SeededRng,
     ) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         let fan_in = in_channels * kernel * kernel;
         let fan_out = out_channels * kernel * kernel;
         let weight = Init::KaimingNormal.build(
@@ -89,6 +98,14 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         self.check_input(input);
         self.cached_input = Some(input.clone());
@@ -222,7 +239,7 @@ impl Layer for Conv2d {
 
 /// Depthwise 2-D convolution: each input channel is convolved with its own
 /// single-channel kernel (the building block of MobileNet-style models).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DepthwiseConv2d {
     weight: Param,
     bias: Param,
@@ -246,14 +263,12 @@ impl DepthwiseConv2d {
         padding: usize,
         rng: &mut SeededRng,
     ) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
-        let fan_in = kernel * kernel;
-        let weight = Init::KaimingNormal.build(
-            &[channels, kernel, kernel],
-            fan_in,
-            fan_in,
-            rng,
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
         );
+        let fan_in = kernel * kernel;
+        let weight = Init::KaimingNormal.build(&[channels, kernel, kernel], fan_in, fan_in, rng);
         Self {
             weight: Param::new("dwconv.weight", weight),
             bias: Param::new("dwconv.bias", Tensor::zeros(&[channels])),
@@ -267,6 +282,14 @@ impl DepthwiseConv2d {
 }
 
 impl Layer for DepthwiseConv2d {
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert_eq!(input.rank(), 4, "DepthwiseConv2d expects NCHW input");
         assert_eq!(input.shape()[1], self.channels, "channel mismatch");

@@ -18,7 +18,7 @@ use crate::tensor::Tensor;
 /// let y = layer.forward(&x, true);
 /// assert_eq!(y.shape(), &[2, 4]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dense {
     weight: Param,
     bias: Param,
@@ -67,6 +67,14 @@ impl Dense {
 }
 
 impl Layer for Dense {
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert_eq!(input.rank(), 2, "Dense expects [batch, features] input");
         assert_eq!(

@@ -7,7 +7,7 @@ use crate::tensor::Tensor;
 /// Inverted dropout: during training each activation is zeroed with
 /// probability `p` and the survivors are scaled by `1/(1-p)`; at evaluation
 /// time the layer is the identity.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
     rng: SeededRng,
@@ -21,7 +21,10 @@ impl Dropout {
     ///
     /// Panics if `p` is not in `[0, 1)`.
     pub fn new(p: f32, rng: &mut SeededRng) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
         Self {
             p,
             rng: rng.split(),
@@ -36,6 +39,14 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
+    fn clear_cache(&mut self) {
+        self.mask = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         if !train || self.p == 0.0 {
             self.mask = None;

@@ -8,7 +8,7 @@ use crate::layer::Layer;
 use crate::tensor::Tensor;
 
 /// Hyperbolic tangent activation.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Tanh {
     output: Option<Tensor>,
 }
@@ -21,6 +21,14 @@ impl Tanh {
 }
 
 impl Layer for Tanh {
+    fn clear_cache(&mut self) {
+        self.output = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         let out = input.map(f32::tanh);
         self.output = Some(out.clone());
@@ -46,7 +54,7 @@ impl Layer for Tanh {
 }
 
 /// Leaky ReLU: `y = x` for `x > 0`, `y = slope·x` otherwise.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LeakyRelu {
     slope: f32,
     mask: Option<Vec<bool>>,
@@ -76,6 +84,14 @@ impl Default for LeakyRelu {
 }
 
 impl Layer for LeakyRelu {
+    fn clear_cache(&mut self) {
+        self.mask = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
         let slope = self.slope;

@@ -4,7 +4,7 @@ use crate::layer::Layer;
 use crate::tensor::Tensor;
 
 /// Reshapes `[n, d1, d2, ...]` into `[n, d1*d2*...]`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Flatten {
     input_shape: Option<Vec<usize>>,
 }
@@ -17,6 +17,14 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn clear_cache(&mut self) {
+        self.input_shape = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert!(input.rank() >= 2, "Flatten expects at least [batch, ...]");
         self.input_shape = Some(input.shape().to_vec());

@@ -20,10 +20,10 @@ mod sequential;
 mod shuffle;
 
 pub use activations::{Relu, Sigmoid};
-pub use extra_activations::{LeakyRelu, Tanh};
 pub use conv::{Conv2d, DepthwiseConv2d};
 pub use dense::Dense;
 pub use dropout::Dropout;
+pub use extra_activations::{LeakyRelu, Tanh};
 pub use flatten::Flatten;
 pub use norm::BatchNorm2d;
 pub use pool::{AvgPool2d, GlobalAvgPool2d, MaxPool2d};

@@ -9,7 +9,7 @@ use crate::tensor::Tensor;
 /// applies a learnable per-channel scale (`gamma`) and shift (`beta`).
 /// Running statistics are tracked with exponential moving averages and used
 /// when `train == false`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BatchNorm2d {
     gamma: Param,
     beta: Param,
@@ -21,7 +21,7 @@ pub struct BatchNorm2d {
     cache: Option<BnCache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct BnCache {
     x_hat: Tensor,
     std_inv: Vec<f32>,
@@ -50,9 +50,21 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.rank(), 4, "BatchNorm2d expects NCHW input");
-        assert_eq!(input.shape()[1], self.channels, "BatchNorm2d channel mismatch");
+        assert_eq!(
+            input.shape()[1],
+            self.channels,
+            "BatchNorm2d channel mismatch"
+        );
         let (n, c, h, w) = (
             input.shape()[0],
             input.shape()[1],
@@ -67,10 +79,10 @@ impl Layer for BatchNorm2d {
             let mut mean = vec![0.0f32; c];
             let mut var = vec![0.0f32; c];
             for b in 0..n {
-                for ch in 0..c {
+                for (ch, m) in mean.iter_mut().enumerate() {
                     let base = (b * c + ch) * h * w;
                     for i in 0..h * w {
-                        mean[ch] += x[base + i];
+                        *m += x[base + i];
                     }
                 }
             }
@@ -202,7 +214,9 @@ mod tests {
     fn normalizes_to_zero_mean_unit_var_in_train_mode() {
         let mut rng = SeededRng::new(1);
         let mut bn = BatchNorm2d::new(3);
-        let x = Tensor::randn(&[8, 3, 4, 4], &mut rng).scale(5.0).map(|v| v + 10.0);
+        let x = Tensor::randn(&[8, 3, 4, 4], &mut rng)
+            .scale(5.0)
+            .map(|v| v + 10.0);
         let y = bn.forward(&x, true);
         // Per channel statistics of the output should be ~N(0,1) (gamma=1, beta=0).
         let (n, c, h, w) = (8, 3, 4, 4);

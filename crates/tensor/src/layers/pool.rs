@@ -8,7 +8,7 @@ fn pool_output_hw(h: usize, w: usize, kernel: usize, stride: usize) -> (usize, u
 }
 
 /// 2-D max pooling.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     kernel: usize,
     stride: usize,
@@ -24,7 +24,10 @@ impl MaxPool2d {
     ///
     /// Panics if `kernel` or `stride` is zero.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         Self {
             kernel,
             stride,
@@ -35,6 +38,15 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn clear_cache(&mut self) {
+        self.argmax = None;
+        self.input_shape = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert_eq!(input.rank(), 4, "MaxPool2d expects NCHW input");
         let (n, c, h, w) = (
@@ -103,7 +115,7 @@ impl Layer for MaxPool2d {
 }
 
 /// 2-D average pooling.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AvgPool2d {
     kernel: usize,
     stride: usize,
@@ -117,7 +129,10 @@ impl AvgPool2d {
     ///
     /// Panics if `kernel` or `stride` is zero.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         Self {
             kernel,
             stride,
@@ -127,6 +142,14 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
+    fn clear_cache(&mut self) {
+        self.input_shape = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert_eq!(input.rank(), 4, "AvgPool2d expects NCHW input");
         let (n, c, h, w) = (
@@ -205,7 +228,7 @@ impl Layer for AvgPool2d {
 /// Global average pooling: `[n, c, h, w] -> [n, c]`.
 ///
 /// The standard final spatial reduction in efficient CNN architectures.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct GlobalAvgPool2d {
     input_shape: Option<Vec<usize>>,
 }
@@ -218,6 +241,14 @@ impl GlobalAvgPool2d {
 }
 
 impl Layer for GlobalAvgPool2d {
+    fn clear_cache(&mut self) {
+        self.input_shape = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert_eq!(input.rank(), 4, "GlobalAvgPool2d expects NCHW input");
         let (n, c, h, w) = (
@@ -285,7 +316,10 @@ mod tests {
     fn maxpool_picks_maximum() {
         let mut pool = MaxPool2d::new(2, 2);
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -314,11 +348,8 @@ mod tests {
     #[test]
     fn global_avg_pool_shape_and_values() {
         let mut pool = GlobalAvgPool2d::new();
-        let x = Tensor::from_vec(
-            vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0],
-            &[1, 2, 2, 2],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2]).unwrap();
         let y = pool.forward(&x, true);
         assert_eq!(y.shape(), &[1, 2]);
         assert_eq!(y.data(), &[4.0, 2.0]);
@@ -327,13 +358,23 @@ mod tests {
     #[test]
     fn maxpool_gradcheck() {
         let mut rng = SeededRng::new(10);
-        check_layer_gradients(Box::new(MaxPool2d::new(2, 2)), &[2, 2, 4, 4], 2e-2, &mut rng);
+        check_layer_gradients(
+            Box::new(MaxPool2d::new(2, 2)),
+            &[2, 2, 4, 4],
+            2e-2,
+            &mut rng,
+        );
     }
 
     #[test]
     fn avgpool_gradcheck() {
         let mut rng = SeededRng::new(11);
-        check_layer_gradients(Box::new(AvgPool2d::new(2, 2)), &[2, 2, 4, 4], 2e-2, &mut rng);
+        check_layer_gradients(
+            Box::new(AvgPool2d::new(2, 2)),
+            &[2, 2, 4, 4],
+            2e-2,
+            &mut rng,
+        );
     }
 
     #[test]

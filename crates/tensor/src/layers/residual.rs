@@ -9,6 +9,7 @@ use crate::tensor::Tensor;
 /// When the body changes the tensor shape (channel count or spatial stride),
 /// supply a `shortcut` that performs the matching projection (typically a
 /// 1×1 strided convolution); otherwise the identity shortcut is used.
+#[derive(Clone)]
 pub struct Residual {
     body: Sequential,
     shortcut: Option<Sequential>,
@@ -38,12 +39,23 @@ impl std::fmt::Debug for Residual {
             f,
             "Residual(body={:?}, shortcut={})",
             self.body,
-            if self.shortcut.is_some() { "projection" } else { "identity" }
+            if self.shortcut.is_some() {
+                "projection"
+            } else {
+                "identity"
+            }
         )
     }
 }
 
 impl Layer for Residual {
+    fn clear_cache(&mut self) {
+        self.body.clear_cache();
+        if let Some(s) = &mut self.shortcut {
+            s.clear_cache();
+        }
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let main = self.body.forward(input, train);
         let skip = match &mut self.shortcut {
@@ -86,12 +98,20 @@ impl Layer for Residual {
             .as_ref()
             .map(|s| s.flops(input_shape))
             .unwrap_or(0);
-        let add = self.body.output_shape(input_shape).iter().product::<usize>() as u64;
+        let add = self
+            .body
+            .output_shape(input_shape)
+            .iter()
+            .product::<usize>() as u64;
         body + skip + add
     }
 
     fn name(&self) -> &'static str {
         "Residual"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -22,6 +22,7 @@ use crate::tensor::Tensor;
 /// let x = Tensor::randn(&[4, 10], &mut rng);
 /// assert_eq!(net.forward(&x, true).shape(), &[4, 2]);
 /// ```
+#[derive(Clone)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
@@ -68,13 +69,21 @@ impl Sequential {
     /// for an input of the given (batch-less) shape.
     pub fn summary(&self, input_shape: &[usize]) -> String {
         let mut shape = input_shape.to_vec();
-        let mut lines = vec![format!("{:<18} {:<18} {:>12}", "layer", "output shape", "flops")];
+        let mut lines = vec![format!(
+            "{:<18} {:<18} {:>12}",
+            "layer", "output shape", "flops"
+        )];
         let mut total = 0u64;
         for layer in &self.layers {
             let flops = layer.flops(&shape);
             shape = layer.output_shape(&shape);
             total += flops;
-            lines.push(format!("{:<18} {:<18} {:>12}", layer.name(), format!("{shape:?}"), flops));
+            lines.push(format!(
+                "{:<18} {:<18} {:>12}",
+                layer.name(),
+                format!("{shape:?}"),
+                flops
+            ));
         }
         lines.push(format!("{:<18} {:<18} {:>12}", "TOTAL", "", total));
         lines.join("\n")
@@ -90,6 +99,12 @@ impl std::fmt::Debug for Sequential {
 }
 
 impl Layer for Sequential {
+    fn clear_cache(&mut self) {
+        for layer in &mut self.layers {
+            layer.clear_cache();
+        }
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let mut x = input.clone();
         for layer in &mut self.layers {
@@ -133,6 +148,10 @@ impl Layer for Sequential {
 
     fn name(&self) -> &'static str {
         "Sequential"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

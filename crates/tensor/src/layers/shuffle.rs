@@ -6,7 +6,7 @@ use crate::tensor::Tensor;
 /// Channel shuffle: splits channels into `groups`, transposes the group and
 /// per-group-channel axes, and flattens back. Enables information flow
 /// between channel groups in grouped/depthwise architectures.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ChannelShuffle {
     groups: usize,
     input_shape: Option<Vec<usize>>,
@@ -60,6 +60,14 @@ impl ChannelShuffle {
 }
 
 impl Layer for ChannelShuffle {
+    fn clear_cache(&mut self) {
+        self.input_shape = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert_eq!(input.rank(), 4, "ChannelShuffle expects NCHW input");
         self.input_shape = Some(input.shape().to_vec());
@@ -105,7 +113,7 @@ mod tests {
         let mut shuffle = ChannelShuffle::new(2);
         let mut data = Vec::new();
         for ch in 0..4 {
-            data.extend(std::iter::repeat(ch as f32).take(4));
+            data.extend(std::iter::repeat_n(ch as f32, 4));
         }
         let x = Tensor::from_vec(data, &[1, 4, 2, 2]).unwrap();
         let y = shuffle.forward(&x, true);

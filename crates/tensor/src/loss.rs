@@ -50,8 +50,8 @@ impl SoftmaxCrossEntropy {
         let mut out = Tensor::zeros(&[n, k]);
         for i in 0..n {
             let ls = log_softmax_row(logits.row(i).data());
-            for j in 0..k {
-                out.data_mut()[i * k + j] = ls[j].exp();
+            for (j, l) in ls.iter().enumerate() {
+                out.data_mut()[i * k + j] = l.exp();
             }
         }
         out

@@ -27,11 +27,18 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
 /// # Panics
 ///
 /// Panics if any label or prediction is `>= num_classes`.
-pub fn confusion_matrix(predictions: &[usize], labels: &[usize], num_classes: usize) -> Vec<Vec<u32>> {
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    num_classes: usize,
+) -> Vec<Vec<u32>> {
     assert_eq!(predictions.len(), labels.len(), "length mismatch");
     let mut counts = vec![vec![0u32; num_classes]; num_classes];
     for (&p, &y) in predictions.iter().zip(labels.iter()) {
-        assert!(p < num_classes && y < num_classes, "class index out of range");
+        assert!(
+            p < num_classes && y < num_classes,
+            "class index out of range"
+        );
         counts[y][p] += 1;
     }
     counts

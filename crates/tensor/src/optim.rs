@@ -127,7 +127,10 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.len() != params.len() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
         }
         for (i, p) in params.iter_mut().enumerate() {
             let mut grad = p.grad.clone();
@@ -200,8 +203,14 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.m.len() != params.len() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
             self.t = 0;
         }
         self.t += 1;
@@ -318,11 +327,17 @@ mod tests {
     #[test]
     fn lr_schedules() {
         assert_eq!(LrSchedule::Constant.lr_at(0.1, 50), 0.1);
-        let step = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        let step = LrSchedule::StepDecay {
+            every: 10,
+            gamma: 0.5,
+        };
         assert!((step.lr_at(0.1, 0) - 0.1).abs() < 1e-7);
         assert!((step.lr_at(0.1, 10) - 0.05).abs() < 1e-7);
         assert!((step.lr_at(0.1, 25) - 0.025).abs() < 1e-7);
-        let cos = LrSchedule::Cosine { total_epochs: 100, min_lr: 0.0 };
+        let cos = LrSchedule::Cosine {
+            total_epochs: 100,
+            min_lr: 0.0,
+        };
         assert!((cos.lr_at(0.1, 0) - 0.1).abs() < 1e-6);
         assert!(cos.lr_at(0.1, 100) < 1e-6);
         assert!(cos.lr_at(0.1, 50) < 0.1 && cos.lr_at(0.1, 50) > 0.0);

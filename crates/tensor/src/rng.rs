@@ -3,10 +3,118 @@
 //! Every stochastic component in the reproduction (weight initialization,
 //! dataset synthesis, dropout, batch shuffling) draws from a [`SeededRng`] so
 //! that experiments are bit-for-bit reproducible given a seed.
+//!
+//! The generator is a self-contained ChaCha8 stream cipher RNG (no external
+//! dependencies — this build environment is offline): fast, portable, and
+//! with a well-defined output for a given seed on every platform.
 
-use rand::distributions::Distribution;
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+/// The ChaCha state constants: `"expand 32-byte k"`.
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha8 block generator: 16 words of key stream per block.
+#[derive(Debug, Clone)]
+struct ChaCha8 {
+    /// Key words (state words 4..12).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14); words 14..15 hold the nonce (zero).
+    counter: u64,
+    /// Buffered key-stream words from the current block.
+    buffer: [u32; 16],
+    /// Next unread index into `buffer`; 16 means "refill needed".
+    cursor: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8 {
+    fn new(key: [u32; 8]) -> Self {
+        Self {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    /// Runs the ChaCha8 block function, refilling the output buffer.
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14..16]: zero nonce.
+        let initial = state;
+        // ChaCha8 = 8 rounds = 4 double rounds.
+        for _ in 0..4 {
+            // Column rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.buffer.iter_mut().zip(state.iter().zip(initial.iter())) {
+            *out = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+/// Expands a 64-bit seed into ChaCha key words with a splitmix64 stream
+/// (one call per 8 key bytes). This is analogous to — but NOT bit-compatible
+/// with — `rand`'s `seed_from_u64`, which draws one splitmix64 output per
+/// 4-byte chunk; streams differ from the pre-rewrite rand-based generator
+/// for the same seed.
+fn expand_seed(seed: u64) -> [u32; 8] {
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut key = [0u32; 8];
+    for pair in key.chunks_mut(2) {
+        let v = next();
+        pair[0] = v as u32;
+        pair[1] = (v >> 32) as u32;
+    }
+    key
+}
 
 /// A deterministic random number generator with convenience samplers.
 ///
@@ -24,14 +132,14 @@ use rand_chacha::ChaCha8Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: ChaCha8Rng,
+    inner: ChaCha8,
 }
 
 impl SeededRng {
     /// Creates a new generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         Self {
-            inner: ChaCha8Rng::seed_from_u64(seed),
+            inner: ChaCha8::new(expand_seed(seed)),
         }
     }
 
@@ -43,12 +151,22 @@ impl SeededRng {
         Self::new(self.inner.next_u64())
     }
 
+    /// The next raw 64-bit word of the key stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform `f32` in `[0, 1)` using the top 24 bits of one output word.
+    fn next_f32(&mut self) -> f32 {
+        (self.inner.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
     /// Samples from a normal distribution with the given mean and standard deviation.
     pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
-        // Box-Muller transform; avoids depending on rand_distr.
+        // Box-Muller transform; avoids depending on a distributions crate.
         loop {
-            let u1: f32 = self.inner.gen_range(f32::EPSILON..1.0);
-            let u2: f32 = self.inner.gen_range(0.0..1.0);
+            let u1: f32 = self.uniform(f32::EPSILON, 1.0);
+            let u2: f32 = self.next_f32();
             let mag = (-2.0 * u1.ln()).sqrt();
             let z = mag * (2.0 * std::f32::consts::PI * u2).cos();
             let v = mean + std * z;
@@ -65,7 +183,15 @@ impl SeededRng {
     /// Panics if `low >= high`.
     pub fn uniform(&mut self, low: f32, high: f32) -> f32 {
         assert!(low < high, "uniform range must satisfy low < high");
-        self.inner.gen_range(low..high)
+        let v = low + self.next_f32() * (high - low);
+        // Guard the half-open contract against rounding at the top end:
+        // clamp to the largest value below `high` rather than wrapping to
+        // `low`, which would put a point mass at the bottom of narrow ranges.
+        if v >= high {
+            high.next_down().max(low)
+        } else {
+            v
+        }
     }
 
     /// Samples an integer uniformly from `[0, n)`.
@@ -75,32 +201,25 @@ impl SeededRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(n) requires n > 0");
-        self.inner.gen_range(0..n)
+        // 64-bit multiply-shift (Lemire); bias is negligible for the small
+        // ranges used here and the output is deterministic either way.
+        let x = self.inner.next_u64() as u128;
+        ((x * n as u128) >> 64) as usize
     }
 
     /// Returns `true` with probability `p`.
     pub fn bernoulli(&mut self, p: f32) -> bool {
-        self.inner.gen::<f32>() < p
+        self.next_f32() < p
     }
 
     /// Produces a random permutation of `0..n` (Fisher-Yates).
     pub fn permutation(&mut self, n: usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..n).collect();
         for i in (1..n).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i + 1);
             idx.swap(i, j);
         }
         idx
-    }
-
-    /// Samples from an arbitrary `rand` distribution.
-    pub fn sample<T, D: Distribution<T>>(&mut self, dist: &D) -> T {
-        dist.sample(&mut self.inner)
-    }
-
-    /// Returns a mutable reference to the underlying `rand` RNG.
-    pub fn rng(&mut self) -> &mut impl Rng {
-        &mut self.inner
     }
 }
 
@@ -133,6 +252,16 @@ mod tests {
     }
 
     #[test]
+    fn chacha_kat_first_block_differs_from_second() {
+        // The block counter must advance: two consecutive blocks of key
+        // stream cannot be identical.
+        let mut rng = SeededRng::new(0);
+        let block1: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        let block2: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert_ne!(block1, block2);
+    }
+
+    #[test]
     fn normal_has_roughly_correct_moments() {
         let mut rng = SeededRng::new(9);
         let n = 20_000;
@@ -141,6 +270,15 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
         assert!((mean - 2.0).abs() < 0.1, "mean was {mean}");
         assert!((var.sqrt() - 3.0).abs() < 0.1, "std was {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_respects_range() {
+        let mut rng = SeededRng::new(21);
+        for _ in 0..10_000 {
+            let v = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
     }
 
     #[test]
@@ -158,6 +296,16 @@ mod tests {
         for _ in 0..1000 {
             assert!(rng.below(7) < 7);
         }
+    }
+
+    #[test]
+    fn below_covers_all_values() {
+        let mut rng = SeededRng::new(17);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -20,15 +20,13 @@ fn main() {
     let preset = DatasetPreset::Cifar10Like;
     let pair = preset.spec(ctx.fidelity).generate();
 
-    println!("Black-box (oracle cloud) AppealNet on {}\n", preset.paper_name());
+    println!(
+        "Black-box (oracle cloud) AppealNet on {}\n",
+        preset.paper_name()
+    );
     for family in ModelFamily::little_families() {
-        let prepared = PreparedExperiment::prepare_with_data(
-            preset,
-            &pair,
-            family,
-            CloudMode::BlackBox,
-            &ctx,
-        );
+        let prepared =
+            PreparedExperiment::prepare_with_data(preset, &pair, family, CloudMode::BlackBox, &ctx);
         let row = table2::run(&prepared);
         println!("{}", row.render_text());
     }

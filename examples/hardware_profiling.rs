@@ -31,7 +31,9 @@ fn main() {
     for (device, latency_budget_ms) in targets {
         let profiler = HardwareProfiler::new(device.clone(), latency_budget_ms);
         println!("device: {device}, latency budget: {latency_budget_ms} ms");
-        println!("  candidate                              MFLOPs   params(k)  latency(ms)  deployable");
+        println!(
+            "  candidate                              MFLOPs   params(k)  latency(ms)  deployable"
+        );
         for decision in profiler.profile_pool(&pool) {
             println!(
                 "  {:<38} {:>7.3}  {:>9.1}  {:>11.4}  {}",
@@ -45,7 +47,8 @@ fn main() {
         match profiler.select(&pool) {
             Some(best) => println!(
                 "  -> selected {} ({:.3} MFLOPs); AppealNet would now add the predictor head\n",
-                best.spec, best.cost.mflops()
+                best.spec,
+                best.cost.mflops()
             ),
             None => println!("  -> no candidate fits this budget\n"),
         }

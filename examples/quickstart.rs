@@ -15,7 +15,10 @@ fn main() {
     //    keeps the example fast; switch to `Fidelity::Paper` for the scale
     //    used by the benchmark harness.
     let ctx = ExperimentContext::new(Fidelity::Smoke, 42);
-    println!("Preparing an AppealNet system on {} ...", DatasetPreset::Cifar10Like);
+    println!(
+        "Preparing an AppealNet system on {} ...",
+        DatasetPreset::Cifar10Like
+    );
 
     // 2. Prepare the full pipeline: train the big cloud network, the baseline
     //    little network, and the jointly trained two-head AppealNet model.

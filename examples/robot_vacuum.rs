@@ -65,7 +65,10 @@ fn main() {
     let offloaded = outcomes.iter().filter(|o| o.offloaded).count();
     let total_cost = CollaborativeSystem::total_cost(&outcomes);
 
-    println!("\nstreamed {} camera frames through the deployed system (δ = {threshold}):", outcomes.len());
+    println!(
+        "\nstreamed {} camera frames through the deployed system (δ = {threshold}):",
+        outcomes.len()
+    );
     println!(
         "  accuracy        : {:.2}%",
         correct as f64 / outcomes.len() as f64 * 100.0

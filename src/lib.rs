@@ -11,8 +11,10 @@
 //! * [`appealnet_core`] — the AppealNet two-head architecture, joint training,
 //!   routing scores, metrics and experiment pipelines.
 //!
-//! See the repository `README.md` for a quickstart and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the reproduction methodology and results.
+//! See the repository `README.md` for a quickstart, the workspace layout and
+//! the design of the parallel batch-evaluation engine; the experiment
+//! binaries in `appeal-bench` regenerate the paper's tables and figures into
+//! `reports/`.
 
 pub use appeal_dataset;
 pub use appeal_hw;

@@ -29,7 +29,10 @@ fn blackbox_pipeline_and_table2_row() {
     let ars: Vec<f64> = row
         .entries
         .iter()
-        .map(|e| e.appealnet_appealing_rate.expect("reachable with an oracle"))
+        .map(|e| {
+            e.appealnet_appealing_rate
+                .expect("reachable with an oracle")
+        })
         .collect();
     for w in ars.windows(2) {
         assert!(w[1] + 1e-9 >= w[0]);

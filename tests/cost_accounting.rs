@@ -14,9 +14,7 @@ fn model_zoo_flops_match_layer_sums() {
     for family in ModelFamily::little_families() {
         let model = ModelSpec::little(family, [3, 12, 12], 10).build(&mut rng);
         let by_parts = model.backbone.flops(&[3, 12, 12])
-            + model
-                .head
-                .flops(&model.backbone.output_shape(&[3, 12, 12]));
+            + model.head.flops(&model.backbone.output_shape(&[3, 12, 12]));
         assert_eq!(model.total_flops(), by_parts, "{family}");
     }
 }
@@ -84,8 +82,7 @@ fn measured_forward_flops_scale_with_reported_flops() {
     // The reported FLOPs are static estimates; verify they at least order the
     // model families by actual arithmetic work (parameter count is a proxy).
     let mut rng = SeededRng::new(3);
-    let mut little =
-        ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10).build(&mut rng);
+    let mut little = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10).build(&mut rng);
     let mut big = ModelSpec::big([3, 12, 12], 10).build(&mut rng);
     assert!(big.total_flops() > 10 * little.total_flops());
     assert!(big.param_count() > little.param_count());

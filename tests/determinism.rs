@@ -1,0 +1,75 @@
+//! Determinism guards for the parallel batch-evaluation engine.
+//!
+//! The rayon-backed engine shards evaluation passes across worker threads;
+//! these tests pin down that (a) two identical `prepare` runs produce
+//! byte-identical serialized `EvaluationArtifacts`, and (b) a sharded
+//! evaluation is bit-identical to a sequential one on the same model, so no
+//! nondeterministic reduction order can creep into results.
+
+use appeal_dataset::{DatasetPreset, Fidelity};
+use appeal_models::{ModelFamily, ModelSpec};
+use appeal_tensor::SeededRng;
+use appealnet_core::experiments::{ExperimentContext, PreparedExperiment};
+use appealnet_core::loss::CloudMode;
+use appealnet_core::parallel::ChunkPolicy;
+use appealnet_core::two_head::TwoHeadNet;
+
+#[test]
+fn prepare_produces_byte_identical_artifacts_across_runs() {
+    let run = || {
+        let ctx = ExperimentContext::new(Fidelity::Smoke, 2468);
+        let prepared = PreparedExperiment::prepare(
+            DatasetPreset::Cifar10Like,
+            ModelFamily::MobileNetLike,
+            CloudMode::WhiteBox,
+            &ctx,
+        );
+        prepared
+            .score_kinds()
+            .into_iter()
+            .map(|kind| {
+                serde_json::to_string(prepared.artifacts(kind))
+                    .expect("artifacts serialize to JSON")
+            })
+            .collect::<Vec<String>>()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first.len(), 4, "one artifact set per score kind");
+    for (a, b) in first.iter().zip(second.iter()) {
+        assert_eq!(a, b, "serialized artifacts must be byte-identical");
+    }
+}
+
+#[test]
+fn sharded_evaluation_is_bit_identical_to_sequential() {
+    // Evaluation determinism does not depend on training: a freshly
+    // initialized two-head network suffices and keeps the test fast.
+    let mut rng = SeededRng::new(97);
+    let parts = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10).build(&mut rng);
+    let mut net = TwoHeadNet::from_parts(parts, &mut rng);
+    let images = appeal_tensor::Tensor::randn(&[40, 3, 12, 12], &mut rng);
+
+    let sequential = net.evaluate_with_policy(&images, 8, &ChunkPolicy::sequential());
+    let sharded = net.evaluate_with_policy(
+        &images,
+        8,
+        &ChunkPolicy {
+            min_shard: 4,
+            max_shards: 8,
+        },
+    );
+    assert_eq!(sequential.q.len(), sharded.q.len());
+    for (a, b) in sequential.q.iter().zip(sharded.q.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "q scores must be bit-identical");
+    }
+    assert_eq!(sequential.logits.shape(), sharded.logits.shape());
+    for (a, b) in sequential
+        .logits
+        .data()
+        .iter()
+        .zip(sharded.logits.data().iter())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "logits must be bit-identical");
+    }
+}

@@ -92,7 +92,10 @@ fn figure_and_table_queries_run_on_the_same_prepared_system() {
         .filter_map(|e| e.appealnet_cost_mflops)
         .collect();
     for w in costs.windows(2) {
-        assert!(w[1] + 1e-9 >= w[0], "costs {costs:?} must be non-decreasing");
+        assert!(
+            w[1] + 1e-9 >= w[0],
+            "costs {costs:?} must be non-decreasing"
+        );
     }
 }
 

@@ -1,0 +1,277 @@
+//! Vendored, dependency-free subset of `criterion`.
+//!
+//! This environment has no network access, so the real `criterion` crate
+//! cannot be fetched. This crate implements the API surface the workspace's
+//! benches use — [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, `Bencher::iter` / `iter_batched`, [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — over plain
+//! `std::time::Instant` wall-clock measurement.
+//!
+//! Each benchmark warms up briefly, then records `sample_size` samples and
+//! prints `min` / `median` / `max` per-iteration times in criterion's
+//! familiar `time: [low mid high]` format. Statistical analysis (outlier
+//! detection, regression against saved baselines) is out of scope.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The vendored harness always
+/// times the routine per batch element, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per sample.
+    SmallInput,
+    /// Large inputs: one per sample.
+    LargeInput,
+    /// Per-iteration setup.
+    PerIteration,
+}
+
+/// Timing loop handed to `bench_function` closures.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample mean iteration times, filled by `iter`/`iter_batched`.
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            recorded: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run for ~50ms or 3 iterations, whichever is longer.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters > 1_000_000 {
+                break;
+            }
+        }
+        // Pick an iteration count per sample aiming at ~10ms per sample.
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1000
+        } else {
+            (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000)
+                as u32
+        };
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.recorded.push(start.elapsed() / iters_per_sample);
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples recorded per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark if it matches the CLI filter.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = format!("{}/{}", self.name, id.into());
+        if !self.criterion.matches(&full_name) {
+            return self;
+        }
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        self.criterion.report(&full_name, &mut bencher.recorded);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` forwards everything after `--` plus `--bench`; treat
+        // the first non-flag argument as a substring filter, like criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            filter,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration (kept for API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into();
+        if self.matches(&name) {
+            let mut bencher = Bencher::new(self.default_sample_size);
+            f(&mut bencher);
+            self.report(&name, &mut bencher.recorded);
+        }
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn report(&self, name: &str, samples: &mut [Duration]) {
+        if samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            format_duration(min),
+            format_duration(median),
+            format_duration(max)
+        );
+    }
+}
+
+/// Declares a benchmark group function, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| 1 + 1);
+        assert_eq!(b.recorded.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_records_samples() {
+        let mut b = Bencher::new(4);
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.recorded.len(), 4);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(5)), "5 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(3)).ends_with("ms"));
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 3,
+        };
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2).bench_function("b", |b| {
+                ran = true;
+                b.iter(|| 0)
+            });
+            g.finish();
+        }
+        assert!(ran);
+    }
+}

@@ -1,0 +1,491 @@
+//! Vendored, dependency-free subset of `rayon`.
+//!
+//! This environment has no network access, so the real `rayon` crate cannot
+//! be fetched. This crate implements the slice of rayon's API the workspace
+//! uses — [`join`], [`scope`], `par_iter()` / `par_chunks()` /
+//! `into_par_iter()` with `map` / `collect` / `sum` / `for_each` — on top of
+//! `std::thread::scope`, with two properties the AppealNet evaluation engine
+//! depends on:
+//!
+//! 1. **Determinism.** Work is split into contiguous index ranges and results
+//!    are concatenated in index order, so every reduction observes the same
+//!    operand order regardless of thread scheduling. Two runs of the same
+//!    parallel pipeline produce identical results.
+//! 2. **Graceful degradation.** When the input is smaller than the chunking
+//!    threshold (`with_min_len`) or only one thread is available, everything
+//!    runs inline on the calling thread with zero spawn overhead.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (if set) or
+//! `std::thread::available_parallelism()`.
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Number of worker threads parallel operations may use.
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+///
+/// `a` runs on the calling thread; `b` runs on a scoped worker thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// A scope in which tasks can be spawned that borrow from the environment.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Creates a scope, runs `f` in it and waits for all spawned tasks.
+///
+/// Panics from spawned tasks propagate when the scope exits, like rayon.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task in the scope. The task receives the scope so it can
+    /// spawn further tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Splits `0..n` into at most `current_num_threads()` contiguous ranges of at
+/// least `min_len` items each.
+fn split_ranges(n: usize, min_len: usize) -> Vec<Range<usize>> {
+    let threads = current_num_threads();
+    let chunk = n.div_ceil(threads).max(min_len.max(1));
+    let mut ranges = Vec::new();
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+/// Core executor: applies `run` to contiguous index ranges (in parallel when
+/// worthwhile) and concatenates the per-range outputs in index order.
+fn execute<R, F>(n: usize, min_len: usize, run: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> Vec<R> + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let ranges = split_ranges(n, min_len);
+    if ranges.len() <= 1 {
+        return run(0..n);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(|| run(r))).collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon worker panicked"));
+        }
+        out
+    })
+}
+
+/// Ordered collection target of a parallel iterator (rayon's
+/// `FromParallelIterator`, restricted to ordered buffers).
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from results already in index order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// A mapped parallel iterator over an indexable source.
+///
+/// Created by [`ParallelIterator::map`]; consumed by `collect`, `sum`,
+/// `reduce` or `for_each`. All reductions happen in index order, so they are
+/// deterministic even for non-associative operations (e.g. float addition).
+pub struct Map<I, F> {
+    source: I,
+    f: F,
+}
+
+/// Types that can hand out their `index`-th item to a worker thread.
+///
+/// Borrowing sources (slices, chunks) tie `Item` to the *data* lifetime they
+/// already hold, not to `&self`, so mapped items can outlive the iterator
+/// adapters themselves.
+pub trait IndexedSource: Sync + Sized {
+    /// Item handed to the mapping closure.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the source has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `index`-th item.
+    fn get(&self, index: usize) -> Self::Item;
+}
+
+/// A parallel iterator over an [`IndexedSource`].
+pub struct ParIter<I> {
+    source: I,
+    min_len: usize,
+}
+
+impl<I: IndexedSource> ParIter<I> {
+    /// Sets the minimum number of items processed per thread. Inputs smaller
+    /// than this run inline on the calling thread — the chunking-policy hook
+    /// used to keep tiny (smoke-scale) workloads overhead-free.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Maps each item through `f`.
+    pub fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(I::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { source: self, f }
+    }
+
+    /// Runs `f` on every item (parallel, order of side effects unspecified).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I::Item) + Sync,
+    {
+        let src = &self.source;
+        execute(src.len(), self.min_len, |range| {
+            for i in range {
+                f(src.get(i));
+            }
+            Vec::<()>::new()
+        });
+    }
+}
+
+impl<I, F, R> Map<ParIter<I>, F>
+where
+    I: IndexedSource,
+    F: Fn(I::Item) -> R + Sync,
+    R: Send,
+{
+    /// Materializes the mapped items in index order.
+    fn run(self) -> Vec<R> {
+        let src = &self.source.source;
+        let f = &self.f;
+        execute(src.len(), self.source.min_len, |range| {
+            range.map(|i| f(src.get(i))).collect()
+        })
+    }
+
+    /// Collects the mapped items, preserving index order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_ordered(self.run())
+    }
+
+    /// Sums the mapped items in index order (deterministic for floats).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        self.run().into_iter().sum()
+    }
+
+    /// Reduces the mapped items in index order, starting from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        self.run().into_iter().fold(identity(), op)
+    }
+}
+
+// --- Sources -----------------------------------------------------------
+
+/// A slice source (`par_iter`).
+pub struct SliceSource<'data, T: Sync>(&'data [T]);
+
+impl<'data, T: Sync> IndexedSource for SliceSource<'data, T> {
+    type Item = &'data T;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn get(&self, index: usize) -> &'data T {
+        &self.0[index]
+    }
+}
+
+/// A chunked slice source (`par_chunks`).
+pub struct ChunksSource<'data, T: Sync> {
+    data: &'data [T],
+    chunk: usize,
+}
+
+impl<'data, T: Sync> IndexedSource for ChunksSource<'data, T> {
+    type Item = &'data [T];
+
+    fn len(&self) -> usize {
+        self.data.len().div_ceil(self.chunk)
+    }
+
+    fn get(&self, index: usize) -> &'data [T] {
+        let start = index * self.chunk;
+        let end = (start + self.chunk).min(self.data.len());
+        &self.data[start..end]
+    }
+}
+
+/// A `usize` range source (`(0..n).into_par_iter()`).
+pub struct RangeSource(Range<usize>);
+
+impl IndexedSource for RangeSource {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.0.end.saturating_sub(self.0.start)
+    }
+
+    fn get(&self, index: usize) -> usize {
+        self.0.start + index
+    }
+}
+
+/// An owned `Vec` source (`vec.into_par_iter()`); items are cloned out per
+/// worker, which the workspace only uses for cheap (`Copy`-ish) items.
+pub struct VecSource<T: Sync + Clone>(Vec<T>);
+
+impl<T: Sync + Clone + Send> IndexedSource for VecSource<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn get(&self, index: usize) -> T {
+        self.0[index].clone()
+    }
+}
+
+// --- Entry-point traits (rayon's prelude) ------------------------------
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Borrowing parallel iterator over the collection.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = ParIter<SliceSource<'data, T>>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        ParIter {
+            source: SliceSource(self),
+            min_len: 1,
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = ParIter<SliceSource<'data, T>>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        ParIter {
+            source: SliceSource(self.as_slice()),
+            min_len: 1,
+        }
+    }
+}
+
+/// `into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Consuming parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParIter<RangeSource>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter {
+            source: RangeSource(self),
+            min_len: 1,
+        }
+    }
+}
+
+impl<T: Sync + Clone + Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParIter<VecSource<T>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter {
+            source: VecSource(self),
+            min_len: 1,
+        }
+    }
+}
+
+/// `par_chunks()` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous chunks of `chunk_size` items.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksSource<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksSource<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParIter {
+            source: ChunksSource {
+                data: self,
+                chunk: chunk_size,
+            },
+            min_len: 1,
+        }
+    }
+}
+
+/// Rayon-style glob import: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelSlice,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), 10_000);
+        assert!(doubled.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn sum_is_deterministic_and_correct() {
+        let v: Vec<f64> = (0..5_000).map(|i| (i as f64).sqrt()).collect();
+        let a: f64 = v.par_iter().map(|&x| x).sum();
+        let b: f64 = v.par_iter().map(|&x| x).sum();
+        let seq: f64 = v.iter().sum();
+        assert_eq!(a, b, "parallel sum must be deterministic");
+        assert_eq!(a, seq, "index-order reduction must match sequential");
+    }
+
+    #[test]
+    fn par_chunks_covers_everything_once() {
+        let v: Vec<usize> = (0..103).collect();
+        let chunks: Vec<Vec<usize>> = v.par_chunks(10).map(|c| c.to_vec()).collect();
+        assert_eq!(chunks.len(), 11);
+        let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, v);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..100).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[7], 49);
+        assert_eq!(squares.len(), 100);
+    }
+
+    #[test]
+    fn with_min_len_forces_inline_execution() {
+        // min_len >= n means a single range, processed on this thread.
+        let v = vec![1, 2, 3];
+        let out: Vec<i32> = v.par_iter().with_min_len(100).map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn scope_spawn_writes_disjoint_slots() {
+        let mut slots = [0usize; 8];
+        scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i * 3);
+            }
+        });
+        assert!(slots.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    #[test]
+    fn reduce_in_index_order() {
+        let v: Vec<u32> = (1..=5).collect();
+        let product = v.par_iter().map(|&x| x).reduce(|| 1, |a, b| a * b);
+        assert_eq!(product, 120);
+    }
+
+    #[test]
+    fn for_each_visits_all_items() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..1000).collect();
+        v.par_iter().for_each(|&x| {
+            counter.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 499_500);
+    }
+}

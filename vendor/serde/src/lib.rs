@@ -1,0 +1,238 @@
+//! Vendored, dependency-free subset of `serde`.
+//!
+//! This environment has no network access, so the real `serde` crate cannot
+//! be fetched. This crate provides the two traits the workspace derives —
+//! [`Serialize`] and [`Deserialize`] — with an API shaped around what the
+//! repository actually needs: deterministic JSON text output (consumed by the
+//! vendored `serde_json::to_string`) for artifact types, reports and the
+//! byte-identical determinism tests.
+//!
+//! Differences from real serde, by design:
+//! * [`Serialize`] writes JSON directly instead of driving a generic
+//!   `Serializer`; output is byte-deterministic for a given value.
+//! * [`Deserialize`] is a marker trait (nothing in the workspace parses JSON
+//!   back yet); deriving it compiles and records intent.
+//! * `#[serde(...)]` attributes and generic types are not supported.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can write themselves as JSON text.
+///
+/// Implementations must be deterministic: the same value always produces the
+/// same bytes (the workspace's determinism tests compare serialized output).
+pub trait Serialize {
+    /// Appends the JSON representation of `self` to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// Convenience: the JSON representation as a fresh `String`.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Marker for types whose serialized form is intended to round-trip.
+///
+/// The vendored shim does not implement parsing; the derive exists so the
+/// workspace's `#[derive(Serialize, Deserialize)]` annotations compile
+/// unchanged against real serde later.
+pub trait Deserialize {}
+
+/// Escapes and appends a string literal in JSON form.
+fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_display_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_display_serialize!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+macro_rules! impl_float_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Rust's Display prints the shortest representation that
+                    // round-trips, which is deterministic.
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no Infinity/NaN; match serde_json's lossy `null`.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_float_serialize!(f32, f64);
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Deserialize for String {}
+
+impl Serialize for char {
+    fn write_json(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        write_json_str(self.encode_utf8(&mut buf), out);
+    }
+}
+
+impl Deserialize for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+macro_rules! impl_tuple_serialize {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {}
+    )+};
+}
+
+impl_tuple_serialize!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D)
+);
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(k.as_ref(), out);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize_to_json() {
+        assert_eq!(3u32.to_json(), "3");
+        assert_eq!((-4i64).to_json(), "-4");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(1.5f32.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!("a\"b\\c\nd".to_json(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn containers_serialize_recursively() {
+        assert_eq!(vec![1u8, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(Some(7u8).to_json(), "7");
+        assert_eq!(Option::<u8>::None.to_json(), "null");
+        assert_eq!((1u8, "x").to_json(), r#"[1,"x"]"#);
+        assert_eq!([0.5f64, 0.25].to_json(), "[0.5,0.25]");
+    }
+}

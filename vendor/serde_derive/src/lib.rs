@@ -1,0 +1,336 @@
+//! Vendored, dependency-free subset of `serde_derive`.
+//!
+//! This environment has no network access, so the real `serde` /
+//! `serde_derive` crates cannot be fetched. This proc-macro crate hand-parses
+//! the derive input token stream (no `syn`/`quote`) and generates
+//! implementations of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits, which target deterministic JSON text.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde's default representation);
+//! * `#[serde(...)]` attributes are **not** supported and generics are
+//!   rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or of one enum variant.
+enum Fields {
+    /// `struct Foo;`
+    Unit,
+    /// `struct Foo { a: A, b: B }`
+    Named(Vec<String>),
+    /// `struct Foo(A, B);`
+    Tuple(usize),
+}
+
+/// The parsed derive input.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derives `serde::Serialize` (JSON writer) for the annotated item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (marker impl) for the annotated item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// --- Parsing -----------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(iter: &mut TokenIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes tokens of one type expression, stopping after the `,` that ends
+/// it (or at end of stream). Tracks `<`/`>` depth so commas inside generic
+/// arguments are not mistaken for field separators.
+fn skip_type(iter: &mut TokenIter) {
+    let mut depth = 0i64;
+    while let Some(tt) = iter.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    iter.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        iter.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(id)) => {
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => {
+                        return Err(format!("expected `:` after field `{id}`, found {other:?}"))
+                    }
+                }
+                fields.push(id.to_string());
+                skip_type(&mut iter);
+            }
+            Some(other) => return Err(format!("unexpected token in fields: {other:?}")),
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant: one more than the
+/// number of top-level commas, unless the stream is empty.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i64;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tt in stream {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(id)) => {
+                let fields = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = Fields::Named(parse_named_fields(g.stream())?);
+                        iter.next();
+                        f
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                        iter.next();
+                        f
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip an explicit discriminant (`= expr`) and the trailing comma.
+                skip_type(&mut iter);
+                variants.push((id.to_string(), fields));
+            }
+            Some(other) => return Err(format!("unexpected token in enum body: {other:?}")),
+        }
+    }
+}
+
+// --- Code generation ---------------------------------------------------
+
+/// `out.push_str("...");` with the given raw JSON text (escaped as needed).
+fn push_lit(code: &mut String, text: &str) {
+    code.push_str("out.push_str(");
+    code.push_str(&format!("{text:?}"));
+    code.push_str(");");
+}
+
+/// Statements serializing named fields (accessed via `prefix`) as a JSON object body.
+fn named_body(code: &mut String, fields: &[String], prefix: &str) {
+    code.push_str("out.push_str(\"{\");");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            code.push_str("out.push(',');");
+        }
+        push_lit(code, &format!("\"{f}\":"));
+        code.push_str(&format!("serde::Serialize::write_json(&{prefix}{f}, out);"));
+    }
+    code.push_str("out.push_str(\"}\");");
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            match fields {
+                Fields::Unit => push_lit(&mut body, "null"),
+                Fields::Named(fs) => named_body(&mut body, fs, "self."),
+                Fields::Tuple(1) => {
+                    body.push_str("serde::Serialize::write_json(&self.0, out);");
+                }
+                Fields::Tuple(n) => {
+                    body.push_str("out.push('[');");
+                    for i in 0..*n {
+                        if i > 0 {
+                            body.push_str("out.push(',');");
+                        }
+                        body.push_str(&format!("serde::Serialize::write_json(&self.{i}, out);"));
+                    }
+                    body.push_str("out.push(']');");
+                }
+            }
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!("{name}::{vname} => {{"));
+                        push_lit(&mut arms, &format!("\"{vname}\""));
+                        arms.push_str("}\n");
+                    }
+                    Fields::Named(fs) => {
+                        let pat = fs.join(", ");
+                        arms.push_str(&format!("{name}::{vname} {{ {pat} }} => {{"));
+                        push_lit(&mut arms, &format!("{{\"{vname}\":"));
+                        named_body(&mut arms, fs, "");
+                        arms.push_str("out.push_str(\"}\");}\n");
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        arms.push_str(&format!("{name}::{vname}({}) => {{", binds.join(", ")));
+                        push_lit(&mut arms, &format!("{{\"{vname}\":"));
+                        if *n == 1 {
+                            arms.push_str("serde::Serialize::write_json(f0, out);");
+                        } else {
+                            arms.push_str("out.push('[');");
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    arms.push_str("out.push(',');");
+                                }
+                                arms.push_str(&format!("serde::Serialize::write_json({b}, out);"));
+                            }
+                            arms.push_str("out.push(']');");
+                        }
+                        arms.push_str("out.push_str(\"}\");}\n");
+                    }
+                }
+            }
+            (name, format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn write_json(&self, out: &mut String) {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{}}"
+    )
+}

@@ -1,0 +1,134 @@
+//! Vendored, dependency-free subset of `serde_json`.
+//!
+//! Provides [`to_string`] / [`to_string_pretty`] / [`to_vec`] over the
+//! vendored `serde::Serialize` trait. Output is deterministic: the same value
+//! always produces the same bytes, which the workspace's determinism tests
+//! rely on. Parsing is not implemented (nothing in the workspace reads JSON
+//! back yet).
+
+use std::fmt;
+
+/// Serialization error.
+///
+/// The vendored serializer is infallible in practice; the error type exists
+/// so call sites match real serde_json's `Result`-returning API.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching real serde_json.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T>(value: &T) -> Result<String>
+where
+    T: serde::Serialize + ?Sized,
+{
+    Ok(value.to_json())
+}
+
+/// Serializes `value` to JSON bytes.
+pub fn to_vec<T>(value: &T) -> Result<Vec<u8>>
+where
+    T: serde::Serialize + ?Sized,
+{
+    Ok(value.to_json().into_bytes())
+}
+
+/// Serializes `value` to an indented JSON string (2-space indent).
+pub fn to_string_pretty<T>(value: &T) -> Result<String>
+where
+    T: serde::Serialize + ?Sized,
+{
+    Ok(prettify(&value.to_json()))
+}
+
+/// Re-indents a compact JSON string. Walks the text tracking string literals
+/// so structural characters inside strings are left alone.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                if let Some(&next) = chars.peek() {
+                    if (c == '{' && next == '}') || (c == '[' && next == ']') {
+                        out.push(next);
+                        chars.next();
+                        continue;
+                    }
+                }
+                indent += 1;
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_string_matches_serialize() {
+        assert_eq!(to_string(&vec![1u8, 2]).unwrap(), "[1,2]");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+    }
+
+    #[test]
+    fn pretty_indents_and_preserves_strings() {
+        let pretty = to_string_pretty(&vec!["a{b".to_string(), "c".to_string()]).unwrap();
+        assert_eq!(pretty, "[\n  \"a{b\",\n  \"c\"\n]");
+    }
+
+    #[test]
+    fn to_vec_is_utf8_of_to_string() {
+        let v = vec![0.5f32];
+        assert_eq!(to_vec(&v).unwrap(), to_string(&v).unwrap().into_bytes());
+    }
+}
