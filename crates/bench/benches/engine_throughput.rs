@@ -1,0 +1,88 @@
+//! Criterion bench: requests/sec through the serving engine's micro-batching
+//! path — single-request submission with automatic flushes vs. whole-batch
+//! classification, sequential vs. rayon-sharded execution.
+
+use appeal_models::{ModelFamily, ModelSpec};
+use appeal_tensor::{SeededRng, Tensor};
+use appealnet_core::parallel::ChunkPolicy;
+use appealnet_core::serve::{Engine, InferenceRequest, ThresholdPolicy};
+use appealnet_core::two_head::TwoHeadNet;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn build_engine(chunk: ChunkPolicy, max_batch: usize) -> Engine {
+    let mut rng = SeededRng::new(7);
+    let little = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10).build(&mut rng);
+    let net = TwoHeadNet::from_parts(little, &mut rng);
+    let big = ModelSpec::big([3, 12, 12], 10).build(&mut rng);
+    Engine::builder()
+        .appealnet(net)
+        .big(big)
+        .policy(ThresholdPolicy::new(0.5).expect("valid threshold"))
+        .chunk_policy(chunk)
+        .max_batch(max_batch)
+        .build()
+        .expect("complete engine configuration")
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(15);
+    let mut rng = SeededRng::new(8);
+    let frames: Vec<Tensor> = (0..64)
+        .map(|_| Tensor::randn(&[3, 12, 12], &mut rng))
+        .collect();
+    let batch = Tensor::randn(&[64, 3, 12, 12], &mut rng);
+
+    // 64 single requests through the micro-batch queue (capacity 16).
+    let mut micro = build_engine(ChunkPolicy::runtime(), 16);
+    group.bench_function("64_requests_micro_batched_16", |b| {
+        b.iter(|| {
+            for (i, frame) in frames.iter().enumerate() {
+                let _ = micro
+                    .submit(InferenceRequest::new(i as u64, black_box(frame).clone()))
+                    .expect("request matches the input shape");
+            }
+            micro.flush().expect("flush succeeds")
+        })
+    });
+
+    // The same 64 samples as one pre-assembled batch.
+    let mut whole = build_engine(ChunkPolicy::runtime(), 64);
+    group.bench_function("64_requests_whole_batch", |b| {
+        b.iter(|| {
+            whole
+                .classify_batch(black_box(&batch))
+                .expect("valid batch")
+        })
+    });
+
+    // Sequential vs. rayon-sharded execution of the same batch (parity on a
+    // single-core machine; the sharded path wins with more cores).
+    let mut sequential = build_engine(ChunkPolicy::sequential(), 64);
+    group.bench_function("64_requests_sequential_chunks", |b| {
+        b.iter(|| {
+            sequential
+                .classify_batch(black_box(&batch))
+                .expect("valid batch")
+        })
+    });
+    let mut sharded = build_engine(
+        ChunkPolicy {
+            min_shard: 8,
+            max_shards: rayon::current_num_threads(),
+        },
+        64,
+    );
+    group.bench_function("64_requests_rayon_chunks", |b| {
+        b.iter(|| {
+            sharded
+                .classify_batch(black_box(&batch))
+                .expect("valid batch")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

@@ -37,7 +37,7 @@ fn bench_sweep(c: &mut Criterion) {
     ];
     let grid = paper_sr_grid();
     group.bench_function("four_methods_seven_rates_1500_samples", |bench| {
-        bench.iter(|| sweep_methods(black_box(&methods), black_box(&grid)))
+        bench.iter(|| sweep_methods(black_box(&methods), black_box(&grid)).unwrap())
     });
     group.finish();
 }

@@ -32,7 +32,8 @@ fn bench_inference(c: &mut Criterion) {
     let little = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 10).build(&mut rng);
     let net = TwoHeadNet::from_parts(little, &mut rng);
     let big = ModelSpec::big([3, 12, 12], 10).build(&mut rng);
-    let mut system = CollaborativeSystem::new(net, big, 0.5, SystemModel::typical());
+    let mut system = CollaborativeSystem::new(net, big, 0.5, SystemModel::typical())
+        .expect("0.5 is a valid threshold");
     let batch = Tensor::randn(&[16, 3, 12, 12], &mut rng);
     group.bench_function("collaborative_routing_16_images", |b| {
         b.iter(|| system.classify(black_box(&batch)))
@@ -54,7 +55,8 @@ fn bench_inference(c: &mut Criterion) {
             0.5,
             SystemModel::typical(),
             ChunkPolicy::sequential(),
-        );
+        )
+        .expect("0.5 is a valid threshold");
         group.bench_function(format!("routing_{batch_size}_images_sequential"), |b| {
             b.iter(|| sequential.classify(black_box(&batch)))
         });
@@ -67,7 +69,8 @@ fn bench_inference(c: &mut Criterion) {
                 min_shard: 8,
                 max_shards: rayon::current_num_threads(),
             },
-        );
+        )
+        .expect("0.5 is a valid threshold");
         group.bench_function(format!("routing_{batch_size}_images_rayon"), |b| {
             b.iter(|| parallel.classify(black_box(&batch)))
         });

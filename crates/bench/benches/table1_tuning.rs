@@ -24,10 +24,10 @@ fn bench_tuning(c: &mut Criterion) {
     group.sample_size(15);
     let art = artifacts(1500);
     group.bench_function("min_cost_for_acci_90", |b| {
-        b.iter(|| min_cost_for_acci(black_box(&art), black_box(0.90)))
+        b.iter(|| min_cost_for_acci(black_box(&art), black_box(0.90)).unwrap())
     });
     group.bench_function("max_accuracy_for_sr_80", |b| {
-        b.iter(|| max_accuracy_for_skipping_rate(black_box(&art), black_box(0.80)))
+        b.iter(|| max_accuracy_for_skipping_rate(black_box(&art), black_box(0.80)).unwrap())
     });
     group.finish();
 }

@@ -28,7 +28,7 @@ fn bench_blackbox_tuning(c: &mut Criterion) {
     let art = blackbox_artifacts(1500);
     for target in [0.5f64, 0.75, 0.95] {
         group.bench_function(format!("min_ar_for_acci_{:.0}", target * 100.0), |b| {
-            b.iter(|| min_cost_for_acci(black_box(&art), black_box(target)))
+            b.iter(|| min_cost_for_acci(black_box(&art), black_box(target)).unwrap())
         });
     }
     group.finish();

@@ -31,7 +31,10 @@ fn main() {
             beta,
             appealnet_accuracy: prepared.appealnet_accuracy,
             mean_q: art.scores.iter().map(|&s| s as f64).sum::<f64>() / art.len() as f64,
-            accuracy_at_sr90: art.at_skipping_rate(0.9).overall_accuracy,
+            accuracy_at_sr90: art
+                .at_skipping_rate(0.9)
+                .expect("prepared artifacts are non-empty with finite scores")
+                .overall_accuracy,
             q_auroc: appealnet_core::experiments::fig4::auroc(&art.scores, &art.little_correct),
         });
     }

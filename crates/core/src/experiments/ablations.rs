@@ -56,7 +56,10 @@ pub fn beta_sweep(
                 beta,
                 appealnet_accuracy: prepared.appealnet_accuracy,
                 mean_q: art.scores.iter().map(|&s| s as f64).sum::<f64>() / art.len() as f64,
-                accuracy_at_sr90: art.at_skipping_rate(0.9).overall_accuracy,
+                accuracy_at_sr90: art
+                    .at_skipping_rate(0.9)
+                    .expect("prepared artifacts are non-empty with finite scores")
+                    .overall_accuracy,
                 q_auroc: auroc(&art.scores, &art.little_correct),
             }
         })
@@ -180,8 +183,14 @@ pub fn joint_vs_posthoc(
     JointVsPostHoc {
         joint_auroc: auroc(&joint_art.scores, &joint_art.little_correct),
         posthoc_auroc: auroc(&posthoc_art.scores, &posthoc_art.little_correct),
-        joint_accuracy_at_sr90: joint_art.at_skipping_rate(0.9).overall_accuracy,
-        posthoc_accuracy_at_sr90: posthoc_art.at_skipping_rate(0.9).overall_accuracy,
+        joint_accuracy_at_sr90: joint_art
+            .at_skipping_rate(0.9)
+            .expect("prepared artifacts are non-empty with finite scores")
+            .overall_accuracy,
+        posthoc_accuracy_at_sr90: posthoc_art
+            .at_skipping_rate(0.9)
+            .expect("prepared artifacts are non-empty with finite scores")
+            .overall_accuracy,
     }
 }
 

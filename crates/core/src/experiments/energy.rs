@@ -107,8 +107,11 @@ pub fn run_with_targets(
         .iter()
         .map(|&target| EnergyEntry {
             acci_target: target,
-            sm_energy_mj: min_cost_for_acci(sm, target).map(|c| energy_at(c.metrics.skipping_rate)),
+            sm_energy_mj: min_cost_for_acci(sm, target)
+                .expect("prepared artifacts are non-empty with finite scores")
+                .map(|c| energy_at(c.metrics.skipping_rate)),
             appealnet_energy_mj: min_cost_for_acci(appeal, target)
+                .expect("prepared artifacts are non-empty with finite scores")
                 .map(|c| energy_at(c.metrics.skipping_rate)),
             cloud_only_energy_mj: cloud_only,
         })

@@ -76,7 +76,8 @@ pub fn run_with_grid(prepared: &PreparedExperiment, grid: &[f64]) -> Fig5Result 
     Fig5Result {
         dataset: prepared.preset.paper_name().to_string(),
         family: prepared.family.paper_name().to_string(),
-        sweep: sweep_methods(&methods, grid),
+        sweep: sweep_methods(&methods, grid)
+            .expect("prepared artifacts are non-empty with finite scores"),
     }
 }
 

@@ -98,8 +98,10 @@ pub fn run_with_targets(prepared: &PreparedExperiment, targets: &[f64]) -> Table
     let entries = targets
         .iter()
         .map(|&target| {
-            let sm_choice = min_cost_for_acci(sm, target);
-            let appeal_choice = min_cost_for_acci(appeal, target);
+            let sm_choice = min_cost_for_acci(sm, target)
+                .expect("prepared artifacts are non-empty with finite scores");
+            let appeal_choice = min_cost_for_acci(appeal, target)
+                .expect("prepared artifacts are non-empty with finite scores");
             Table1Entry {
                 acci_target: target,
                 sm_cost_mflops: sm_choice.map(|c| c.metrics.overall_mflops()),

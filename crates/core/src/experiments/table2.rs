@@ -101,8 +101,11 @@ pub fn run_with_targets(prepared: &PreparedExperiment, targets: &[f64]) -> Table
         .iter()
         .map(|&target| Table2Entry {
             acci_target: target,
-            sm_appealing_rate: min_cost_for_acci(sm, target).map(|c| c.metrics.appealing_rate),
+            sm_appealing_rate: min_cost_for_acci(sm, target)
+                .expect("prepared artifacts are non-empty with finite scores")
+                .map(|c| c.metrics.appealing_rate),
             appealnet_appealing_rate: min_cost_for_acci(appeal, target)
+                .expect("prepared artifacts are non-empty with finite scores")
                 .map(|c| c.metrics.appealing_rate),
         })
         .collect();

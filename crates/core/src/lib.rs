@@ -23,14 +23,31 @@
 //! L = q·ℓ(f1(x), y) + (1 − q)·ℓ(f0(x), y) + β·(−log q)
 //! ```
 //!
+//! ## Serving
+//!
+//! The documented runtime entry point is the [`serve`] subsystem: an
+//! [`Engine`] built via [`Engine::builder`] from an edge
+//! [`Scorer`] (the two-head network, or a confidence
+//! baseline), the big cloud model, a pluggable
+//! [`RoutingPolicy`] ([`ThresholdPolicy`] for Eq. 1,
+//! [`BudgetPolicy`] for bounded cloud spend, [`CalibratedPolicy`] for a
+//! target skipping rate or accuracy) and a hardware cost model. The engine
+//! serves single [`InferenceRequest`]s by
+//! transparently micro-batching them through the sharded parallel path, and
+//! reports live [`EngineStats`]. Invalid inputs surface
+//! as typed [`CoreError`]s, never as panics.
+//!
 //! ## Crate layout
 //!
+//! * [`serve`] — the policy-driven serving engine (the runtime surface).
+//! * [`error`] — the [`CoreError`] type all public APIs report through.
 //! * [`two_head`] — the two-head little network.
 //! * [`loss`] — the joint training objective.
 //! * [`training`] — Algorithm 1 (joint training) and plain classifier training.
 //! * [`scores`] — AppealNet's `q` score and the confidence baselines
 //!   (MSP, score margin, entropy).
-//! * [`system`] — per-input routing artifacts and the collaborative system.
+//! * [`system`] — precomputed routing artifacts and the legacy
+//!   fixed-threshold wrapper over the engine.
 //! * [`metrics`] — SR / AR / overall accuracy / AccI / overall cost (Eq. 11–15).
 //! * [`tuning`] — threshold selection for target skipping rates or accuracy.
 //! * [`sweep`] — skipping-rate sweeps across routing methods.
@@ -39,11 +56,14 @@
 //!
 //! # Example
 //!
+//! Train a system, then serve it:
+//!
 //! ```no_run
 //! use appealnet_core::prelude::*;
 //! use appeal_dataset::prelude::*;
 //! use appeal_models::prelude::*;
 //!
+//! # fn main() -> Result<(), CoreError> {
 //! let ctx = ExperimentContext::new(Fidelity::Smoke, 42);
 //! let prepared = PreparedExperiment::prepare(
 //!     DatasetPreset::Cifar10Like,
@@ -51,39 +71,68 @@
 //!     CloudMode::WhiteBox,
 //!     &ctx,
 //! );
-//! let metrics = prepared.artifacts(ScoreKind::AppealNetQ).at_skipping_rate(0.9);
+//! // Offline: inspect the accuracy/cost trade-off on the test split.
+//! let artifacts = prepared.artifacts(ScoreKind::AppealNetQ);
+//! let metrics = artifacts.at_skipping_rate(0.9)?;
 //! println!("overall accuracy at SR=90%: {:.2}%", 100.0 * metrics.overall_accuracy);
+//! // Online: deploy the trained models behind a calibrated policy.
+//! let policy = CalibratedPolicy::for_skipping_rate(artifacts, 0.9)?;
+//! let mut engine = Engine::builder()
+//!     .appealnet(prepared.models.appealnet)
+//!     .big(prepared.models.big)
+//!     .policy(policy)
+//!     .build()?;
+//! # let frame = appeal_tensor::Tensor::zeros(&[3, 12, 12]);
+//! engine.submit(InferenceRequest::new(0, frame))?;
+//! let answers = engine.flush()?;
+//! println!("served {} requests at {:.0} req/s",
+//!     engine.stats().requests, engine.stats().throughput_rps());
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod experiments;
 pub mod loss;
 pub mod metrics;
 pub mod parallel;
 pub mod scores;
+pub mod serve;
 pub mod sweep;
 pub mod system;
 pub mod training;
 pub mod tuning;
 pub mod two_head;
 
+pub use error::{CoreError, CoreResult};
 pub use loss::{AppealLoss, CloudMode};
 pub use metrics::RoutedMetrics;
 pub use parallel::ChunkPolicy;
 pub use scores::ScoreKind;
+pub use serve::{
+    BudgetPolicy, CalibratedPolicy, Engine, EngineBuilder, EngineStats, InferenceRequest,
+    InferenceResponse, Route, RoutingPolicy, Scorer, ThresholdPolicy,
+};
 pub use system::{CollaborativeSystem, EvaluationArtifacts};
 pub use training::{TrainerConfig, TrainingReport};
 pub use two_head::{TwoHeadNet, TwoHeadOutput};
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::error::{CoreError, CoreResult};
     pub use crate::experiments::{CloudModeExt, ExperimentContext, PreparedExperiment};
     pub use crate::loss::{AppealLoss, CloudMode};
     pub use crate::metrics::RoutedMetrics;
     pub use crate::parallel::ChunkPolicy;
     pub use crate::scores::ScoreKind;
+    pub use crate::serve::{
+        BudgetPolicy, CalibratedPolicy, ConfidenceScorer, Engine, EngineBuilder, EngineStats,
+        InferenceRequest, InferenceResponse, QScorer, Route, RoutingContext, RoutingPolicy, Scorer,
+        ThresholdPolicy,
+    };
     pub use crate::sweep::{MethodSeries, SweepResult};
     pub use crate::system::{CollaborativeSystem, EvaluationArtifacts};
     pub use crate::training::{TrainerConfig, TrainingReport};

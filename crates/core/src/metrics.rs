@@ -227,7 +227,7 @@ mod tests {
         fn eq1_score_equal_to_delta_stays_on_edge() {
             // δ = 0.6: samples 0 (0.9) and 1 (0.6, the boundary) stay on the
             // edge; samples 2 and 3 are appealed.
-            let m = fixture().at_threshold(0.6);
+            let m = fixture().at_threshold(0.6).unwrap();
             // Eq. 11: SR = 2/4.
             assert_eq!(m.skipping_rate, 0.5);
             // Eq. 12: AR = 1 − SR = 2/4.
@@ -246,7 +246,7 @@ mod tests {
         #[test]
         fn eq1_delta_zero_keeps_all_scores_on_edge() {
             // Every score is ≥ 0, so δ = 0 keeps all four on the edge.
-            let m = fixture().at_threshold(0.0);
+            let m = fixture().at_threshold(0.0).unwrap();
             assert_eq!(m.skipping_rate, 1.0);
             assert_eq!(m.overall_accuracy, 0.5); // little accuracy
             assert_eq!(m.overall_flops, 100.0); // Eq. 15 collapses to cost(f1)
@@ -254,7 +254,9 @@ mod tests {
 
         #[test]
         fn eq1_delta_above_max_appeals_everything() {
-            let m = fixture().at_threshold(0.9 + f32::EPSILON as f64 * 2.0);
+            let m = fixture()
+                .at_threshold(0.9 + f32::EPSILON as f64 * 2.0)
+                .unwrap();
             assert_eq!(m.skipping_rate, 0.0);
             assert_eq!(m.overall_accuracy, 0.75); // big accuracy
             assert_eq!(m.overall_flops, 1100.0); // edge + cloud on every input
@@ -288,7 +290,7 @@ mod tests {
         #[test]
         fn eq11_eq12_sum_to_one_on_fixture() {
             for delta in [0.0, 0.1, 0.4, 0.6, 0.9, 1.0] {
-                let m = fixture().at_threshold(delta);
+                let m = fixture().at_threshold(delta).unwrap();
                 assert!((m.skipping_rate + m.appealing_rate - 1.0).abs() < 1e-12);
             }
         }

@@ -8,6 +8,10 @@
 //!   second-largest softmax probabilities (Park et al., the Big/Little paper).
 //! * **Entropy** — `Σ_j p_j log p_j` (negative entropy, so that higher is
 //!   more confident), as used by BranchyNet.
+//!
+//! At serving time these scores are produced behind the
+//! [`crate::serve::Scorer`] trait: [`crate::serve::QScorer`] for the learned
+//! `q(1|x)` and [`crate::serve::ConfidenceScorer`] for the baselines here.
 
 use appeal_tensor::Tensor;
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,714 @@
+//! The request/response serving engine.
+//!
+//! [`Engine`] owns an edge [`Scorer`], the big cloud model, a
+//! [`RoutingPolicy`] and a hardware [`SystemModel`], and serves
+//! [`InferenceRequest`]s: single requests are queued and transparently
+//! micro-batched through the sharded parallel evaluation path, whole batches
+//! go straight through it. Every answer is a structured
+//! [`InferenceResponse`] (label, score, route, cost), and the engine keeps
+//! cumulative [`EngineStats`] — throughput, skipping rate (Eq. 11), cost
+//! totals (Eq. 15) — for the lifetime of the deployment.
+
+use crate::error::{CoreError, CoreResult};
+use crate::parallel::{self, ChunkPolicy};
+use crate::scores::ScoreKind;
+use crate::serve::policy::{Route, RoutingContext, RoutingPolicy, ThresholdPolicy};
+use crate::serve::scorer::{ConfidenceScorer, QScorer, Scorer};
+use crate::two_head::TwoHeadNet;
+use appeal_hw::{InferenceCost, SystemModel};
+use appeal_models::ClassifierParts;
+use appeal_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One classification request: an id chosen by the caller and a single image
+/// of shape `[c, h, w]` (or `[1, c, h, w]`).
+#[derive(Debug, Clone)]
+pub struct InferenceRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The input image.
+    pub image: Tensor,
+}
+
+impl InferenceRequest {
+    /// Creates a request.
+    pub fn new(id: u64, image: Tensor) -> Self {
+        Self { id, image }
+    }
+}
+
+/// The engine's answer to one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceResponse {
+    /// The id of the request this answers.
+    pub id: u64,
+    /// Predicted class label.
+    pub label: usize,
+    /// The edge scorer's routing score for this input.
+    pub score: f32,
+    /// Where the request was answered.
+    pub route: Route,
+    /// Cost charged for this request (Eq. 5: `c1` on the edge, `c0` offloaded).
+    pub cost: InferenceCost,
+}
+
+/// Cumulative serving statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Batches executed (micro-batches and direct batches alike).
+    pub batches: u64,
+    /// Requests answered on the edge.
+    pub edge_handled: u64,
+    /// Requests appealed to the cloud.
+    pub offloaded: u64,
+    /// Total cost charged across all requests.
+    pub total_cost: InferenceCost,
+    /// Wall-clock seconds spent inside batch execution.
+    pub busy_seconds: f64,
+}
+
+impl EngineStats {
+    fn zero() -> Self {
+        Self {
+            requests: 0,
+            batches: 0,
+            edge_handled: 0,
+            offloaded: 0,
+            total_cost: InferenceCost::zero(),
+            busy_seconds: 0.0,
+        }
+    }
+
+    /// Observed skipping rate SR (Eq. 11); 0 before any request.
+    pub fn skipping_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.edge_handled as f64 / self.requests as f64
+        }
+    }
+
+    /// Observed appealing rate AR (Eq. 12); 0 before any request.
+    pub fn appealing_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.offloaded as f64 / self.requests as f64
+        }
+    }
+
+    /// Requests per second of busy time; 0 before any work was timed.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.busy_seconds > 0.0 {
+            self.requests as f64 / self.busy_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean number of requests per executed batch; 0 before any batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+enum PendingScorer {
+    Built(Box<dyn Scorer>),
+    Confidence(Box<ClassifierParts>, ScoreKind),
+}
+
+/// Assembles an [`Engine`] from its parts.
+///
+/// Required: an edge scorer ([`appealnet`](EngineBuilder::appealnet),
+/// [`confidence`](EngineBuilder::confidence) or a custom
+/// [`scorer`](EngineBuilder::scorer)) and the [`big`](EngineBuilder::big)
+/// cloud model. Everything else has serving-grade defaults: Eq. 1 with
+/// δ = 0.5, [`SystemModel::typical`], the runtime [`ChunkPolicy`] and a
+/// micro-batch capacity of 32.
+pub struct EngineBuilder {
+    scorer: Option<PendingScorer>,
+    big: Option<ClassifierParts>,
+    policy: Option<Box<dyn RoutingPolicy>>,
+    hardware: SystemModel,
+    chunk: ChunkPolicy,
+    max_batch: usize,
+}
+
+impl EngineBuilder {
+    /// Starts a builder with the defaults described on the type.
+    pub fn new() -> Self {
+        Self {
+            scorer: None,
+            big: None,
+            policy: None,
+            hardware: SystemModel::typical(),
+            chunk: ChunkPolicy::runtime(),
+            max_batch: 32,
+        }
+    }
+
+    /// Uses the jointly trained two-head network as the edge model (the
+    /// routing score is the predictor output `q(1|x)`).
+    pub fn appealnet(mut self, net: TwoHeadNet) -> Self {
+        self.scorer = Some(PendingScorer::Built(Box::new(QScorer::new(net))));
+        self
+    }
+
+    /// Uses a plain little classifier with a confidence-score baseline
+    /// (MSP / score margin / entropy) as the edge model.
+    pub fn confidence(mut self, model: ClassifierParts, kind: ScoreKind) -> Self {
+        self.scorer = Some(PendingScorer::Confidence(Box::new(model), kind));
+        self
+    }
+
+    /// Uses a custom [`Scorer`] implementation as the edge model.
+    pub fn scorer(mut self, scorer: impl Scorer + 'static) -> Self {
+        self.scorer = Some(PendingScorer::Built(Box::new(scorer)));
+        self
+    }
+
+    /// Sets the big cloud model.
+    pub fn big(mut self, big: ClassifierParts) -> Self {
+        self.big = Some(big);
+        self
+    }
+
+    /// Sets the routing policy (default: Eq. 1 with δ = 0.5).
+    pub fn policy(mut self, policy: impl RoutingPolicy + 'static) -> Self {
+        self.policy = Some(Box::new(policy));
+        self
+    }
+
+    /// Sets the hardware cost model (default: [`SystemModel::typical`]).
+    pub fn hardware(mut self, hardware: SystemModel) -> Self {
+        self.hardware = hardware;
+        self
+    }
+
+    /// Sets the batch-sharding policy (default: [`ChunkPolicy::runtime`];
+    /// use [`ChunkPolicy::sequential`] to force single-threaded execution).
+    pub fn chunk_policy(mut self, chunk: ChunkPolicy) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Sets how many queued requests trigger an automatic flush (default 32).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// Errors with [`CoreError::MissingComponent`] if the scorer or big model
+    /// is unset, [`CoreError::InvalidScoreKind`] for a confidence scorer over
+    /// [`ScoreKind::AppealNetQ`], and [`CoreError::InvalidMaxBatch`] for a
+    /// zero micro-batch capacity.
+    pub fn build(self) -> CoreResult<Engine> {
+        if self.max_batch == 0 {
+            return Err(CoreError::InvalidMaxBatch);
+        }
+        let scorer = match self.scorer.ok_or(CoreError::MissingComponent("scorer"))? {
+            PendingScorer::Built(s) => s,
+            PendingScorer::Confidence(model, kind) => {
+                Box::new(ConfidenceScorer::new(*model, kind)?) as Box<dyn Scorer>
+            }
+        };
+        let big = self.big.ok_or(CoreError::MissingComponent("big model"))?;
+        let policy = match self.policy {
+            Some(p) => p,
+            None => Box::new(ThresholdPolicy::new(0.5)?),
+        };
+        let input_shape = scorer.input_shape();
+        let input_bytes = (input_shape.iter().product::<usize>() * 4) as u64;
+        let edge_cost = self.hardware.edge_only_cost(scorer.flops());
+        let offload_cost =
+            self.hardware
+                .offload_cost(scorer.flops(), big.total_flops(), input_bytes);
+        Ok(Engine {
+            scorer,
+            workers: Vec::new(),
+            big,
+            policy,
+            hardware: self.hardware,
+            chunk: self.chunk,
+            max_batch: self.max_batch,
+            input_shape,
+            edge_cost,
+            offload_cost,
+            pending_ids: Vec::new(),
+            pending_data: Vec::new(),
+            next_id: 0,
+            stats: EngineStats::zero(),
+        })
+    }
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A policy-driven edge/cloud serving engine.
+///
+/// Single requests are queued by [`submit`](Engine::submit) and flushed as
+/// one micro-batch once `max_batch` of them accumulate (or explicitly via
+/// [`flush`](Engine::flush)); whole tensors go through
+/// [`classify_batch`](Engine::classify_batch). Either way the batch takes the
+/// same two-stage path: the edge scorer runs over every input — sharded
+/// across per-worker scorer replicas per the [`ChunkPolicy`] — then the
+/// policy decides each input **in input order** (so stateful policies stay
+/// deterministic), and the big network runs one internally sharded pass over
+/// the offloaded subset. Per-sample results are bit-identical across chunk
+/// policies, batch sizes and thread counts.
+pub struct Engine {
+    scorer: Box<dyn Scorer>,
+    /// Lazily forked scorer replicas, one per worker thread. Only the edge
+    /// scorer is retained per worker: the big network is >10× its size and
+    /// shards its pass with transient replicas instead.
+    workers: Vec<Box<dyn Scorer>>,
+    big: ClassifierParts,
+    policy: Box<dyn RoutingPolicy>,
+    hardware: SystemModel,
+    chunk: ChunkPolicy,
+    max_batch: usize,
+    input_shape: [usize; 3],
+    edge_cost: InferenceCost,
+    offload_cost: InferenceCost,
+    pending_ids: Vec<u64>,
+    pending_data: Vec<f32>,
+    next_id: u64,
+    stats: EngineStats,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Engine(scorer={}, policy={}, pending={}, requests={})",
+            self.scorer.kind(),
+            self.policy.name(),
+            self.pending_ids.len(),
+            self.stats.requests
+        )
+    }
+}
+
+impl Engine {
+    /// Starts an [`EngineBuilder`].
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// Queues one request; returns the answered micro-batch once `max_batch`
+    /// requests have accumulated, `None` while the queue is still filling.
+    ///
+    /// Errors with [`CoreError::ShapeMismatch`] if the request image is not
+    /// `[c, h, w]` (or `[1, c, h, w]`) for the scorer's input shape.
+    pub fn submit(
+        &mut self,
+        request: InferenceRequest,
+    ) -> CoreResult<Option<Vec<InferenceResponse>>> {
+        let shape = request.image.shape();
+        let per_sample: &[usize] = match shape.len() {
+            3 => shape,
+            4 if shape[0] == 1 => &shape[1..],
+            _ => {
+                return Err(CoreError::ShapeMismatch {
+                    expected: self.input_shape.to_vec(),
+                    got: shape.to_vec(),
+                })
+            }
+        };
+        if per_sample != self.input_shape {
+            return Err(CoreError::ShapeMismatch {
+                expected: self.input_shape.to_vec(),
+                got: shape.to_vec(),
+            });
+        }
+        self.pending_ids.push(request.id);
+        self.pending_data.extend_from_slice(request.image.data());
+        if self.pending_ids.len() >= self.max_batch {
+            return Ok(Some(self.flush()?));
+        }
+        Ok(None)
+    }
+
+    /// Answers every queued request as one micro-batch (empty queue → empty
+    /// vec). Responses come back in submission order.
+    pub fn flush(&mut self) -> CoreResult<Vec<InferenceResponse>> {
+        if self.pending_ids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = self.pending_ids.len();
+        let [c, h, w] = self.input_shape;
+        let images = Tensor::from_vec(std::mem::take(&mut self.pending_data), &[n, c, h, w])
+            .expect("queued request data matches the validated input shape");
+        let ids = std::mem::take(&mut self.pending_ids);
+        self.run_batch(&images, &ids)
+    }
+
+    /// Classifies a whole `[n, c, h, w]` batch, assigning consecutive
+    /// engine-generated request ids.
+    ///
+    /// Errors with [`CoreError::ShapeMismatch`] if the tensor is not rank 4
+    /// with the scorer's per-sample input shape.
+    pub fn classify_batch(&mut self, images: &Tensor) -> CoreResult<Vec<InferenceResponse>> {
+        let shape = images.shape();
+        if shape.len() != 4 || shape[1..] != self.input_shape {
+            return Err(CoreError::ShapeMismatch {
+                expected: self.input_shape.to_vec(),
+                got: shape.to_vec(),
+            });
+        }
+        let n = shape[0];
+        let ids: Vec<u64> = (self.next_id..self.next_id + n as u64).collect();
+        self.next_id += n as u64;
+        self.run_batch(images, &ids)
+    }
+
+    /// The two-stage batch path shared by `flush` and `classify_batch`.
+    fn run_batch(&mut self, images: &Tensor, ids: &[u64]) -> CoreResult<Vec<InferenceResponse>> {
+        let started = Instant::now();
+        let n = images.shape()[0];
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        // Stage 1: edge scorer over every input, sharded across retained
+        // worker replicas when the chunk policy splits the batch.
+        let (labels, scores) = self.edge_pass(images);
+        // Policy decisions strictly in input order (stateful policies).
+        let ctx = RoutingContext {
+            edge_cost: self.edge_cost,
+            offload_cost: self.offload_cost,
+        };
+        let routes: Vec<Route> = scores
+            .iter()
+            .map(|&s| self.policy.decide(s, &ctx))
+            .collect();
+        // Stage 2: one big-network pass over the offloaded subset, itself
+        // sharded per the chunk policy (with transient replicas).
+        let offload_idx: Vec<usize> = (0..n).filter(|&i| routes[i].is_cloud()).collect();
+        let big_preds: Vec<usize> = if offload_idx.is_empty() {
+            Vec::new()
+        } else {
+            let big_batch = images.select_rows(&offload_idx);
+            parallel::classifier_logits(&mut self.big, &big_batch, offload_idx.len(), &self.chunk)
+                .argmax_rows()
+        };
+        let mut big_iter = big_preds.into_iter();
+        let responses: Vec<InferenceResponse> = (0..n)
+            .map(|i| {
+                let offloaded = routes[i].is_cloud();
+                InferenceResponse {
+                    id: ids[i],
+                    label: if offloaded {
+                        big_iter
+                            .next()
+                            .expect("one big prediction per offloaded input")
+                    } else {
+                        labels[i]
+                    },
+                    score: scores[i],
+                    route: routes[i],
+                    cost: if offloaded {
+                        self.offload_cost
+                    } else {
+                        self.edge_cost
+                    },
+                }
+            })
+            .collect();
+        self.stats.requests += n as u64;
+        self.stats.batches += 1;
+        for r in &responses {
+            if r.route.is_cloud() {
+                self.stats.offloaded += 1;
+            } else {
+                self.stats.edge_handled += 1;
+            }
+            self.stats.total_cost = self.stats.total_cost.add(&r.cost);
+        }
+        self.stats.busy_seconds += started.elapsed().as_secs_f64();
+        Ok(responses)
+    }
+
+    /// Edge pass over the whole batch: labels and scores in input order.
+    fn edge_pass(&mut self, images: &Tensor) -> (Vec<usize>, Vec<f32>) {
+        let n = images.shape()[0];
+        let shards = self.chunk.shards(n);
+        if shards.len() <= 1 {
+            let pass = self.scorer.evaluate(images);
+            return (pass.labels, pass.scores);
+        }
+        while self.workers.len() < shards.len() {
+            self.workers.push(self.scorer.fork());
+        }
+        let mut slots: Vec<(Vec<usize>, Vec<f32>)> = Vec::new();
+        slots.resize_with(shards.len(), Default::default);
+        rayon::scope(|s| {
+            for ((worker, shard), slot) in self.workers.iter_mut().zip(shards).zip(slots.iter_mut())
+            {
+                s.spawn(move |_| {
+                    let idx: Vec<usize> = shard.collect();
+                    let pass = worker.evaluate(&images.select_rows(&idx));
+                    *slot = (pass.labels, pass.scores);
+                });
+            }
+        });
+        let mut labels = Vec::with_capacity(n);
+        let mut scores = Vec::with_capacity(n);
+        for (shard_labels, shard_scores) in slots {
+            labels.extend(shard_labels);
+            scores.extend(shard_scores);
+        }
+        (labels, scores)
+    }
+
+    /// Number of requests waiting in the micro-batch queue.
+    pub fn pending(&self) -> usize {
+        self.pending_ids.len()
+    }
+
+    /// Cumulative serving statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Resets the cumulative statistics (queued requests are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::zero();
+    }
+
+    /// Replaces the routing policy; queued requests and stats are kept.
+    pub fn set_policy(&mut self, policy: Box<dyn RoutingPolicy>) {
+        self.policy = policy;
+    }
+
+    /// Name of the active routing policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The routing score the edge scorer produces.
+    pub fn score_kind(&self) -> ScoreKind {
+        self.scorer.kind()
+    }
+
+    /// Cost `c1` of answering one request on the edge.
+    pub fn edge_cost(&self) -> InferenceCost {
+        self.edge_cost
+    }
+
+    /// Cost `c0` of appealing one request to the cloud.
+    pub fn offload_cost(&self) -> InferenceCost {
+        self.offload_cost
+    }
+
+    /// The hardware cost model the engine charges against.
+    pub fn hardware(&self) -> &SystemModel {
+        &self.hardware
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::policy::BudgetPolicy;
+    use appeal_hw::CostBudget;
+    use appeal_models::{ModelFamily, ModelSpec};
+    use appeal_tensor::SeededRng;
+
+    fn tiny_models(classes: usize) -> (TwoHeadNet, ClassifierParts) {
+        let mut rng = SeededRng::new(3);
+        let little =
+            ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], classes).build(&mut rng);
+        let big = ModelSpec::big([3, 12, 12], classes).build(&mut rng);
+        (TwoHeadNet::from_parts(little, &mut rng), big)
+    }
+
+    fn engine(max_batch: usize) -> Engine {
+        let (net, big) = tiny_models(4);
+        Engine::builder()
+            .appealnet(net)
+            .big(big)
+            .policy(ThresholdPolicy::new(0.5).unwrap())
+            .max_batch(max_batch)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_scorer_and_big_model() {
+        let (net, big) = tiny_models(2);
+        assert_eq!(
+            Engine::builder().big(big.clone()).build().unwrap_err(),
+            CoreError::MissingComponent("scorer")
+        );
+        assert_eq!(
+            Engine::builder()
+                .appealnet(net.clone())
+                .build()
+                .unwrap_err(),
+            CoreError::MissingComponent("big model")
+        );
+        assert_eq!(
+            Engine::builder()
+                .appealnet(net.clone())
+                .big(big.clone())
+                .max_batch(0)
+                .build()
+                .unwrap_err(),
+            CoreError::InvalidMaxBatch
+        );
+        assert_eq!(
+            Engine::builder()
+                .confidence(big.clone(), ScoreKind::AppealNetQ)
+                .big(big)
+                .build()
+                .unwrap_err(),
+            CoreError::InvalidScoreKind(ScoreKind::AppealNetQ)
+        );
+    }
+
+    #[test]
+    fn submit_micro_batches_at_capacity() {
+        let mut engine = engine(3);
+        let mut rng = SeededRng::new(8);
+        let mut answered = Vec::new();
+        for id in 0..7u64 {
+            let image = Tensor::randn(&[3, 12, 12], &mut rng);
+            if let Some(batch) = engine.submit(InferenceRequest::new(id, image)).unwrap() {
+                answered.push(batch);
+            }
+        }
+        // 7 requests at capacity 3: two automatic flushes, one leftover.
+        assert_eq!(answered.len(), 2);
+        assert_eq!(engine.pending(), 1);
+        let tail = engine.flush().unwrap();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].id, 6);
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 7);
+        assert_eq!(stats.batches, 3);
+        assert_eq!(stats.edge_handled + stats.offloaded, 7);
+        assert!((stats.mean_batch_size() - 7.0 / 3.0).abs() < 1e-12);
+        assert!(stats.total_cost.flops > 0);
+        // Ids echo in submission order.
+        assert_eq!(
+            answered[0].iter().map(|r| r.id).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn submit_rejects_wrong_shapes() {
+        let mut engine = engine(4);
+        let mut rng = SeededRng::new(9);
+        let bad = Tensor::randn(&[3, 10, 12], &mut rng);
+        assert!(matches!(
+            engine.submit(InferenceRequest::new(0, bad)).unwrap_err(),
+            CoreError::ShapeMismatch { .. }
+        ));
+        let batch_of_two = Tensor::randn(&[2, 3, 12, 12], &mut rng);
+        assert!(engine
+            .submit(InferenceRequest::new(0, batch_of_two))
+            .is_err());
+        // [1, c, h, w] is accepted.
+        let singleton = Tensor::randn(&[1, 3, 12, 12], &mut rng);
+        assert!(engine
+            .submit(InferenceRequest::new(0, singleton))
+            .unwrap()
+            .is_none());
+        // Batch path validates too.
+        let bad_batch = Tensor::randn(&[4, 1, 12, 12], &mut rng);
+        assert!(engine.classify_batch(&bad_batch).is_err());
+    }
+
+    #[test]
+    fn classify_batch_matches_submit_path_bit_identically() {
+        let mut batch_engine = engine(64);
+        let mut submit_engine = engine(5);
+        let mut rng = SeededRng::new(10);
+        let images = Tensor::randn(&[13, 3, 12, 12], &mut rng);
+        let batch = batch_engine.classify_batch(&images).unwrap();
+        let mut single = Vec::new();
+        for i in 0..13 {
+            let row = images.select_rows(&[i]);
+            if let Some(answers) = submit_engine
+                .submit(InferenceRequest::new(i as u64, row))
+                .unwrap()
+            {
+                single.extend(answers);
+            }
+        }
+        single.extend(submit_engine.flush().unwrap());
+        assert_eq!(batch.len(), single.len());
+        for (a, b) in batch.iter().zip(single.iter()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.route, b.route);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(a.cost, b.cost);
+        }
+    }
+
+    #[test]
+    fn budget_policy_drains_deterministically_through_the_engine() {
+        let (net, big) = tiny_models(4);
+        let offload_cost = SystemModel::typical().offload_cost(
+            net.flops(),
+            big.total_flops(),
+            (3 * 12 * 12 * 4) as u64,
+        );
+        // Budget for exactly two appeals: every later difficult input must
+        // stay on the edge.
+        let budget = CostBudget::energy_mj(offload_cost.energy_mj * 2.5);
+        let mut engine = Engine::builder()
+            .appealnet(net)
+            .big(big)
+            .policy(BudgetPolicy::new(1.0, budget).unwrap())
+            .build()
+            .unwrap();
+        let mut rng = SeededRng::new(12);
+        let images = Tensor::randn(&[9, 3, 12, 12], &mut rng);
+        // δ = 1.0 wants to offload everything, so the first two go to the
+        // cloud and the rest are forced onto the edge.
+        let responses = engine.classify_batch(&images).unwrap();
+        let cloud: Vec<bool> = responses.iter().map(|r| r.route.is_cloud()).collect();
+        assert_eq!(cloud.iter().filter(|&&c| c).count(), 2);
+        assert!(cloud[0] && cloud[1]);
+        assert_eq!(engine.stats().offloaded, 2);
+        assert_eq!(engine.policy_name(), "budget");
+    }
+
+    #[test]
+    fn stats_rates_and_throughput() {
+        let mut engine = engine(8);
+        assert_eq!(engine.stats().skipping_rate(), 0.0);
+        assert_eq!(engine.stats().throughput_rps(), 0.0);
+        let mut rng = SeededRng::new(13);
+        let images = Tensor::randn(&[6, 3, 12, 12], &mut rng);
+        engine.classify_batch(&images).unwrap();
+        let stats = *engine.stats();
+        assert!((stats.skipping_rate() + stats.appealing_rate() - 1.0).abs() < 1e-12);
+        assert!(stats.busy_seconds > 0.0);
+        assert!(stats.throughput_rps() > 0.0);
+        engine.reset_stats();
+        assert_eq!(engine.stats().requests, 0);
+    }
+
+    #[test]
+    fn empty_flush_is_a_no_op() {
+        let mut engine = engine(4);
+        assert!(engine.flush().unwrap().is_empty());
+        assert_eq!(engine.stats().batches, 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! The policy-driven serving engine: the paper's deployment rule (Eq. 1)
+//! grown into a request/response runtime.
+//!
+//! # From the paper to the API
+//!
+//! At deployment AppealNet routes each input `x` with one rule (Eq. 1):
+//! keep it on the edge when the predictor's score `q(1|x) ≥ δ`, *appeal* it
+//! to the big cloud network otherwise. This module factors that rule into
+//! three replaceable parts and a runtime that composes them:
+//!
+//! * **[`Scorer`]** — produces the per-input score. [`QScorer`] is the
+//!   learned predictor head of the two-head network; [`ConfidenceScorer`]
+//!   is any of the paper's Section VI-A baselines (MSP, score margin,
+//!   entropy) over a plain little classifier.
+//! * **[`RoutingPolicy`]** — consumes the score and decides edge vs. cloud:
+//!   * [`ThresholdPolicy`] is Eq. 1 verbatim (fixed δ);
+//!   * [`BudgetPolicy`] is the budgeted reading of Eq. 7 — Eq. 1 guarded by
+//!     a running offload budget ([`appeal_hw::CostBudget`]) so cloud spend
+//!     is bounded by construction;
+//!   * [`CalibratedPolicy`] packages the offline tuning queries of
+//!     Tables I/II — "hit this skipping rate (Eq. 11)" or "reach this
+//!     overall accuracy (Eq. 13) at minimum cost (Eq. 15)" — as a
+//!     deployable threshold.
+//! * **[`Engine`]** — owns a scorer, the big model, a policy and a hardware
+//!   [`appeal_hw::SystemModel`]; serves [`InferenceRequest`]s by
+//!   transparently micro-batching them through the sharded parallel
+//!   evaluation path, and reports the paper's evaluation metrics live
+//!   through [`EngineStats`]: skipping rate (Eq. 11), appealing rate
+//!   (Eq. 12) and accumulated cost (Eq. 15).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use appealnet_core::prelude::*;
+//! use appeal_dataset::prelude::*;
+//! use appeal_models::prelude::*;
+//!
+//! # fn main() -> Result<(), CoreError> {
+//! // Train a system, then move its models into a serving engine.
+//! let ctx = ExperimentContext::new(Fidelity::Smoke, 42);
+//! let prepared = PreparedExperiment::prepare(
+//!     DatasetPreset::Cifar10Like,
+//!     ModelFamily::MobileNetLike,
+//!     CloudMode::WhiteBox,
+//!     &ctx,
+//! );
+//! let mut engine = Engine::builder()
+//!     .appealnet(prepared.models.appealnet)
+//!     .big(prepared.models.big)
+//!     .policy(ThresholdPolicy::new(0.5)?)
+//!     .build()?;
+//! // Stream single requests; the engine micro-batches them.
+//! # let frame = appeal_tensor::Tensor::zeros(&[3, 12, 12]);
+//! if let Some(answers) = engine.submit(InferenceRequest::new(0, frame))? {
+//!     for a in answers {
+//!         println!("request {}: label {} via {:?}", a.id, a.label, a.route);
+//!     }
+//! }
+//! println!("live skipping rate: {:.1}%", 100.0 * engine.stats().skipping_rate());
+//! # Ok(())
+//! # }
+//! ```
+
+mod engine;
+mod policy;
+mod scorer;
+
+pub use engine::{Engine, EngineBuilder, EngineStats, InferenceRequest, InferenceResponse};
+pub use policy::{
+    BudgetPolicy, CalibratedPolicy, Route, RoutingContext, RoutingPolicy, ThresholdPolicy,
+};
+pub use scorer::{ConfidenceScorer, EdgePass, QScorer, Scorer};

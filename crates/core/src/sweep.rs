@@ -1,5 +1,6 @@
 //! Skipping-rate sweeps across routing methods (the shape of the paper's Fig. 5).
 
+use crate::error::{CoreError, CoreResult};
 use crate::metrics::RoutedMetrics;
 use crate::scores::ScoreKind;
 use crate::system::EvaluationArtifacts;
@@ -68,22 +69,33 @@ pub fn paper_sr_grid() -> Vec<f64> {
 /// scores once for the whole grid instead of once per rate. The output is
 /// identical to (and ordered like) a sequential sweep.
 ///
-/// # Panics
-///
-/// Panics if `methods` is empty or any artifact set is empty.
+/// Errors with [`CoreError::EmptyMethods`] if `methods` is empty, and
+/// propagates [`CoreError::EmptyArtifacts`] / [`CoreError::InvalidScore`] /
+/// [`CoreError::InvalidRate`] from any method's artifacts before the
+/// parallel sweep starts.
 pub fn sweep_methods(
     methods: &[(ScoreKind, &EvaluationArtifacts)],
     skipping_rates: &[f64],
-) -> SweepResult {
-    assert!(!methods.is_empty(), "at least one method is required");
+) -> CoreResult<SweepResult> {
+    if methods.is_empty() {
+        return Err(CoreError::EmptyMethods);
+    }
+    // Validate everything up front so the sharded sweep below is infallible.
+    for (_, artifacts) in methods {
+        artifacts.validate()?;
+    }
+    if let Some(&bad) = skipping_rates.iter().find(|sr| !(0.0..=1.0).contains(*sr)) {
+        return Err(CoreError::InvalidRate(bad));
+    }
     let series: Vec<MethodSeries> = methods
         .par_iter()
         .map(|(score, artifacts)| MethodSeries {
             score: *score,
             points: artifacts
                 .thresholds_for_skipping_rates(skipping_rates)
+                .expect("methods validated before the sweep")
                 .into_iter()
-                .map(|t| artifacts.at_threshold(t))
+                .map(|t| artifacts.metrics_at(t))
                 .collect(),
         })
         .collect();
@@ -92,12 +104,12 @@ pub fn sweep_methods(
         reference.little_correct.iter().filter(|&&c| c).count() as f64 / reference.len() as f64;
     let all_big =
         reference.big_correct.iter().filter(|&&c| c).count() as f64 / reference.len() as f64;
-    SweepResult {
+    Ok(SweepResult {
         skipping_rates: skipping_rates.to_vec(),
         series,
         big_accuracy: all_big,
         little_accuracy: all_little,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -132,7 +144,7 @@ mod tests {
             (0..n).map(|i| i as f32 / n as f32).collect(),
             (0..n).map(|i| i >= 5).collect(),
         );
-        let result = sweep_methods(&[(ScoreKind::AppealNetQ, &good)], &paper_sr_grid());
+        let result = sweep_methods(&[(ScoreKind::AppealNetQ, &good)], &paper_sr_grid()).unwrap();
         assert_eq!(result.series.len(), 1);
         assert_eq!(result.series[0].points.len(), 7);
         assert!(result.big_accuracy > result.little_accuracy);
@@ -156,7 +168,8 @@ mod tests {
         let result = sweep_methods(
             &[(ScoreKind::AppealNetQ, &oracle), (ScoreKind::Msp, &random)],
             &paper_sr_grid(),
-        );
+        )
+        .unwrap();
         let wins = result.wins(ScoreKind::AppealNetQ, ScoreKind::Msp);
         assert!(wins >= 6, "oracle should dominate, won {wins}/7");
     }
@@ -169,15 +182,34 @@ mod tests {
             little.iter().map(|&c| if c { 0.8 } else { 0.2 }).collect(),
             little,
         );
-        let result = sweep_methods(&[(ScoreKind::AppealNetQ, &a)], &[0.0, 0.5, 1.0]);
+        let result = sweep_methods(&[(ScoreKind::AppealNetQ, &a)], &[0.0, 0.5, 1.0]).unwrap();
         let accs = result.series[0].accuracies();
         assert!(accs[0] >= accs[2]);
     }
 
     #[test]
+    fn invalid_sweeps_are_reported_not_panicked() {
+        assert_eq!(
+            sweep_methods(&[], &[0.5]).unwrap_err(),
+            CoreError::EmptyMethods
+        );
+        let mut nan = artifacts(vec![0.1, 0.9], vec![false, true]);
+        nan.scores[1] = f32::NAN;
+        assert_eq!(
+            sweep_methods(&[(ScoreKind::Msp, &nan)], &[0.5]).unwrap_err(),
+            CoreError::InvalidScore { index: 1 }
+        );
+        let ok = artifacts(vec![0.1, 0.9], vec![false, true]);
+        assert_eq!(
+            sweep_methods(&[(ScoreKind::Msp, &ok)], &[0.5, 1.5]).unwrap_err(),
+            CoreError::InvalidRate(1.5)
+        );
+    }
+
+    #[test]
     fn series_lookup() {
         let a = artifacts(vec![0.1, 0.9], vec![false, true]);
-        let result = sweep_methods(&[(ScoreKind::Msp, &a)], &[1.0]);
+        let result = sweep_methods(&[(ScoreKind::Msp, &a)], &[1.0]).unwrap();
         assert!(result.series_for(ScoreKind::Msp).is_some());
         assert!(result.series_for(ScoreKind::Entropy).is_none());
     }

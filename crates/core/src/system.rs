@@ -1,22 +1,26 @@
-//! The edge/cloud collaborative system (paper Eq. 1) and precomputed
-//! evaluation artifacts.
+//! Precomputed evaluation artifacts and the legacy collaborative-system
+//! wrapper around the serving [`Engine`].
 //!
 //! For experiments it is wasteful to re-run both networks for every candidate
 //! threshold δ, so [`EvaluationArtifacts`] stores per-sample routing scores
 //! and correctness flags once; every threshold or skipping-rate query is then
-//! a cheap scan. [`CollaborativeSystem`] is the runtime counterpart used by
-//! the examples: it owns the two models and routes live batches.
+//! a cheap scan. [`CollaborativeSystem`] is the original runtime entry point
+//! (Eq. 1 with a fixed threshold); it is now a thin wrapper over
+//! [`crate::serve::Engine`] with a [`crate::serve::ThresholdPolicy`] and is
+//! kept for the fixed-threshold deployments the examples use — new code
+//! should build an engine directly via [`crate::serve::EngineBuilder`].
 
+use crate::error::{CoreError, CoreResult};
 use crate::metrics::{routed_metrics, RoutedMetrics};
 use crate::parallel::{self, ChunkPolicy};
 use crate::scores::{confidence_scores, ScoreKind};
+use crate::serve::{Engine, ThresholdPolicy};
 use crate::two_head::TwoHeadNet;
 use appeal_hw::{InferenceCost, SystemModel};
 use appeal_models::ClassifierParts;
 use appeal_tensor::loss::SoftmaxCrossEntropy;
 use appeal_tensor::Tensor;
 use serde::{Deserialize, Serialize};
-use std::ops::Range;
 
 /// Per-sample artifacts of evaluating a little/big model pair on a dataset.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -48,12 +52,46 @@ impl EvaluationArtifacts {
         self.scores.is_empty()
     }
 
+    /// Validates that the artifacts support routing queries: non-empty, no
+    /// NaN score, and per-sample correctness vectors as long as `scores`
+    /// (hand-built or deserialized artifacts can violate any of these).
+    pub fn validate(&self) -> CoreResult<()> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArtifacts);
+        }
+        let n = self.scores.len();
+        for (field, len) in [
+            ("little_correct", self.little_correct.len()),
+            ("big_correct", self.big_correct.len()),
+        ] {
+            if len != n {
+                return Err(CoreError::LengthMismatch {
+                    field,
+                    expected: n,
+                    got: len,
+                });
+            }
+        }
+        if let Some(index) = self.scores.iter().position(|s| s.is_nan()) {
+            return Err(CoreError::InvalidScore { index });
+        }
+        Ok(())
+    }
+
     /// Metrics when inputs with score `≥ δ` stay on the edge (Eq. 1).
     ///
-    /// # Panics
-    ///
-    /// Panics if the artifacts are empty.
-    pub fn at_threshold(&self, delta: f64) -> RoutedMetrics {
+    /// `delta` may lie outside `[0, 1]` (e.g. a candidate threshold above the
+    /// maximum score routes everything to the cloud) but must not be NaN.
+    pub fn at_threshold(&self, delta: f64) -> CoreResult<RoutedMetrics> {
+        self.validate()?;
+        if delta.is_nan() {
+            return Err(CoreError::InvalidThreshold(delta));
+        }
+        Ok(self.metrics_at(delta))
+    }
+
+    /// Infallible core of [`Self::at_threshold`] for pre-validated callers.
+    pub(crate) fn metrics_at(&self, delta: f64) -> RoutedMetrics {
         let keep: Vec<bool> = self.scores.iter().map(|&s| (s as f64) >= delta).collect();
         routed_metrics(
             &keep,
@@ -67,37 +105,33 @@ impl EvaluationArtifacts {
 
     /// The threshold δ that keeps (approximately) a `target_sr` fraction of
     /// inputs on the edge: the `(1 − target_sr)` quantile of the scores.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the artifacts are empty or `target_sr` is outside `[0, 1]`.
-    pub fn threshold_for_skipping_rate(&self, target_sr: f64) -> f64 {
-        self.thresholds_for_skipping_rates(std::slice::from_ref(&target_sr))[0]
+    pub fn threshold_for_skipping_rate(&self, target_sr: f64) -> CoreResult<f64> {
+        Ok(self.thresholds_for_skipping_rates(std::slice::from_ref(&target_sr))?[0])
     }
 
     /// Metrics at (approximately) the requested skipping rate.
-    pub fn at_skipping_rate(&self, target_sr: f64) -> RoutedMetrics {
-        self.at_threshold(self.threshold_for_skipping_rate(target_sr))
+    pub fn at_skipping_rate(&self, target_sr: f64) -> CoreResult<RoutedMetrics> {
+        Ok(self.metrics_at(self.threshold_for_skipping_rate(target_sr)?))
     }
 
     /// Thresholds for several target skipping rates at once, sorting the
     /// scores a single time (the sweep hot path evaluates whole grids).
     ///
-    /// # Panics
-    ///
-    /// Panics if the artifacts are empty or any rate is outside `[0, 1]`.
-    pub fn thresholds_for_skipping_rates(&self, target_srs: &[f64]) -> Vec<f64> {
-        assert!(!self.is_empty(), "no evaluation artifacts");
+    /// Errors with [`CoreError::EmptyArtifacts`] on empty artifacts,
+    /// [`CoreError::InvalidScore`] if any score is NaN, and
+    /// [`CoreError::InvalidRate`] if any rate is outside `[0, 1]`.
+    pub fn thresholds_for_skipping_rates(&self, target_srs: &[f64]) -> CoreResult<Vec<f64>> {
+        self.validate()?;
+        if let Some(&bad) = target_srs.iter().find(|sr| !(0.0..=1.0).contains(*sr)) {
+            return Err(CoreError::InvalidRate(bad));
+        }
         let mut sorted: Vec<f32> = self.scores.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("scores must not be NaN"));
+        // validate() rejected NaN, so the comparison is total.
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN scores rejected by validate"));
         let n = sorted.len();
-        target_srs
+        Ok(target_srs
             .iter()
             .map(|&sr| {
-                assert!(
-                    (0.0..=1.0).contains(&sr),
-                    "target skipping rate must be in [0, 1]"
-                );
                 // Keep the top `sr` fraction on the edge.
                 let k = ((1.0 - sr) * n as f64).round() as usize;
                 if k >= n {
@@ -107,19 +141,23 @@ impl EvaluationArtifacts {
                     sorted[k] as f64
                 }
             })
-            .collect()
+            .collect())
     }
 
     /// Candidate thresholds: every distinct score value (plus one above the
     /// maximum), which is sufficient to enumerate every possible routing.
-    pub fn candidate_thresholds(&self) -> Vec<f64> {
+    ///
+    /// Errors with [`CoreError::EmptyArtifacts`] on empty artifacts and
+    /// [`CoreError::InvalidScore`] if any score is NaN.
+    pub fn candidate_thresholds(&self) -> CoreResult<Vec<f64>> {
+        self.validate()?;
         let mut t: Vec<f64> = self.scores.iter().map(|&s| s as f64).collect();
-        t.sort_by(|a, b| a.partial_cmp(b).expect("scores must not be NaN"));
+        t.sort_by(|a, b| a.partial_cmp(b).expect("NaN scores rejected by validate"));
         t.dedup();
         if let Some(&max) = t.last() {
             t.push(max + 1.0);
         }
-        t
+        Ok(t)
     }
 
     /// Builds artifacts for an AppealNet two-head model: the routing score is
@@ -260,36 +298,27 @@ pub struct RoutingOutcome {
     pub cost: InferenceCost,
 }
 
-/// A deployable edge/cloud collaborative system: the jointly trained two-head
-/// little network on the edge, the big network in the cloud, a threshold δ
-/// and a hardware cost model.
+/// A deployable edge/cloud collaborative system with a fixed threshold δ:
+/// the paper's Eq. 1, verbatim.
 ///
-/// Batches are routed across CPU cores: when a batch is large enough for the
-/// system's [`ChunkPolicy`], it is split into contiguous shards and each
-/// shard is classified by a per-worker replica of the models. Replicas are
-/// built lazily on first use and reused across calls (the models never change
-/// after construction). Per-sample results are identical to the sequential
-/// path and are returned in input order.
+/// This is a thin wrapper over the serving [`Engine`] with a
+/// [`ThresholdPolicy`] — batches shard across per-worker scorer replicas
+/// exactly as the engine's [`ChunkPolicy`] dictates, and results are
+/// bit-identical across thread counts. Prefer
+/// [`crate::serve::EngineBuilder`] for new code: it additionally offers
+/// budgeted and calibrated policies, confidence-baseline scorers, single
+/// request micro-batching and live [`crate::serve::EngineStats`].
 pub struct CollaborativeSystem {
-    little: TwoHeadNet,
-    big: ClassifierParts,
+    engine: Engine,
     threshold: f64,
-    hardware: SystemModel,
-    input_bytes: u64,
-    policy: ChunkPolicy,
-    /// Lazily built little-network replicas, one per worker thread. Only the
-    /// little net is retained per worker: the big network is >10× its size,
-    /// and the big pass over the offloaded subset shards with transient
-    /// replicas instead (see [`CollaborativeSystem::classify`]).
-    workers: Vec<TwoHeadNet>,
 }
 
 impl std::fmt::Debug for CollaborativeSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "CollaborativeSystem(little={:?}, threshold={}, hardware={:?})",
-            self.little, self.threshold, self.hardware
+            "CollaborativeSystem(threshold={}, engine={:?})",
+            self.threshold, self.engine
         )
     }
 }
@@ -297,45 +326,37 @@ impl std::fmt::Debug for CollaborativeSystem {
 impl CollaborativeSystem {
     /// Assembles a collaborative system.
     ///
-    /// # Panics
-    ///
-    /// Panics if `threshold` is outside `[0, 1]`.
+    /// Errors with [`CoreError::InvalidThreshold`] if `threshold` is outside
+    /// `[0, 1]`.
     pub fn new(
         little: TwoHeadNet,
         big: ClassifierParts,
         threshold: f64,
         hardware: SystemModel,
-    ) -> Self {
+    ) -> CoreResult<Self> {
         Self::with_policy(little, big, threshold, hardware, ChunkPolicy::runtime())
     }
 
     /// Assembles a collaborative system with an explicit batch-routing policy
     /// (use [`ChunkPolicy::sequential`] to force single-threaded routing).
     ///
-    /// # Panics
-    ///
-    /// Panics if `threshold` is outside `[0, 1]`.
+    /// Errors with [`CoreError::InvalidThreshold`] if `threshold` is outside
+    /// `[0, 1]`.
     pub fn with_policy(
         little: TwoHeadNet,
         big: ClassifierParts,
         threshold: f64,
         hardware: SystemModel,
         policy: ChunkPolicy,
-    ) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&threshold),
-            "threshold must be in [0, 1]"
-        );
-        let input_bytes = (little.spec().input_shape.iter().product::<usize>() * 4) as u64;
-        Self {
-            little,
-            big,
-            threshold,
-            hardware,
-            input_bytes,
-            policy,
-            workers: Vec::new(),
-        }
+    ) -> CoreResult<Self> {
+        let engine = Engine::builder()
+            .appealnet(little)
+            .big(big)
+            .policy(ThresholdPolicy::new(threshold)?)
+            .hardware(hardware)
+            .chunk_policy(policy)
+            .build()?;
+        Ok(Self { engine, threshold })
     }
 
     /// The routing threshold δ.
@@ -345,104 +366,39 @@ impl CollaborativeSystem {
 
     /// Updates the routing threshold δ.
     ///
-    /// # Panics
-    ///
-    /// Panics if `threshold` is outside `[0, 1]`.
-    pub fn set_threshold(&mut self, threshold: f64) {
-        assert!(
-            (0.0..=1.0).contains(&threshold),
-            "threshold must be in [0, 1]"
-        );
+    /// Errors with [`CoreError::InvalidThreshold`] if `threshold` is outside
+    /// `[0, 1]`.
+    pub fn set_threshold(&mut self, threshold: f64) -> CoreResult<()> {
+        self.engine
+            .set_policy(Box::new(ThresholdPolicy::new(threshold)?));
         self.threshold = threshold;
+        Ok(())
     }
 
     /// Classifies a batch of images, routing each input per Eq. 1.
     ///
-    /// Batches at least as large as the routing policy's shard floor are
-    /// processed in two parallel stages — the little network runs on every
-    /// input across per-worker replicas, then the big network runs one
-    /// (internally sharded) pass over the concatenated offloaded subset.
-    /// Results are identical to the sequential path and in input order.
+    /// Delegates to [`Engine::classify_batch`]: batches at least as large as
+    /// the chunk policy's shard floor are processed in two parallel stages
+    /// (little network across per-worker replicas, then one sharded big pass
+    /// over the offloaded subset) with results identical to the sequential
+    /// path and in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` does not match the little network's input shape
+    /// (the engine path reports this as [`CoreError::ShapeMismatch`]).
     pub fn classify(&mut self, images: &Tensor) -> Vec<RoutingOutcome> {
-        let n = images.shape()[0];
-        let shards = self.policy.shards(n);
-        let edge_cost = self.hardware.edge_only_cost(self.little.flops());
-        let offload_cost = self.hardware.offload_cost(
-            self.little.flops(),
-            self.big.total_flops(),
-            self.input_bytes,
-        );
-        let threshold = self.threshold;
-        if shards.len() <= 1 {
-            return classify_range(
-                &mut self.little,
-                &mut self.big,
-                images,
-                0..n,
-                threshold,
-                edge_cost,
-                offload_cost,
-            );
-        }
-        // Stage 1: little network over every input, sharded across the
-        // retained worker replicas.
-        self.ensure_workers(shards.len());
-        let mut slots: Vec<(Vec<usize>, Vec<f32>)> = Vec::new();
-        slots.resize_with(shards.len(), Default::default);
-        rayon::scope(|s| {
-            for ((little, shard), slot) in self.workers.iter_mut().zip(shards).zip(slots.iter_mut())
-            {
-                s.spawn(move |_| {
-                    let idx: Vec<usize> = shard.collect();
-                    let out = little.forward(&images.select_rows(&idx), false);
-                    *slot = (out.predictions(), out.q);
-                });
-            }
-        });
-        let mut little_preds = Vec::with_capacity(n);
-        let mut q = Vec::with_capacity(n);
-        for (shard_preds, shard_q) in slots {
-            little_preds.extend(shard_preds);
-            q.extend(shard_q);
-        }
-        // Stage 2: one big-network pass over the offloaded subset, itself
-        // sharded per the policy (with transient replicas).
-        let offload_idx: Vec<usize> = (0..n).filter(|&i| (q[i] as f64) < threshold).collect();
-        let big_preds: Vec<usize> = if offload_idx.is_empty() {
-            Vec::new()
-        } else {
-            let big_batch = images.select_rows(&offload_idx);
-            parallel::classifier_logits(&mut self.big, &big_batch, offload_idx.len(), &self.policy)
-                .argmax_rows()
-        };
-        let mut big_iter = big_preds.into_iter();
-        (0..n)
-            .map(|i| {
-                let offloaded = (q[i] as f64) < threshold;
-                RoutingOutcome {
-                    label: if offloaded {
-                        big_iter
-                            .next()
-                            .expect("one big prediction per offloaded input")
-                    } else {
-                        little_preds[i]
-                    },
-                    score: q[i],
-                    offloaded,
-                    cost: if offloaded { offload_cost } else { edge_cost },
-                }
+        self.engine
+            .classify_batch(images)
+            .expect("batch matches the little network's input shape")
+            .into_iter()
+            .map(|r| RoutingOutcome {
+                label: r.label,
+                score: r.score,
+                offloaded: r.route.is_cloud(),
+                cost: r.cost,
             })
             .collect()
-    }
-
-    /// Builds little-network replicas until at least `count` workers exist.
-    /// Workers live as long as the system, so replicas drop the source
-    /// model's activation caches (see [`parallel::Replica`]).
-    fn ensure_workers(&mut self, count: usize) {
-        use crate::parallel::Replica;
-        while self.workers.len() < count {
-            self.workers.push(self.little.replica());
-        }
     }
 
     /// Aggregate cost of a set of routing outcomes.
@@ -451,63 +407,12 @@ impl CollaborativeSystem {
             .iter()
             .fold(InferenceCost::zero(), |acc, o| acc.add(&o.cost))
     }
-}
 
-/// Routes the samples of `range` through one little/big model pair (Eq. 1).
-/// Shared by the sequential path and every parallel worker.
-fn classify_range(
-    little: &mut TwoHeadNet,
-    big: &mut ClassifierParts,
-    images: &Tensor,
-    range: Range<usize>,
-    threshold: f64,
-    edge_cost: InferenceCost,
-    offload_cost: InferenceCost,
-) -> Vec<RoutingOutcome> {
-    let local_n = range.end.saturating_sub(range.start);
-    if local_n == 0 {
-        return Vec::new();
+    /// Consumes the wrapper, releasing the underlying serving engine (e.g.
+    /// to swap in a different routing policy).
+    pub fn into_engine(self) -> Engine {
+        self.engine
     }
-    // A range covering the whole tensor (the sequential path) is forwarded
-    // directly; shards materialize their row subset.
-    let shard_copy;
-    let batch: &Tensor = if range.start == 0 && range.end == images.shape()[0] {
-        images
-    } else {
-        let idx: Vec<usize> = range.collect();
-        shard_copy = images.select_rows(&idx);
-        &shard_copy
-    };
-    let out = little.forward(batch, false);
-    let little_preds = out.predictions();
-    // Find which inputs must be appealed to the cloud.
-    let offload_local: Vec<usize> = (0..local_n)
-        .filter(|&i| (out.q[i] as f64) < threshold)
-        .collect();
-    let big_preds: Vec<usize> = if offload_local.is_empty() {
-        Vec::new()
-    } else {
-        let big_batch = batch.select_rows(&offload_local);
-        big.forward(&big_batch, false).argmax_rows()
-    };
-    let mut big_iter = big_preds.into_iter();
-    (0..local_n)
-        .map(|i| {
-            let offloaded = (out.q[i] as f64) < threshold;
-            RoutingOutcome {
-                label: if offloaded {
-                    big_iter
-                        .next()
-                        .expect("one big prediction per offloaded input")
-                } else {
-                    little_preds[i]
-                },
-                score: out.q[i],
-                offloaded,
-                cost: if offloaded { offload_cost } else { edge_cost },
-            }
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -532,7 +437,7 @@ mod tests {
     #[test]
     fn threshold_zero_keeps_everything_on_edge() {
         let a = synthetic_artifacts();
-        let m = a.at_threshold(0.0);
+        let m = a.at_threshold(0.0).unwrap();
         assert_eq!(m.skipping_rate, 1.0);
         assert_eq!(m.overall_accuracy, 0.6);
     }
@@ -540,7 +445,7 @@ mod tests {
     #[test]
     fn high_threshold_offloads_everything() {
         let a = synthetic_artifacts();
-        let m = a.at_threshold(2.0);
+        let m = a.at_threshold(2.0).unwrap();
         assert_eq!(m.skipping_rate, 0.0);
         assert_eq!(m.overall_accuracy, 1.0);
         assert_eq!(m.overall_flops, 1100.0);
@@ -551,7 +456,7 @@ mod tests {
         // Keeping the 60% of inputs the little model gets right and
         // offloading the rest yields 100% accuracy here.
         let a = synthetic_artifacts();
-        let m = a.at_skipping_rate(0.6);
+        let m = a.at_skipping_rate(0.6).unwrap();
         assert!((m.skipping_rate - 0.6).abs() < 1e-9);
         assert_eq!(m.overall_accuracy, 1.0);
     }
@@ -560,7 +465,7 @@ mod tests {
     fn threshold_for_sr_hits_requested_rate() {
         let a = synthetic_artifacts();
         for target in [0.0, 0.3, 0.5, 0.8, 1.0] {
-            let m = a.at_skipping_rate(target);
+            let m = a.at_skipping_rate(target).unwrap();
             assert!(
                 (m.skipping_rate - target).abs() <= 0.1 + 1e-9,
                 "target {target} got {}",
@@ -572,14 +477,90 @@ mod tests {
     #[test]
     fn candidate_thresholds_cover_all_routings() {
         let a = synthetic_artifacts();
-        let thresholds = a.candidate_thresholds();
+        let thresholds = a.candidate_thresholds().unwrap();
         assert_eq!(thresholds.len(), 11);
         let srs: Vec<f64> = thresholds
             .iter()
-            .map(|&t| a.at_threshold(t).skipping_rate)
+            .map(|&t| a.at_threshold(t).unwrap().skipping_rate)
             .collect();
         assert!(srs.contains(&1.0));
         assert!(srs.contains(&0.0));
+    }
+
+    #[test]
+    fn empty_artifacts_are_reported_not_panicked() {
+        let mut a = synthetic_artifacts();
+        a.scores.clear();
+        a.little_correct.clear();
+        a.big_correct.clear();
+        assert_eq!(a.at_threshold(0.5).unwrap_err(), CoreError::EmptyArtifacts);
+        assert_eq!(
+            a.threshold_for_skipping_rate(0.5).unwrap_err(),
+            CoreError::EmptyArtifacts
+        );
+        assert_eq!(
+            a.candidate_thresholds().unwrap_err(),
+            CoreError::EmptyArtifacts
+        );
+    }
+
+    #[test]
+    fn length_mismatched_artifacts_are_reported_not_panicked() {
+        let mut a = synthetic_artifacts();
+        a.little_correct.pop();
+        assert_eq!(
+            a.at_threshold(0.5).unwrap_err(),
+            CoreError::LengthMismatch {
+                field: "little_correct",
+                expected: 10,
+                got: 9,
+            }
+        );
+        let mut b = synthetic_artifacts();
+        b.big_correct.push(true);
+        assert_eq!(
+            b.at_skipping_rate(0.5).unwrap_err(),
+            CoreError::LengthMismatch {
+                field: "big_correct",
+                expected: 10,
+                got: 11,
+            }
+        );
+    }
+
+    #[test]
+    fn nan_scores_are_reported_not_panicked() {
+        let mut a = synthetic_artifacts();
+        a.scores[7] = f32::NAN;
+        assert_eq!(
+            a.thresholds_for_skipping_rates(&[0.5]).unwrap_err(),
+            CoreError::InvalidScore { index: 7 }
+        );
+        assert_eq!(
+            a.candidate_thresholds().unwrap_err(),
+            CoreError::InvalidScore { index: 7 }
+        );
+        assert_eq!(
+            a.at_skipping_rate(0.5).unwrap_err(),
+            CoreError::InvalidScore { index: 7 }
+        );
+    }
+
+    #[test]
+    fn invalid_rates_and_thresholds_are_reported() {
+        let a = synthetic_artifacts();
+        assert_eq!(
+            a.thresholds_for_skipping_rates(&[0.5, 1.2]).unwrap_err(),
+            CoreError::InvalidRate(1.2)
+        );
+        assert_eq!(
+            a.at_skipping_rate(-0.1).unwrap_err(),
+            CoreError::InvalidRate(-0.1)
+        );
+        assert!(matches!(
+            a.at_threshold(f64::NAN).unwrap_err(),
+            CoreError::InvalidThreshold(_)
+        ));
     }
 
     fn tiny_models(classes: usize) -> (TwoHeadNet, ClassifierParts) {
@@ -630,7 +611,7 @@ mod tests {
     #[test]
     fn collaborative_system_routes_and_costs() {
         let (net, big) = tiny_models(4);
-        let mut system = CollaborativeSystem::new(net, big, 0.5, SystemModel::typical());
+        let mut system = CollaborativeSystem::new(net, big, 0.5, SystemModel::typical()).unwrap();
         let mut rng = SeededRng::new(6);
         let images = Tensor::randn(&[6, 3, 12, 12], &mut rng);
         let outcomes = system.classify(&images);
@@ -642,25 +623,36 @@ mod tests {
         let total = CollaborativeSystem::total_cost(&outcomes);
         assert!(total.flops > 0);
         // Threshold 0 keeps everything on the edge and must be cheaper.
-        system.set_threshold(0.0);
+        system.set_threshold(0.0).unwrap();
         let cheap = CollaborativeSystem::total_cost(&system.classify(&images));
         assert!(cheap.energy_mj <= total.energy_mj + 1e-9);
+        assert_eq!(system.threshold(), 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "threshold must be in")]
     fn rejects_bad_threshold() {
         let (net, big) = tiny_models(2);
-        let _ = CollaborativeSystem::new(net, big, 1.5, SystemModel::typical());
+        assert_eq!(
+            CollaborativeSystem::new(net, big, 1.5, SystemModel::typical()).unwrap_err(),
+            CoreError::InvalidThreshold(1.5)
+        );
+    }
+
+    #[test]
+    fn set_threshold_rejects_bad_values_and_keeps_old_threshold() {
+        let (net, big) = tiny_models(2);
+        let mut system = CollaborativeSystem::new(net, big, 0.4, SystemModel::typical()).unwrap();
+        assert!(system.set_threshold(f64::NAN).is_err());
+        assert_eq!(system.threshold(), 0.4);
     }
 
     #[test]
     fn batch_thresholds_match_single_rate_queries() {
         let a = synthetic_artifacts();
         let rates = [0.0, 0.25, 0.5, 0.75, 1.0];
-        let batch = a.thresholds_for_skipping_rates(&rates);
+        let batch = a.thresholds_for_skipping_rates(&rates).unwrap();
         for (t, &sr) in batch.iter().zip(rates.iter()) {
-            assert_eq!(*t, a.threshold_for_skipping_rate(sr));
+            assert_eq!(*t, a.threshold_for_skipping_rate(sr).unwrap());
         }
     }
 
@@ -672,7 +664,8 @@ mod tests {
             max_shards: 4,
         };
         let mut parallel_system =
-            CollaborativeSystem::with_policy(net, big, 0.5, SystemModel::typical(), policy);
+            CollaborativeSystem::with_policy(net, big, 0.5, SystemModel::typical(), policy)
+                .unwrap();
         let (net2, big2) = tiny_models(4);
         let mut sequential_system = CollaborativeSystem::with_policy(
             net2,
@@ -680,7 +673,8 @@ mod tests {
             0.5,
             SystemModel::typical(),
             crate::parallel::ChunkPolicy::sequential(),
-        );
+        )
+        .unwrap();
         let mut rng = SeededRng::new(9);
         let images = Tensor::randn(&[48, 3, 12, 12], &mut rng);
         let par = parallel_system.classify(&images);

@@ -30,11 +30,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod budget;
 pub mod cost;
 pub mod device;
 pub mod link;
 pub mod profiler;
 
+pub use budget::{CostBudget, CostMeter};
 pub use cost::{InferenceCost, SystemModel};
 pub use device::DeviceSpec;
 pub use link::LinkSpec;
@@ -42,6 +44,7 @@ pub use profiler::{HardwareProfiler, ProfileDecision};
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::budget::{CostBudget, CostMeter};
     pub use crate::cost::{InferenceCost, SystemModel};
     pub use crate::device::DeviceSpec;
     pub use crate::link::LinkSpec;

@@ -4,18 +4,22 @@
 //!
 //! The example trains black-box AppealNet systems for all three efficient
 //! little-network families and reports the appealing rate needed to reach
-//! several accuracy-improvement targets (the structure of Table II).
+//! several accuracy-improvement targets (the structure of Table II). It then
+//! deploys one system behind a [`BudgetPolicy`]: with a metered vendor API,
+//! a hard cap on cloud spend per billing window is exactly what the serving
+//! engine's budgeted routing provides.
 //!
 //! ```text
 //! cargo run --release --example blackbox_cloud
 //! ```
 
 use appeal_dataset::prelude::*;
+use appeal_hw::CostBudget;
 use appeal_models::prelude::*;
 use appealnet_core::experiments::table2;
 use appealnet_core::prelude::*;
 
-fn main() {
+fn main() -> Result<(), CoreError> {
     let ctx = ExperimentContext::new(Fidelity::Smoke, 13);
     let preset = DatasetPreset::Cifar10Like;
     let pair = preset.spec(ctx.fidelity).generate();
@@ -24,15 +28,37 @@ fn main() {
         "Black-box (oracle cloud) AppealNet on {}\n",
         preset.paper_name()
     );
+    let mut deployable = None;
     for family in ModelFamily::little_families() {
         let prepared =
             PreparedExperiment::prepare_with_data(preset, &pair, family, CloudMode::BlackBox, &ctx);
         let row = table2::run(&prepared);
         println!("{}", row.render_text());
+        if family == ModelFamily::MobileNetLike {
+            deployable = Some(prepared.models);
+        }
     }
     println!(
         "A lower appealing rate at the same accuracy-improvement target means\n\
          fewer calls to the vendor's cloud API — less bandwidth, less energy,\n\
-         and a smaller bill."
+         and a smaller bill.\n"
     );
+
+    // Deploy the MobileNet-like system with a hard cap on cloud energy spend:
+    // once the budget drains, every frame stays on the edge.
+    let models = deployable.expect("MobileNetLike is among the little families");
+    let mut engine = Engine::builder()
+        .appealnet(models.appealnet)
+        .big(models.big)
+        .build()?;
+    let budget = CostBudget::energy_mj(engine.offload_cost().energy_mj * 5.5);
+    engine.set_policy(Box::new(BudgetPolicy::new(0.5, budget)?));
+    engine.classify_batch(pair.test.images())?;
+    let stats = engine.stats();
+    println!(
+        "budgeted deployment: {} of {} frames appealed before the cloud budget\n\
+         drained (cap = 5 appeals' worth of energy); the rest stayed on the edge.",
+        stats.offloaded, stats.requests
+    );
+    Ok(())
 }

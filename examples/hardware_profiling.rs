@@ -1,7 +1,9 @@
 //! The hardware-profiler workflow of the paper's Fig. 3: given a device
 //! specification and a pool of efficient DNN candidates, pick the most capable
 //! little model that fits the device, then (in the full flow) augment it with
-//! the predictor head and train it jointly.
+//! the predictor head, train it jointly and drop it into the serving engine.
+//! The last step is shown here with untrained weights: the profiled choice
+//! slots straight into an [`EngineBuilder`] with a confidence-baseline scorer.
 //!
 //! ```text
 //! cargo run --release --example hardware_profiling
@@ -9,8 +11,10 @@
 
 use appeal_hw::prelude::*;
 use appeal_models::prelude::*;
+use appeal_tensor::{SeededRng, Tensor};
+use appealnet_core::prelude::*;
 
-fn main() {
+fn main() -> Result<(), CoreError> {
     // The "efficient DNN pool" of Fig. 3: every little family at two widths.
     let input_shape = [3, 12, 12];
     let classes = 10;
@@ -53,4 +57,28 @@ fn main() {
             None => println!("  -> no candidate fits this budget\n"),
         }
     }
+
+    // The selected architecture deploys directly into the serving engine —
+    // here with untrained weights and an MSP confidence scorer, just to show
+    // the wiring from profiler output to a running engine.
+    let profiler = HardwareProfiler::new(DeviceSpec::mobile_soc(), 5.0);
+    let best = profiler.select(&pool).expect("the pool fits a mobile SoC");
+    let mut rng = SeededRng::new(2021);
+    let little = best.spec.build(&mut rng);
+    let big = ModelSpec::big(input_shape, classes).build(&mut rng);
+    let mut engine = Engine::builder()
+        .confidence(little, ScoreKind::Msp)
+        .big(big)
+        .policy(ThresholdPolicy::new(0.5)?)
+        .build()?;
+    let frames = Tensor::randn(&[8, 3, 12, 12], &mut rng);
+    engine.classify_batch(&frames)?;
+    println!(
+        "deployed the selected model ({}) behind the engine: {} frames routed,\n\
+         SR = {:.0}% (untrained weights — the full flow would train it first).",
+        best.spec,
+        engine.stats().requests,
+        engine.stats().skipping_rate() * 100.0
+    );
+    Ok(())
 }

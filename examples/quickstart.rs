@@ -1,5 +1,6 @@
 //! Quickstart: train a small AppealNet system end-to-end on the CIFAR-10-like
-//! preset and inspect the accuracy / cost trade-off it offers.
+//! preset, inspect the accuracy / cost trade-off it offers, and deploy it as
+//! a serving engine.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -8,9 +9,8 @@
 use appeal_dataset::prelude::*;
 use appeal_models::prelude::*;
 use appealnet_core::prelude::*;
-use appealnet_core::scores::ScoreKind;
 
-fn main() {
+fn main() -> Result<(), CoreError> {
     // 1. Pick a dataset preset and an experiment context. `Fidelity::Smoke`
     //    keeps the example fast; switch to `Fidelity::Paper` for the scale
     //    used by the benchmark harness.
@@ -22,8 +22,11 @@ fn main() {
 
     // 2. Prepare the full pipeline: train the big cloud network, the baseline
     //    little network, and the jointly trained two-head AppealNet model.
-    let prepared = PreparedExperiment::prepare(
+    //    Generating the dataset ourselves lets step 5 reuse its test split.
+    let pair = DatasetPreset::Cifar10Like.spec(ctx.fidelity).generate();
+    let prepared = PreparedExperiment::prepare_with_data(
         DatasetPreset::Cifar10Like,
+        &pair,
         ModelFamily::MobileNetLike,
         CloudMode::WhiteBox,
         &ctx,
@@ -45,7 +48,7 @@ fn main() {
     let artifacts = prepared.artifacts(ScoreKind::AppealNetQ);
     println!("\n  SR%   overall acc   cost (MFLOPs)");
     for sr in [0.70, 0.80, 0.90, 0.95, 1.00] {
-        let m = artifacts.at_skipping_rate(sr);
+        let m = artifacts.at_skipping_rate(sr)?;
         println!(
             "  {:>3.0}   {:>10.2}%   {:>12.3}",
             m.skipping_rate * 100.0,
@@ -56,7 +59,7 @@ fn main() {
 
     // 4. Pick the cheapest operating point that recovers 90% of the
     //    little-to-big accuracy gap (a Table I style query).
-    match appealnet_core::tuning::min_cost_for_acci(artifacts, 0.90) {
+    match appealnet_core::tuning::min_cost_for_acci(artifacts, 0.90)? {
         Some(choice) => println!(
             "\ncheapest operating point with AccI >= 90%: SR = {:.1}%, cost = {:.3} MFLOPs",
             choice.metrics.skipping_rate * 100.0,
@@ -64,4 +67,23 @@ fn main() {
         ),
         None => println!("\nAccI >= 90% is not reachable at this (smoke) training scale"),
     }
+
+    // 5. Deploy: calibrate a 90% skipping-rate policy from the artifacts and
+    //    move the trained models into a serving engine.
+    let policy = CalibratedPolicy::for_skipping_rate(artifacts, 0.90)?;
+    let mut engine = Engine::builder()
+        .appealnet(prepared.models.appealnet)
+        .big(prepared.models.big)
+        .policy(policy)
+        .build()?;
+    engine.classify_batch(pair.test.images())?;
+    let stats = engine.stats();
+    println!(
+        "\nserved {} requests: live SR = {:.1}%, total energy = {:.2} mJ, {:.0} req/s",
+        stats.requests,
+        stats.skipping_rate() * 100.0,
+        stats.total_cost.energy_mj,
+        stats.throughput_rps()
+    );
+    Ok(())
 }

@@ -2,10 +2,11 @@
 //! classifies obstacles with a small on-device network and appeals the odd
 //! long-tail inputs (a cat in a strange pose, an occluded chair) to the cloud.
 //!
-//! This example trains an AppealNet system, deploys it as a
-//! [`CollaborativeSystem`] with a real hardware/link model, streams a batch
-//! of "camera frames" through it and reports accuracy, offload rate, energy
-//! and latency compared to edge-only and cloud-only deployments.
+//! This example trains an AppealNet system, deploys it as a serving
+//! [`Engine`] with a real hardware/link model and the paper's Eq. 1 threshold
+//! policy, streams a batch of "camera frames" through it and reports
+//! accuracy, offload rate, energy and latency compared to edge-only and
+//! cloud-only deployments.
 //!
 //! ```text
 //! cargo run --release --example robot_vacuum
@@ -15,9 +16,8 @@ use appeal_dataset::prelude::*;
 use appeal_hw::prelude::*;
 use appeal_models::prelude::*;
 use appealnet_core::prelude::*;
-use appealnet_core::system::CollaborativeSystem;
 
-fn main() {
+fn main() -> Result<(), CoreError> {
     // The robot's hardware: a mobile-class SoC talking to a cloud GPU over Wi-Fi.
     let hardware = SystemModel::new(
         DeviceSpec::mobile_soc(),
@@ -46,45 +46,49 @@ fn main() {
         prepared.big_accuracy * 100.0
     );
 
-    // Deploy: move the trained models into a runtime collaborative system.
+    // Deploy: move the trained models into a serving engine behind the
+    // paper's Eq. 1 rule with δ = 0.5.
     let threshold = 0.5;
     let models = prepared.models;
-    let mut system =
-        CollaborativeSystem::new(models.appealnet, models.big, threshold, hardware.clone());
+    let mut engine = Engine::builder()
+        .appealnet(models.appealnet)
+        .big(models.big)
+        .policy(ThresholdPolicy::new(threshold)?)
+        .hardware(hardware.clone())
+        .build()?;
 
-    // Stream the test split through the deployed system as if it were the
+    // Stream the test split through the deployed engine as if it were the
     // robot's camera feed.
     let frames = pair.test.images();
     let labels = pair.test.labels();
-    let outcomes = system.classify(frames);
-    let correct = outcomes
+    let responses = engine.classify_batch(frames)?;
+    let correct = responses
         .iter()
         .zip(labels.iter())
-        .filter(|(o, &y)| o.label == y)
+        .filter(|(r, &y)| r.label == y)
         .count();
-    let offloaded = outcomes.iter().filter(|o| o.offloaded).count();
-    let total_cost = CollaborativeSystem::total_cost(&outcomes);
+    let stats = engine.stats();
 
     println!(
-        "\nstreamed {} camera frames through the deployed system (δ = {threshold}):",
-        outcomes.len()
+        "\nstreamed {} camera frames through the deployed engine (δ = {threshold}):",
+        stats.requests
     );
     println!(
         "  accuracy        : {:.2}%",
-        correct as f64 / outcomes.len() as f64 * 100.0
+        correct as f64 / responses.len() as f64 * 100.0
     );
     println!(
         "  appealed to cloud: {} frames ({:.1}%)",
-        offloaded,
-        offloaded as f64 / outcomes.len() as f64 * 100.0
+        stats.offloaded,
+        stats.appealing_rate() * 100.0
     );
     println!(
         "  total energy    : {:.2} mJ   total latency: {:.2} ms",
-        total_cost.energy_mj, total_cost.latency_ms
+        stats.total_cost.energy_mj, stats.total_cost.latency_ms
     );
 
     // Compare with the two trivial deployments.
-    let n = outcomes.len() as f64;
+    let n = responses.len() as f64;
     let edge_only = hardware.edge_only_cost(prepared.little_flops).scale(n);
     let cloud_only = hardware
         .cloud_only_cost(prepared.big_flops, prepared.input_bytes)
@@ -105,4 +109,5 @@ fn main() {
          difficult ones, and lands between the two extremes on energy while\n\
          staying close to cloud-level accuracy."
     );
+    Ok(())
 }

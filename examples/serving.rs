@@ -1,0 +1,108 @@
+//! Serving: drive the engine with a stream of single requests and watch the
+//! micro-batching and the routing policies at work.
+//!
+//! A deployed AppealNet system does not see test-split tensors — it sees one
+//! request at a time (a camera frame, an API call). The [`Engine`] queues
+//! single [`InferenceRequest`]s and flushes them through the sharded parallel
+//! path once `max_batch` accumulate, so the caller gets batch throughput at a
+//! single-request API. [`EngineStats`] makes the batching visible, and the
+//! same stream is replayed under all three routing policies.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use appeal_dataset::prelude::*;
+use appeal_hw::CostBudget;
+use appeal_models::prelude::*;
+use appealnet_core::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    // Train a small system once; the models are then moved into engines.
+    let ctx = ExperimentContext::new(Fidelity::Smoke, 2024);
+    let preset = DatasetPreset::Cifar10Like;
+    let pair = preset.spec(ctx.fidelity).generate();
+    println!("training an AppealNet system on {preset} ...");
+    let prepared = PreparedExperiment::prepare_with_data(
+        preset,
+        &pair,
+        ModelFamily::MobileNetLike,
+        CloudMode::WhiteBox,
+        &ctx,
+    );
+    let artifacts = prepared.artifacts(ScoreKind::AppealNetQ).clone();
+    let models = prepared.models;
+
+    // Build the engine: two-head scorer, Eq. 1 threshold policy, micro-batch
+    // capacity of 8 requests.
+    let mut engine = Engine::builder()
+        .appealnet(models.appealnet)
+        .big(models.big)
+        .policy(ThresholdPolicy::new(0.5)?)
+        .max_batch(8)
+        .build()?;
+
+    // Stream the test split as single requests, as a deployed system would
+    // receive them. The engine answers in bursts of 8.
+    let frames = pair.test.images();
+    let n = frames.shape()[0];
+    println!("\nstreaming {n} single requests (micro-batch capacity 8):");
+    let mut answered = 0usize;
+    for i in 0..n {
+        let request = InferenceRequest::new(i as u64, frames.select_rows(&[i]));
+        if let Some(batch) = engine.submit(request)? {
+            answered += batch.len();
+            println!(
+                "  flush #{:<2} answered requests {:>2}..{:<2}  (queue drained at capacity)",
+                engine.stats().batches,
+                batch.first().map(|r| r.id).unwrap_or_default(),
+                batch.last().map(|r| r.id).unwrap_or_default(),
+            );
+        }
+    }
+    // Whatever is left in the queue is flushed explicitly.
+    answered += engine.flush()?.len();
+    let stats = *engine.stats();
+    println!(
+        "\nanswered {answered} requests in {} micro-batches (mean batch {:.1}):",
+        stats.batches,
+        stats.mean_batch_size()
+    );
+    println!(
+        "  skipping rate {:.1}%  |  appealing rate {:.1}%  |  {:.0} req/s busy throughput",
+        stats.skipping_rate() * 100.0,
+        stats.appealing_rate() * 100.0,
+        stats.throughput_rps()
+    );
+    println!(
+        "  total cost: {:.2} MFLOPs, {:.2} mJ, {:.2} ms",
+        stats.total_cost.flops as f64 / 1e6,
+        stats.total_cost.energy_mj,
+        stats.total_cost.latency_ms
+    );
+
+    // Replay under a calibrated policy: hit a 90% skipping rate chosen
+    // offline from the evaluation artifacts (the Fig. 5 query, deployed).
+    engine.reset_stats();
+    engine.set_policy(Box::new(CalibratedPolicy::for_skipping_rate(
+        &artifacts, 0.90,
+    )?));
+    engine.classify_batch(frames)?;
+    println!(
+        "\ncalibrated policy (target SR 90%): live SR = {:.1}%",
+        engine.stats().skipping_rate() * 100.0
+    );
+
+    // Replay under a budget policy: appeals stop when the cloud budget is
+    // spent, and every later request stays on the edge.
+    engine.reset_stats();
+    let budget = CostBudget::energy_mj(engine.offload_cost().energy_mj * 3.5);
+    engine.set_policy(Box::new(BudgetPolicy::new(0.5, budget)?));
+    engine.classify_batch(frames)?;
+    println!(
+        "budget policy (3 appeals' worth of energy): {} of {} requests appealed",
+        engine.stats().offloaded,
+        engine.stats().requests
+    );
+    Ok(())
+}

@@ -9,7 +9,8 @@
 //! * [`appeal_models`] — the little/big model zoo with FLOP accounting.
 //! * [`appeal_hw`] — device, link and energy cost models plus the hardware profiler.
 //! * [`appealnet_core`] — the AppealNet two-head architecture, joint training,
-//!   routing scores, metrics and experiment pipelines.
+//!   routing scores, metrics, experiment pipelines and the policy-driven
+//!   serving engine (`appealnet_core::serve`).
 //!
 //! See the repository `README.md` for a quickstart, the workspace layout and
 //! the design of the parallel batch-evaluation engine; the experiment

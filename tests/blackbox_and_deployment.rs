@@ -53,7 +53,8 @@ fn deployed_system_routes_consistently_with_threshold() {
     );
     let models = prepared.models;
     let mut system =
-        CollaborativeSystem::new(models.appealnet, models.big, 0.5, SystemModel::typical());
+        CollaborativeSystem::new(models.appealnet, models.big, 0.5, SystemModel::typical())
+            .expect("0.5 is a valid threshold");
 
     let outcomes = system.classify(pair.test.images());
     assert_eq!(outcomes.len(), pair.test.len());
@@ -65,7 +66,9 @@ fn deployed_system_routes_consistently_with_threshold() {
     // Raising the threshold can only increase (or keep) the number of
     // offloaded inputs, and with it the total energy.
     let low = CollaborativeSystem::total_cost(&outcomes);
-    system.set_threshold(0.95);
+    system
+        .set_threshold(0.95)
+        .expect("0.95 is a valid threshold");
     let outcomes_high = system.classify(pair.test.images());
     let high = CollaborativeSystem::total_cost(&outcomes_high);
     let offloaded_low = outcomes.iter().filter(|o| o.offloaded).count();

@@ -7,11 +7,14 @@
 //! nondeterministic reduction order can creep into results.
 
 use appeal_dataset::{DatasetPreset, Fidelity};
-use appeal_models::{ModelFamily, ModelSpec};
-use appeal_tensor::SeededRng;
+use appeal_hw::SystemModel;
+use appeal_models::{ClassifierParts, ModelFamily, ModelSpec};
+use appeal_tensor::{SeededRng, Tensor};
 use appealnet_core::experiments::{ExperimentContext, PreparedExperiment};
 use appealnet_core::loss::CloudMode;
 use appealnet_core::parallel::ChunkPolicy;
+use appealnet_core::serve::{Engine, InferenceRequest, InferenceResponse, ThresholdPolicy};
+use appealnet_core::system::{CollaborativeSystem, RoutingOutcome};
 use appealnet_core::two_head::TwoHeadNet;
 
 #[test]
@@ -71,5 +74,132 @@ fn sharded_evaluation_is_bit_identical_to_sequential() {
         .zip(sharded.logits.data().iter())
     {
         assert_eq!(a.to_bits(), b.to_bits(), "logits must be bit-identical");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine / CollaborativeSystem equivalence
+// ---------------------------------------------------------------------------
+
+/// Builds an identically seeded (two-head, big) model pair.
+fn seeded_models() -> (TwoHeadNet, ClassifierParts) {
+    let mut rng = SeededRng::new(4242);
+    let little = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 6).build(&mut rng);
+    let big = ModelSpec::big([3, 12, 12], 6).build(&mut rng);
+    (TwoHeadNet::from_parts(little, &mut rng), big)
+}
+
+fn assert_equivalent(outcomes: &[RoutingOutcome], responses: &[InferenceResponse], tag: &str) {
+    assert_eq!(outcomes.len(), responses.len(), "{tag}: length mismatch");
+    for (i, (o, r)) in outcomes.iter().zip(responses.iter()).enumerate() {
+        assert_eq!(o.label, r.label, "{tag}: label diverges at sample {i}");
+        assert_eq!(
+            o.offloaded,
+            r.route.is_cloud(),
+            "{tag}: decision diverges at sample {i}"
+        );
+        assert_eq!(
+            o.score.to_bits(),
+            r.score.to_bits(),
+            "{tag}: score is not bit-identical at sample {i}"
+        );
+        assert_eq!(o.cost, r.cost, "{tag}: cost diverges at sample {i}");
+    }
+}
+
+#[test]
+fn engine_with_threshold_policy_matches_collaborative_system() {
+    // The legacy fixed-threshold wrapper and a directly built engine must
+    // produce byte-identical labels, routing decisions, scores and costs
+    // across batch sizes and chunk policies (i.e. thread counts).
+    let chunk_policies = [
+        ChunkPolicy::sequential(),
+        ChunkPolicy {
+            min_shard: 8,
+            max_shards: 2,
+        },
+        ChunkPolicy {
+            min_shard: 4,
+            max_shards: 8,
+        },
+    ];
+    let mut rng = SeededRng::new(99);
+    let batches: Vec<Tensor> = [5usize, 17, 48]
+        .iter()
+        .map(|&n| Tensor::randn(&[n, 3, 12, 12], &mut rng))
+        .collect();
+    // Reference: the legacy wrapper on the sequential path.
+    let (net, big) = seeded_models();
+    let mut reference = CollaborativeSystem::with_policy(
+        net,
+        big,
+        0.5,
+        SystemModel::typical(),
+        ChunkPolicy::sequential(),
+    )
+    .unwrap();
+    let reference_outcomes: Vec<Vec<RoutingOutcome>> =
+        batches.iter().map(|b| reference.classify(b)).collect();
+    for chunk in chunk_policies {
+        let (net, big) = seeded_models();
+        let mut engine = Engine::builder()
+            .appealnet(net)
+            .big(big)
+            .policy(ThresholdPolicy::new(0.5).unwrap())
+            .hardware(SystemModel::typical())
+            .chunk_policy(chunk)
+            .build()
+            .unwrap();
+        for (batch, expected) in batches.iter().zip(reference_outcomes.iter()) {
+            let responses = engine.classify_batch(batch).unwrap();
+            assert_equivalent(
+                expected,
+                &responses,
+                &format!("chunk {chunk:?}, batch {}", batch.shape()[0]),
+            );
+        }
+    }
+}
+
+#[test]
+fn micro_batched_submission_matches_whole_batch_classification() {
+    // Feeding single requests through the micro-batch queue must reproduce
+    // the whole-batch path bit-for-bit, for every micro-batch capacity.
+    let mut rng = SeededRng::new(77);
+    let images = Tensor::randn(&[23, 3, 12, 12], &mut rng);
+    let (net, big) = seeded_models();
+    let mut whole = Engine::builder().appealnet(net).big(big).build().unwrap();
+    let expected = whole.classify_batch(&images).unwrap();
+    for max_batch in [1usize, 4, 7, 23, 64] {
+        let (net, big) = seeded_models();
+        let mut engine = Engine::builder()
+            .appealnet(net)
+            .big(big)
+            .max_batch(max_batch)
+            .build()
+            .unwrap();
+        let mut responses = Vec::new();
+        for i in 0..images.shape()[0] {
+            if let Some(batch) = engine
+                .submit(InferenceRequest::new(i as u64, images.select_rows(&[i])))
+                .unwrap()
+            {
+                responses.extend(batch);
+            }
+        }
+        responses.extend(engine.flush().unwrap());
+        assert_eq!(responses.len(), expected.len());
+        for (i, (a, b)) in expected.iter().zip(responses.iter()).enumerate() {
+            assert_eq!(b.id, i as u64, "max_batch {max_batch}: id order");
+            assert_eq!(a.label, b.label, "max_batch {max_batch}, sample {i}");
+            assert_eq!(a.route, b.route, "max_batch {max_batch}, sample {i}");
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "max_batch {max_batch}, sample {i}"
+            );
+            assert_eq!(a.cost, b.cost, "max_batch {max_batch}, sample {i}");
+        }
+        assert_eq!(engine.stats().requests, images.shape()[0] as u64);
     }
 }

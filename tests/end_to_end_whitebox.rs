@@ -45,12 +45,12 @@ fn whitebox_pipeline_produces_consistent_artifacts() {
     // The cost model (Eq. 15) must interpolate between edge-only and
     // edge+cloud for every method.
     let art = prepared.artifacts(ScoreKind::AppealNetQ);
-    let all_edge = art.at_threshold(-1.0);
-    let all_cloud = art.at_threshold(2.0);
+    let all_edge = art.at_threshold(-1.0).unwrap();
+    let all_cloud = art.at_threshold(2.0).unwrap();
     assert_eq!(all_edge.skipping_rate, 1.0);
     assert_eq!(all_cloud.skipping_rate, 0.0);
     assert!(all_edge.overall_flops < all_cloud.overall_flops);
-    let mid = art.at_skipping_rate(0.5);
+    let mid = art.at_skipping_rate(0.5).unwrap();
     assert!(mid.overall_flops > all_edge.overall_flops);
     assert!(mid.overall_flops < all_cloud.overall_flops);
 }
@@ -60,8 +60,8 @@ fn skipping_rate_is_monotone_in_threshold() {
     let prepared = prepared();
     let art = prepared.artifacts(ScoreKind::AppealNetQ);
     let mut last_sr = f64::INFINITY;
-    for t in art.candidate_thresholds() {
-        let sr = art.at_threshold(t).skipping_rate;
+    for t in art.candidate_thresholds().unwrap() {
+        let sr = art.at_threshold(t).unwrap().skipping_rate;
         assert!(sr <= last_sr + 1e-12, "SR must not increase with threshold");
         last_sr = sr;
     }
@@ -107,7 +107,7 @@ fn acci_targets_are_reachable_by_offloading_everything() {
     if prepared.big_accuracy > prepared.little_accuracy {
         for kind in ScoreKind::all() {
             let art = prepared.artifacts(kind);
-            let choice = min_cost_for_acci(art, 1.0);
+            let choice = min_cost_for_acci(art, 1.0).unwrap();
             assert!(choice.is_some(), "{kind} could not reach AccI = 1.0");
         }
     }

@@ -50,7 +50,8 @@ fn fig3_workflow_profiler_to_deployed_system() {
     // 4. Deploy it next to a big cloud model and route a batch.
     let big = ModelSpec::big(input_shape, preset.num_classes()).build(&mut rng);
     let hardware = SystemModel::new(device, DeviceSpec::cloud_gpu(), LinkSpec::lte());
-    let mut system = CollaborativeSystem::new(net, big, 0.5, hardware);
+    let mut system =
+        CollaborativeSystem::new(net, big, 0.5, hardware).expect("0.5 is a valid threshold");
     let outcomes = system.classify(pair.test.images());
     assert_eq!(outcomes.len(), pair.test.len());
     assert!(outcomes.iter().any(|o| !o.offloaded) || outcomes.iter().any(|o| o.offloaded));

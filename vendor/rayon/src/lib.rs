@@ -142,7 +142,7 @@ impl<T> FromParallelIterator<T> for Vec<T> {
 
 /// A mapped parallel iterator over an indexable source.
 ///
-/// Created by [`ParallelIterator::map`]; consumed by `collect`, `sum`,
+/// Created by `ParallelIterator::map`; consumed by `collect`, `sum`,
 /// `reduce` or `for_each`. All reductions happen in index order, so they are
 /// deterministic even for non-associative operations (e.g. float addition).
 pub struct Map<I, F> {
