@@ -1,0 +1,157 @@
+//! Criterion microbenches for the compute-kernel layer: the blocked GEMM and
+//! the GEMM-lowered convolutions against the retained naive reference
+//! kernels from `appeal_tensor::kernels::naive`.
+//!
+//! Three groups:
+//!
+//! * `matmul_shapes` — naive vs. blocked square matmuls (the acceptance bar
+//!   is >= 3x single-thread at 128x128x128).
+//! * `conv_forward` — the seed 7-deep loop vs. the im2col + GEMM `Conv2d`
+//!   forward (bar: >= 5x on a 3x3 convolution), plus the depthwise pair.
+//! * `conv_backward` — seed loop vs. GEMM-lowered backward.
+//!
+//! Set `APPEALNET_BENCH_QUICK=1` (as CI does) for a seconds-scale smoke run
+//! on reduced shapes and sample counts. Thread count follows the vendored
+//! rayon shim's `RAYON_NUM_THREADS`; run once with `RAYON_NUM_THREADS=1` and
+//! once without to compare serial vs. row-parallel GEMM on multicore hosts
+//! (on a single-core container both paths are the serial kernel).
+
+use appeal_tensor::kernels::naive;
+use appeal_tensor::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn quick() -> bool {
+    std::env::var("APPEALNET_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn randn_vec(rng: &mut SeededRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.normal(0.0, 1.0)).collect()
+}
+
+fn bench_matmul_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_shapes");
+    group.sample_size(if quick() { 5 } else { 20 });
+    let sizes: &[usize] = if quick() {
+        &[32, 64]
+    } else {
+        &[32, 64, 128, 256]
+    };
+    let mut rng = SeededRng::new(0xBE_7C);
+    for &s in sizes {
+        let a = Tensor::randn(&[s, s], &mut rng);
+        let b = Tensor::randn(&[s, s], &mut rng);
+        group.bench_function(format!("naive_{s}x{s}x{s}"), |bch| {
+            bch.iter(|| naive::matmul_naive(s, s, s, black_box(a.data()), black_box(b.data())))
+        });
+        group.bench_function(format!("blocked_{s}x{s}x{s}"), |bch| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+/// The MobileNet-ish hot shape: 3x3 convolution over a mid-network feature
+/// map (quick mode shrinks the spatial extent).
+fn conv_shape() -> (usize, usize, usize, usize) {
+    // (batch, channels_in, channels_out, spatial)
+    if quick() {
+        (1, 8, 16, 8)
+    } else {
+        (4, 16, 32, 16)
+    }
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_forward");
+    group.sample_size(if quick() { 5 } else { 20 });
+    let (n, ci, co, hw) = conv_shape();
+    let mut rng = SeededRng::new(0xC0_4F);
+    let x = Tensor::randn(&[n, ci, hw, hw], &mut rng);
+    let mut conv = Conv2d::new(ci, co, 3, 1, 1, &mut rng);
+    let weight = randn_vec(&mut rng, co * ci * 3 * 3);
+    let bias = randn_vec(&mut rng, co);
+    group.bench_function("naive_3x3", |bch| {
+        bch.iter(|| {
+            naive::conv2d_forward_naive(
+                black_box(x.data()),
+                n,
+                ci,
+                hw,
+                hw,
+                &weight,
+                &bias,
+                co,
+                3,
+                1,
+                1,
+            )
+        })
+    });
+    group.bench_function("gemm_3x3", |bch| {
+        bch.iter(|| conv.forward(black_box(&x), false))
+    });
+
+    let mut dw = DepthwiseConv2d::new(ci, 3, 1, 1, &mut rng);
+    let dw_weight = randn_vec(&mut rng, ci * 3 * 3);
+    let dw_bias = randn_vec(&mut rng, ci);
+    group.bench_function("naive_depthwise_3x3", |bch| {
+        bch.iter(|| {
+            naive::depthwise_forward_naive(
+                black_box(x.data()),
+                n,
+                ci,
+                hw,
+                hw,
+                &dw_weight,
+                &dw_bias,
+                3,
+                1,
+                1,
+            )
+        })
+    });
+    group.bench_function("gemm_depthwise_3x3", |bch| {
+        bch.iter(|| dw.forward(black_box(&x), false))
+    });
+    group.finish();
+}
+
+fn bench_conv_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_backward");
+    group.sample_size(if quick() { 5 } else { 20 });
+    let (n, ci, co, hw) = conv_shape();
+    let mut rng = SeededRng::new(0xBA_C4);
+    let x = Tensor::randn(&[n, ci, hw, hw], &mut rng);
+    let mut conv = Conv2d::new(ci, co, 3, 1, 1, &mut rng);
+    let y = conv.forward(&x, true);
+    let go = Tensor::randn(y.shape(), &mut rng);
+    let weight = randn_vec(&mut rng, co * ci * 3 * 3);
+    group.bench_function("naive_3x3", |bch| {
+        bch.iter(|| {
+            naive::conv2d_backward_naive(
+                black_box(x.data()),
+                n,
+                ci,
+                hw,
+                hw,
+                &weight,
+                black_box(go.data()),
+                co,
+                3,
+                1,
+                1,
+            )
+        })
+    });
+    group.bench_function("gemm_3x3", |bch| bch.iter(|| conv.backward(black_box(&go))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_shapes,
+    bench_conv_forward,
+    bench_conv_backward
+);
+criterion_main!(benches);

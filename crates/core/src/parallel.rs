@@ -122,6 +122,10 @@ impl ChunkPolicy {
 /// for eval-mode forward passes, but drops the source's forward-pass
 /// activation caches — workers rebuild what they need on their first batch,
 /// so copying (and retaining) cached training activations is pure waste.
+/// Kernel scratch arenas (`appeal_tensor::kernels::KernelScratch`) behave
+/// the same way by construction: cloning a layer yields empty scratch, and
+/// each replica grows its own high-water buffers on its first batch and
+/// reuses them for the rest of its life.
 pub trait Replica: Sync {
     /// Clones `self` for a worker, dropping activation caches.
     fn replica(&self) -> Self;
@@ -175,6 +179,10 @@ where
         for (shard, slot) in shards.into_iter().zip(slots.iter_mut()) {
             let eval = &eval;
             s.spawn(move |_| {
+                // Keep per-sample kernels serial inside shard workers: the
+                // batch is already parallel at this level, and the vendored
+                // rayon shim has no pool to cap nested thread spawns.
+                let _serial = appeal_tensor::kernels::enter_worker_region();
                 let mut replica = model.replica();
                 *slot = Some(eval(&mut replica, shard));
             });

@@ -269,6 +269,17 @@ impl Default for EngineBuilder {
 /// deterministic), and the big network runs one internally sharded pass over
 /// the offloaded subset. Per-sample results are bit-identical across chunk
 /// policies, batch sizes and thread counts.
+///
+/// # Hot-path allocations
+///
+/// Every forward pass the engine issues runs in eval mode, so the layers
+/// under `appeal_tensor` skip their training-only activation caches, and the
+/// GEMM-lowered conv/dense kernels draw im2col and packing buffers from
+/// per-layer scratch arenas that persist inside the engine's scorer and big
+/// model between requests. After warm-up, steady-state `submit` traffic
+/// performs zero scratch allocations — pinned by the allocation-counter
+/// guard in `tests/hot_path_allocations.rs` against
+/// `appeal_tensor::kernels::scratch_stats`.
 pub struct Engine {
     scorer: Box<dyn Scorer>,
     /// Lazily forked scorer replicas, one per worker thread. Only the edge
@@ -458,6 +469,9 @@ impl Engine {
             for ((worker, shard), slot) in self.workers.iter_mut().zip(shards).zip(slots.iter_mut())
             {
                 s.spawn(move |_| {
+                    // Batch-level parallelism owns the cores here; keep the
+                    // per-sample kernels on their serial paths.
+                    let _serial = appeal_tensor::kernels::enter_worker_region();
                     let idx: Vec<usize> = shard.collect();
                     let pass = worker.evaluate(&images.select_rows(&idx));
                     *slot = (pass.labels, pass.scores);

@@ -92,6 +92,12 @@ fn scaled(base: usize, width: f32) -> usize {
 
 /// Builds the backbone + head for a model specification.
 ///
+/// The conv/dense layers these backbones are assembled from run on the
+/// GEMM-lowered kernel layer (`appeal_tensor::kernels`): pointwise (1x1)
+/// convolutions — the bulk of the MobileNet/ShuffleNet-style blocks — map
+/// straight onto the blocked GEMM with no im2col, and every layer carries
+/// its own scratch arena so repeated inference allocates nothing.
+///
 /// # Panics
 ///
 /// Panics if the input shape is too small for the family's downsampling

@@ -1,0 +1,484 @@
+//! Cache-blocked, register-tiled GEMM.
+//!
+//! The kernel follows the classic GotoBLAS/BLIS decomposition: the output is
+//! computed in `MC x NC` macro-tiles, the `K` dimension is consumed in `KC`
+//! slabs whose operands are packed into contiguous panels (`MR`-row strips of
+//! A, `NR`-column strips of B), and an `MR x NR` register-tiled microkernel
+//! performs the innermost multiply-accumulate with all `MR * NR` partial sums
+//! held in registers.
+//!
+//! # Determinism contract
+//!
+//! Every path in this module accumulates each output element's products in
+//! strictly increasing `p` (inner-dimension) order, starting from the
+//! element's initial value ([`GemmInit`]): the `KC` slabs are processed in
+//! ascending order and the microkernel reloads/stores the output tile at slab
+//! boundaries rather than reassociating partial sums. Since Rust never
+//! contracts `a * b + c` into a fused multiply-add on its own, the blocked
+//! kernel, the small-problem fallback and the rayon row-parallel path are all
+//! **bit-identical** to the naive `i-k-j` triple loop (see
+//! [`super::naive::matmul_naive`]) — which is what keeps serving results
+//! byte-stable across kernel choices and thread counts.
+
+use super::scratch::PackScratch;
+
+/// Rows of the register microkernel tile.
+pub const MR: usize = 4;
+/// Columns of the register microkernel tile.
+pub const NR: usize = 16;
+/// Rows of A packed per macro-block (multiple of `MR`).
+pub const MC: usize = 64;
+/// Depth consumed per packed slab.
+pub const KC: usize = 128;
+/// Columns of B packed per macro-block (multiple of `NR`).
+pub const NC: usize = 256;
+
+/// Problems with fewer multiply-accumulates than this skip packing entirely
+/// and run the plain `i-k-j` loop (bit-identical, lower overhead).
+const SMALL_PROBLEM_MACS: usize = 32 * 1024;
+
+/// Minimum multiply-accumulates before the row-parallel path is worthwhile.
+const PAR_MIN_MACS: usize = 1 << 21;
+
+/// How an output element starts before the `A x B` products are accumulated.
+#[derive(Clone, Copy)]
+pub enum GemmInit<'a> {
+    /// `out = A x B`: elements start at `0.0`.
+    Zero,
+    /// `out += A x B`: elements keep their current value (gradient
+    /// accumulation).
+    Accumulate,
+    /// `out[i][j]` starts at `bias[i]` — the convolution-forward convention,
+    /// where the naive kernel seeds its accumulator with the output-channel
+    /// bias *before* the taps.
+    RowBias(&'a [f32]),
+}
+
+/// `out[m x n] <- init ⊕ a[m x k] x b[k x n]`, all row-major slices.
+///
+/// Dispatches between the small-problem `i-k-j` loop, the serial blocked
+/// kernel and the rayon row-parallel blocked kernel; all three produce
+/// bit-identical results (see the module docs). `packs` supplies the packing
+/// panels for the serial blocked path; the parallel path packs into
+/// per-worker buffers instead (worker threads are transient).
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its `m`/`k`/`n` dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_into(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    init: GemmInit<'_>,
+    out: &mut [f32],
+    packs: &mut PackScratch,
+) {
+    assert_eq!(a.len(), m * k, "gemm: A must be m*k");
+    assert_eq!(b.len(), k * n, "gemm: B must be k*n");
+    assert_eq!(out.len(), m * n, "gemm: out must be m*n");
+    if let GemmInit::RowBias(bias) = init {
+        assert_eq!(bias.len(), m, "gemm: row bias must have m entries");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        init_only(m, n, init, out);
+        return;
+    }
+    let macs = m * k * n;
+    if macs <= SMALL_PROBLEM_MACS {
+        gemm_ikj(m, k, n, a, b, init, out);
+        return;
+    }
+    let threads = rayon::current_num_threads();
+    // Stay serial inside an outer parallel region (sharded batch workers):
+    // the vendored rayon shim spawns raw OS threads, so nesting would
+    // oversubscribe the CPU with up to threads^2 transient threads.
+    if threads > 1 && macs >= PAR_MIN_MACS && m >= 2 * MR && !super::scratch::in_worker_region() {
+        gemm_parallel(m, k, n, a, b, init, out, threads, packs);
+    } else {
+        gemm_blocked(m, k, n, a, b, init, out, packs);
+    }
+}
+
+/// Degenerate `k == 0` case: the "product" contributes nothing, only the
+/// initialization is applied.
+fn init_only(_m: usize, n: usize, init: GemmInit<'_>, out: &mut [f32]) {
+    match init {
+        GemmInit::Zero => out.fill(0.0),
+        GemmInit::Accumulate => {}
+        GemmInit::RowBias(bias) => {
+            for (row, &bv) in out.chunks_exact_mut(n).zip(bias.iter()) {
+                row.fill(bv);
+            }
+        }
+    }
+}
+
+/// Plain `i-k-j` loop: walks B rows and the output row contiguously. This is
+/// the seed kernel minus its `a == 0.0` sparsity branch (which pessimized
+/// dense data and is bit-equivalent to just accumulating for finite inputs).
+fn gemm_ikj(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    init: GemmInit<'_>,
+    out: &mut [f32],
+) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        match init {
+            GemmInit::Zero => out_row.fill(0.0),
+            GemmInit::Accumulate => {}
+            GemmInit::RowBias(bias) => out_row.fill(bias[i]),
+        }
+        for (p, &av) in a_row.iter().enumerate() {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Splits the rows of the output across worker threads; each worker runs the
+/// serial blocked kernel on its contiguous row band. Bands never overlap, so
+/// no synchronization is needed and each element's accumulation order is
+/// unchanged.
+///
+/// The first band runs on the calling thread with the caller's (reused)
+/// packing scratch; spawned bands pack into private buffers, since the
+/// vendored rayon shim's workers are transient threads with nothing to
+/// retain a high-water buffer on. Large multicore GEMMs therefore trade a
+/// packing allocation per extra band for the parallel speedup (see the
+/// ROADMAP open item on a persistent worker pool).
+#[allow(clippy::too_many_arguments)]
+fn gemm_parallel(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    init: GemmInit<'_>,
+    out: &mut [f32],
+    threads: usize,
+    packs: &mut PackScratch,
+) {
+    // Band size: a multiple of MR so microkernel tiling stays aligned.
+    let bands = threads.min(m.div_ceil(MR));
+    let rows_per = m.div_ceil(bands).next_multiple_of(MR);
+    let mut row0 = 0usize;
+    let mut jobs: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(bands);
+    let mut rest = out;
+    while row0 < m {
+        let rows = rows_per.min(m - row0);
+        let (band, tail) = rest.split_at_mut(rows * n);
+        jobs.push((row0, rows, band));
+        rest = tail;
+        row0 += rows;
+    }
+    let band_slice = |band_row0: usize, rows: usize| {
+        let band_a = &a[band_row0 * k..(band_row0 + rows) * k];
+        let band_init = match init {
+            GemmInit::RowBias(bias) => GemmInit::RowBias(&bias[band_row0..band_row0 + rows]),
+            other => other,
+        };
+        (band_a, band_init)
+    };
+    let mut jobs = jobs.into_iter();
+    let first = jobs.next();
+    rayon::scope(|s| {
+        for (band_row0, rows, band_out) in jobs {
+            s.spawn(move |_| {
+                let (band_a, band_init) = band_slice(band_row0, rows);
+                let mut local = PackScratch::new();
+                gemm_blocked(rows, k, n, band_a, b, band_init, band_out, &mut local);
+            });
+        }
+        // The scope body runs on the calling thread: do the first band here
+        // with the caller's scratch while the spawned bands proceed.
+        if let Some((band_row0, rows, band_out)) = first {
+            let (band_a, band_init) = band_slice(band_row0, rows);
+            gemm_blocked(rows, k, n, band_a, b, band_init, band_out, packs);
+        }
+    });
+}
+
+/// Serial blocked kernel: `NC`-column macro-blocks, `KC`-deep packed slabs,
+/// `MC`-row packed A panels, `MR x NR` register microkernel.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    init: GemmInit<'_>,
+    out: &mut [f32],
+    packs: &mut PackScratch,
+) {
+    let a_panel_len = MC.div_ceil(MR) * MR * KC;
+    let b_panel_len = NC.div_ceil(NR) * NR * KC;
+    let mut jc = 0;
+    while jc < n {
+        let ncb = NC.min(n - jc);
+        let j_tiles = ncb.div_ceil(NR);
+        let mut pc = 0;
+        while pc < k {
+            let kcb = KC.min(k - pc);
+            let first_slab = pc == 0;
+            let b_pack = packs.b.take(b_panel_len);
+            pack_b(b, n, pc, kcb, jc, ncb, b_pack);
+            let mut ic = 0;
+            while ic < m {
+                let mcb = MC.min(m - ic);
+                let i_tiles = mcb.div_ceil(MR);
+                let a_pack = packs.a.take(a_panel_len);
+                pack_a(a, k, ic, mcb, pc, kcb, a_pack);
+                for jt in 0..j_tiles {
+                    let j0 = jc + jt * NR;
+                    let ncols = NR.min(n - j0);
+                    let b_tile = &b_pack[jt * kcb * NR..(jt + 1) * kcb * NR];
+                    for it in 0..i_tiles {
+                        let i0 = ic + it * MR;
+                        let mrows = MR.min(m - i0);
+                        let a_tile = &a_pack[it * kcb * MR..(it + 1) * kcb * MR];
+                        if mrows == MR && ncols == NR {
+                            // Full tile: every bound is a constant, so the
+                            // accumulator tile stays in SIMD registers.
+                            micro_kernel_full(
+                                kcb, a_tile, b_tile, init, first_slab, i0, j0, n, out,
+                            );
+                        } else {
+                            micro_kernel_edge(
+                                kcb, a_tile, b_tile, init, first_slab, i0, j0, mrows, ncols, n, out,
+                            );
+                        }
+                    }
+                }
+                ic += mcb;
+            }
+            pc += kcb;
+        }
+        jc += ncb;
+    }
+}
+
+/// The register-tiled inner kernel for a full `MR x NR` output tile:
+/// loads the tile (or its [`GemmInit`] seed on the first slab), runs
+/// `acc[r][c] += a[p][r] * b[p][c]` for every `p` in ascending order, and
+/// stores it back. Every loop bound is a compile-time constant so LLVM keeps
+/// the whole accumulator tile in SIMD registers.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel_full(
+    kc: usize,
+    a_tile: &[f32],
+    b_tile: &[f32],
+    init: GemmInit<'_>,
+    first_slab: bool,
+    i0: usize,
+    j0: usize,
+    ldc: usize,
+    out: &mut [f32],
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if first_slab {
+        match init {
+            GemmInit::Zero => {}
+            GemmInit::Accumulate => load_tile(&mut acc, out, i0, j0, ldc),
+            GemmInit::RowBias(bias) => {
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    *acc_row = [bias[i0 + r]; NR];
+                }
+            }
+        }
+    } else {
+        load_tile(&mut acc, out, i0, j0, ldc);
+    }
+    micro_kernel_loop(kc, a_tile, b_tile, &mut acc);
+    for (r, acc_row) in acc.iter().enumerate() {
+        let row = (i0 + r) * ldc + j0;
+        out[row..row + NR].copy_from_slice(acc_row);
+    }
+}
+
+/// The innermost multiply-accumulate loop, kept as its own compilation unit
+/// (`inline(never)`) so the loop vectorizer reliably promotes the whole
+/// `MR x NR` accumulator tile into SIMD registers — inlined into the blocked
+/// driver it degrades to scalar stack traffic. One call per tile per slab is
+/// amortized over `kc * MR * NR` multiply-accumulates.
+#[inline(never)]
+fn micro_kernel_loop(kc: usize, a_tile: &[f32], b_tile: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let mut tile = *acc;
+    // Eight `p` steps per iteration to amortize loop overhead; the steps stay
+    // strictly sequential per accumulator, preserving accumulation order.
+    const U: usize = 8;
+    let quads = kc / U;
+    for (ap, bp) in a_tile[..quads * U * MR]
+        .chunks_exact(U * MR)
+        .zip(b_tile[..quads * U * NR].chunks_exact(U * NR))
+    {
+        for u in 0..U {
+            micro_step(
+                &mut tile,
+                &ap[u * MR..(u + 1) * MR],
+                &bp[u * NR..(u + 1) * NR],
+            );
+        }
+    }
+    for p in quads * U..kc {
+        micro_step(
+            &mut tile,
+            &a_tile[p * MR..(p + 1) * MR],
+            &b_tile[p * NR..(p + 1) * NR],
+        );
+    }
+    *acc = tile;
+}
+
+/// One `p` step of the microkernel: `tile[r][c] += a[r] * b[c]`.
+#[inline(always)]
+fn micro_step(tile: &mut [[f32; NR]; MR], ap: &[f32], bp: &[f32]) {
+    let ap: &[f32; MR] = ap.try_into().expect("MR-sized A strip");
+    let bp: &[f32; NR] = bp.try_into().expect("NR-sized B strip");
+    for (r, acc_row) in tile.iter_mut().enumerate() {
+        let av = ap[r];
+        for c in 0..NR {
+            acc_row[c] += av * bp[c];
+        }
+    }
+}
+
+/// Loads a full `MR x NR` tile of `out` into the accumulator.
+#[inline]
+fn load_tile(acc: &mut [[f32; NR]; MR], out: &[f32], i0: usize, j0: usize, ldc: usize) {
+    for (r, acc_row) in acc.iter_mut().enumerate() {
+        let row = (i0 + r) * ldc + j0;
+        acc_row.copy_from_slice(&out[row..row + NR]);
+    }
+}
+
+/// Scalar fallback for partial tiles at the right/bottom edges: identical
+/// accumulation order, one output element at a time.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel_edge(
+    kc: usize,
+    a_tile: &[f32],
+    b_tile: &[f32],
+    init: GemmInit<'_>,
+    first_slab: bool,
+    i0: usize,
+    j0: usize,
+    mrows: usize,
+    ncols: usize,
+    ldc: usize,
+    out: &mut [f32],
+) {
+    for r in 0..mrows {
+        for c in 0..ncols {
+            let oi = (i0 + r) * ldc + j0 + c;
+            let mut acc = if first_slab {
+                match init {
+                    GemmInit::Zero => 0.0,
+                    GemmInit::Accumulate => out[oi],
+                    GemmInit::RowBias(bias) => bias[i0 + r],
+                }
+            } else {
+                out[oi]
+            };
+            for p in 0..kc {
+                acc += a_tile[p * MR + r] * b_tile[p * NR + c];
+            }
+            out[oi] = acc;
+        }
+    }
+}
+
+/// Packs `a[ic..ic+mcb, pc..pc+kcb]` into `MR`-row strips: strip `it` holds
+/// `kcb` groups of `MR` consecutive-row values (rows past `m` are zero).
+fn pack_a(a: &[f32], lda: usize, ic: usize, mcb: usize, pc: usize, kcb: usize, pack: &mut [f32]) {
+    let i_tiles = mcb.div_ceil(MR);
+    for it in 0..i_tiles {
+        let strip = &mut pack[it * kcb * MR..(it + 1) * kcb * MR];
+        let rows = MR.min(mcb - it * MR);
+        if rows < MR {
+            strip.fill(0.0);
+        }
+        // Read each source row contiguously, scatter into the (L1-resident)
+        // strip with stride MR.
+        for r in 0..rows {
+            let src_row = (ic + it * MR + r) * lda + pc;
+            let src = &a[src_row..src_row + kcb];
+            for (p, &v) in src.iter().enumerate() {
+                strip[p * MR + r] = v;
+            }
+        }
+    }
+}
+
+/// Packs `b[pc..pc+kcb, jc..jc+ncb]` into `NR`-column strips: strip `jt`
+/// holds `kcb` groups of `NR` consecutive-column values (columns past `n` are
+/// zero).
+fn pack_b(b: &[f32], ldb: usize, pc: usize, kcb: usize, jc: usize, ncb: usize, pack: &mut [f32]) {
+    let j_tiles = ncb.div_ceil(NR);
+    for jt in 0..j_tiles {
+        let strip = &mut pack[jt * kcb * NR..(jt + 1) * kcb * NR];
+        let cols = NR.min(ncb - jt * NR);
+        for p in 0..kcb {
+            let src_row = (pc + p) * ldb + jc + jt * NR;
+            let dst = &mut strip[p * NR..(p + 1) * NR];
+            if cols == NR {
+                dst.copy_from_slice(&b[src_row..src_row + NR]);
+            } else {
+                dst[..cols].copy_from_slice(&b[src_row..src_row + cols]);
+                dst[cols..].fill(0.0);
+            }
+        }
+    }
+}
+
+/// `out = A x B` followed by an in-place per-column bias pass —
+/// bit-identical to `matmul` + `add_row_broadcast` (the bias joins *after*
+/// each element's full `K` accumulation, exactly like the unfused pair)
+/// while allocating no intermediate tensor.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_bias_cols(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    packs: &mut PackScratch,
+) {
+    assert_eq!(bias.len(), n, "gemm_bias_cols: bias must have n entries");
+    gemm_into(m, k, n, a, b, GemmInit::Zero, out, packs);
+    for row in out.chunks_exact_mut(n) {
+        for (o, &bv) in row.iter_mut().zip(bias.iter()) {
+            *o += bv;
+        }
+    }
+}
+
+/// Transposes the row-major `rows x cols` matrix `src` into `dst`
+/// (`cols x rows`).
+pub fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    assert_eq!(src.len(), rows * cols, "transpose: src must be rows*cols");
+    assert_eq!(dst.len(), rows * cols, "transpose: dst must be rows*cols");
+    for r in 0..rows {
+        let src_row = &src[r * cols..(r + 1) * cols];
+        for (c, &v) in src_row.iter().enumerate() {
+            dst[c * rows + r] = v;
+        }
+    }
+}

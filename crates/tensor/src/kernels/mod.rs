@@ -1,0 +1,243 @@
+//! The compute-kernel layer: blocked GEMM, im2col lowering and scratch reuse.
+//!
+//! Everything expensive in this crate — dense layers, standard and depthwise
+//! convolutions, their backward passes — bottoms out in the handful of
+//! kernels defined here:
+//!
+//! * [`gemm_into`] / [`gemm_bias_cols`] — a cache-blocked, register-tiled
+//!   matrix multiply (GotoBLAS-style `MC`/`KC`/`NC` macro-blocking with an
+//!   `MR x NR` microkernel and packed operand panels), with a rayon
+//!   row-parallel path for large problems that degrades to the serial kernel
+//!   on one core.
+//! * [`im2col`](fn@im2col) / [`col2im`] — convolution-to-GEMM lowering whose
+//!   column order matches the naive loop's `ic -> ky -> kx` tap order.
+//! * [`KernelScratch`] / [`GrowBuf`] — high-water-mark scratch buffers so
+//!   steady-state inference performs **zero** heap allocations for im2col
+//!   matrices and GEMM packing panels (observable via [`scratch_stats`]).
+//!
+//! # Determinism
+//!
+//! Every optimized kernel accumulates each output element's products in the
+//! same order as the seed implementation it replaced (ascending inner
+//! dimension; convolution bias seeded first). Forward passes are therefore
+//! bit-identical to the original naive loops — across blocking choices,
+//! problem sizes and thread counts — which the equivalence suites in this
+//! module and `layers::conv` pin down against the retained [`naive`]
+//! references. The one documented exception is the convolution *input*
+//! gradient, where GEMM lowering sums over output channels before scattering
+//! (the naive loop interleaved them); it is numerically equivalent and
+//! covered by gradient checks rather than bit-equality.
+
+pub mod gemm;
+pub mod im2col;
+pub mod naive;
+pub mod scratch;
+
+pub use gemm::{gemm_bias_cols, gemm_into, transpose_into, GemmInit, KC, MC, MR, NC, NR};
+pub use im2col::{col2im, im2col};
+pub use scratch::{
+    enter_worker_region, in_worker_region, stats as scratch_stats, GrowBuf, KernelScratch,
+    PackScratch, ScratchStats, WorkerRegionGuard,
+};
+
+pub(crate) use scratch::with_thread_scratch;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    fn random_vec(rng: &mut SeededRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.uniform(-2.0, 2.0)).collect()
+    }
+
+    fn assert_bits_eq(a: &[f32], b: &[f32], tag: &str) {
+        assert_eq!(a.len(), b.len(), "{tag}: length mismatch");
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{tag}: bit mismatch at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    /// Property suite: the blocked GEMM is bit-identical to the seed `i-k-j`
+    /// loop across odd shapes, including ones that exercise every edge path
+    /// (partial microkernel tiles, multiple KC slabs, the small-problem
+    /// fallback).
+    #[test]
+    fn blocked_gemm_is_bit_identical_to_naive_across_shapes() {
+        let dims = [1usize, 3, 17, 64];
+        let mut rng = SeededRng::new(0x6E_44);
+        let mut packs = PackScratch::new();
+        for &m in &dims {
+            for &k in &dims {
+                for &n in &dims {
+                    let a = random_vec(&mut rng, m * k);
+                    let b = random_vec(&mut rng, k * n);
+                    let expect = naive::matmul_naive(m, k, n, &a, &b);
+                    let mut out = vec![f32::NAN; m * n];
+                    gemm_into(m, k, n, &a, &b, GemmInit::Zero, &mut out, &mut packs);
+                    assert_bits_eq(&out, &expect, &format!("gemm {m}x{k}x{n}"));
+                }
+            }
+        }
+    }
+
+    /// Shapes big enough to take the packed/blocked (and, with threads, the
+    /// row-parallel) paths rather than the small-problem fallback.
+    #[test]
+    fn large_gemm_paths_match_naive_bitwise() {
+        let mut rng = SeededRng::new(0x6E_45);
+        let mut packs = PackScratch::new();
+        for &(m, k, n) in &[(96usize, 160usize, 96usize), (130, 200, 70), (65, 300, 9)] {
+            let a = random_vec(&mut rng, m * k);
+            let b = random_vec(&mut rng, k * n);
+            let expect = naive::matmul_naive(m, k, n, &a, &b);
+            let mut out = vec![f32::NAN; m * n];
+            gemm_into(m, k, n, &a, &b, GemmInit::Zero, &mut out, &mut packs);
+            assert_bits_eq(&out, &expect, &format!("large gemm {m}x{k}x{n}"));
+        }
+    }
+
+    /// Regression for the removed `a == 0.0` sparsity branch: on data with
+    /// exact zeros sprinkled in (as ReLU activations produce), accumulating
+    /// the zero products is bit-identical to skipping them.
+    #[test]
+    fn zero_skip_removal_preserves_results_on_sparse_and_dense_data() {
+        let mut rng = SeededRng::new(0x5A_22);
+        let mut packs = PackScratch::new();
+        for &(m, k, n) in &[(7usize, 33usize, 19usize), (64, 64, 64), (96, 96, 96)] {
+            let mut a = random_vec(&mut rng, m * k);
+            for v in a.iter_mut() {
+                if rng.bernoulli(0.4) {
+                    *v = 0.0;
+                }
+            }
+            let b = random_vec(&mut rng, k * n);
+            let expect = naive::matmul_naive(m, k, n, &a, &b);
+            let mut out = vec![f32::NAN; m * n];
+            gemm_into(m, k, n, &a, &b, GemmInit::Zero, &mut out, &mut packs);
+            assert_bits_eq(&out, &expect, &format!("sparse gemm {m}x{k}x{n}"));
+        }
+    }
+
+    /// `Accumulate` keeps the existing output and adds products in `p` order
+    /// — the weight-gradient convention.
+    #[test]
+    fn accumulate_mode_extends_existing_output() {
+        let mut rng = SeededRng::new(0xAC_C0);
+        let mut packs = PackScratch::new();
+        for &(m, k, n) in &[(5usize, 9usize, 11usize), (70, 150, 40)] {
+            let a = random_vec(&mut rng, m * k);
+            let b = random_vec(&mut rng, k * n);
+            let seed_out = random_vec(&mut rng, m * n);
+            // Reference: start from seed_out, accumulate naive i-k-j order.
+            let mut expect = seed_out.clone();
+            for i in 0..m {
+                for p in 0..k {
+                    let av = a[i * k + p];
+                    for j in 0..n {
+                        expect[i * n + j] += av * b[p * n + j];
+                    }
+                }
+            }
+            let mut out = seed_out.clone();
+            gemm_into(m, k, n, &a, &b, GemmInit::Accumulate, &mut out, &mut packs);
+            assert_bits_eq(&out, &expect, &format!("accumulate {m}x{k}x{n}"));
+        }
+    }
+
+    /// `RowBias` seeds each row's accumulator before the products — the
+    /// convolution-forward convention.
+    #[test]
+    fn row_bias_mode_seeds_accumulators_first() {
+        let mut rng = SeededRng::new(0xB1_A5);
+        let mut packs = PackScratch::new();
+        for &(m, k, n) in &[(3usize, 17usize, 5usize), (80, 140, 33)] {
+            let a = random_vec(&mut rng, m * k);
+            let b = random_vec(&mut rng, k * n);
+            let bias = random_vec(&mut rng, m);
+            let mut expect = vec![0.0f32; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    expect[i * n + j] = bias[i];
+                }
+                for p in 0..k {
+                    let av = a[i * k + p];
+                    for j in 0..n {
+                        expect[i * n + j] += av * b[p * n + j];
+                    }
+                }
+            }
+            let mut out = vec![f32::NAN; m * n];
+            gemm_into(
+                m,
+                k,
+                n,
+                &a,
+                &b,
+                GemmInit::RowBias(&bias),
+                &mut out,
+                &mut packs,
+            );
+            assert_bits_eq(&out, &expect, &format!("row bias {m}x{k}x{n}"));
+        }
+    }
+
+    /// The fused column-bias GEMM matches `matmul` followed by
+    /// `add_row_broadcast` bit-for-bit.
+    #[test]
+    fn fused_col_bias_matches_unfused_pair() {
+        let mut rng = SeededRng::new(0xF0_5E);
+        let mut packs = PackScratch::new();
+        for &(m, k, n) in &[(4usize, 6usize, 3usize), (33, 120, 65)] {
+            let a = random_vec(&mut rng, m * k);
+            let b = random_vec(&mut rng, k * n);
+            let bias = random_vec(&mut rng, n);
+            let mut expect = naive::matmul_naive(m, k, n, &a, &b);
+            for row in expect.chunks_exact_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(bias.iter()) {
+                    *o += bv;
+                }
+            }
+            let mut out = vec![f32::NAN; m * n];
+            gemm_bias_cols(m, k, n, &a, &b, &bias, &mut out, &mut packs);
+            assert_bits_eq(&out, &expect, &format!("fused bias {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn k_zero_applies_only_the_initialization() {
+        let mut packs = PackScratch::new();
+        let mut out = vec![3.0f32; 6];
+        gemm_into(2, 0, 3, &[], &[], GemmInit::Zero, &mut out, &mut packs);
+        assert_eq!(out, vec![0.0; 6]);
+        let bias = [1.0f32, 2.0];
+        gemm_into(
+            2,
+            0,
+            3,
+            &[],
+            &[],
+            GemmInit::RowBias(&bias),
+            &mut out,
+            &mut packs,
+        );
+        assert_eq!(out, vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn transpose_into_round_trips() {
+        let mut rng = SeededRng::new(0x7A_01);
+        let src = random_vec(&mut rng, 5 * 7);
+        let mut t = vec![0.0f32; 35];
+        transpose_into(&src, 5, 7, &mut t);
+        let mut back = vec![0.0f32; 35];
+        transpose_into(&t, 7, 5, &mut back);
+        assert_eq!(src, back);
+        assert_eq!(t[0], src[0]);
+        assert_eq!(t[5], src[1]); // (0,1) -> (1,0)
+    }
+}

@@ -1,0 +1,240 @@
+//! Reusable scratch buffers for the compute kernels.
+//!
+//! Every GEMM call needs packing panels and every lowered convolution needs
+//! an im2col buffer. Allocating those per call would put a heap allocation on
+//! the serving engine's per-request hot path, so kernels draw them from a
+//! [`KernelScratch`] arena instead: each buffer grows to its high-water mark
+//! once and is reused (dirty) afterwards. Callers are responsible for fully
+//! overwriting the slice they request — every kernel in this module does.
+//!
+//! Growth and reuse events are counted in process-wide atomics (see
+//! [`stats`]) so tests can assert that a steady-state serving loop performs
+//! zero scratch allocations.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Times any scratch buffer had to allocate or grow its backing storage.
+static SCRATCH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Times a scratch buffer was handed out without touching the allocator.
+static SCRATCH_REUSES: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time snapshot of the process-wide scratch counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Cumulative buffer allocations / growths since process start.
+    pub allocs: u64,
+    /// Cumulative allocation-free buffer reuses since process start.
+    pub reuses: u64,
+}
+
+/// Reads the process-wide scratch counters.
+///
+/// Subtract two snapshots to measure a region of interest: a steady-state
+/// serving loop must increase `reuses` without increasing `allocs`.
+pub fn stats() -> ScratchStats {
+    ScratchStats {
+        allocs: SCRATCH_ALLOCS.load(Ordering::Relaxed),
+        reuses: SCRATCH_REUSES.load(Ordering::Relaxed),
+    }
+}
+
+/// A grow-only `f32` buffer with high-water-mark reuse.
+///
+/// [`GrowBuf::take`] returns a slice of the requested length, growing the
+/// backing storage only when the request exceeds everything seen before.
+/// The returned slice is *dirty* (it holds whatever the previous user wrote);
+/// callers must overwrite every element they read.
+#[derive(Default)]
+pub struct GrowBuf {
+    buf: Vec<f32>,
+}
+
+impl GrowBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a dirty `&mut [f32]` of exactly `len` elements, growing the
+    /// backing storage if needed and bumping the process-wide counters.
+    pub fn take(&mut self, len: usize) -> &mut [f32] {
+        if self.buf.len() < len {
+            SCRATCH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+            self.buf.resize(len, 0.0);
+        } else {
+            SCRATCH_REUSES.fetch_add(1, Ordering::Relaxed);
+        }
+        &mut self.buf[..len]
+    }
+
+    /// Current capacity (high-water mark) in elements.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl std::fmt::Debug for GrowBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GrowBuf(capacity={})", self.buf.len())
+    }
+}
+
+/// Cloning a scratch buffer yields a fresh empty one: scratch contents are
+/// transient per call, so replicating a layer onto a worker thread must not
+/// copy (or share) its high-water buffers.
+impl Clone for GrowBuf {
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
+/// Packing panels used inside the blocked GEMM (see [`crate::kernels::gemm`]).
+#[derive(Debug, Default, Clone)]
+pub struct PackScratch {
+    /// Packed A panel: `MR`-row strips, `[tiles][kc][MR]`.
+    pub a: GrowBuf,
+    /// Packed B panel: `NR`-column strips, `[tiles][kc][NR]`.
+    pub b: GrowBuf,
+}
+
+impl PackScratch {
+    /// Creates an empty packing scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The full scratch arena a GEMM-lowered layer holds between calls.
+///
+/// Conv layers use `cols` for the im2col matrix, `cols_t` for its transpose
+/// (weight-gradient GEMMs), `grad_cols` for the column-space input gradient
+/// and `weight_t` for the transposed weight, plus the GEMM `packs`. Layers
+/// own one arena each; replicas start with an empty one (see [`GrowBuf`]'s
+/// `Clone`).
+#[derive(Debug, Default, Clone)]
+pub struct KernelScratch {
+    /// im2col matrix, `[c*k*k, oh*ow]`.
+    pub cols: GrowBuf,
+    /// Transposed im2col matrix, `[oh*ow, c*k*k]`.
+    pub cols_t: GrowBuf,
+    /// Column-space gradient, `[c*k*k, oh*ow]`.
+    pub grad_cols: GrowBuf,
+    /// Transposed weight matrix, `[c*k*k, out_c]`.
+    pub weight_t: GrowBuf,
+    /// GEMM packing panels.
+    pub packs: PackScratch,
+}
+
+impl KernelScratch {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    static THREAD_SCRATCH: RefCell<KernelScratch> = RefCell::new(KernelScratch::new());
+    static IN_WORKER_REGION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Marks the current thread as a parallel worker for the guard's lifetime;
+/// kernels consult this to keep their own row-parallel paths serial instead
+/// of spawning nested threads (the vendored rayon shim has no shared pool to
+/// cap oversubscription). Drop restores the previous state.
+///
+/// Batch-sharding code (`appealnet_core::parallel`, the serving engine's
+/// edge pass) holds one of these inside each worker closure.
+#[must_use = "the region ends when the guard drops"]
+pub struct WorkerRegionGuard {
+    previous: bool,
+}
+
+/// Enters a parallel worker region on this thread (see [`WorkerRegionGuard`]).
+pub fn enter_worker_region() -> WorkerRegionGuard {
+    let previous = IN_WORKER_REGION.with(|f| f.replace(true));
+    WorkerRegionGuard { previous }
+}
+
+/// `true` while the current thread is inside a parallel worker region.
+pub fn in_worker_region() -> bool {
+    IN_WORKER_REGION.with(|f| f.get())
+}
+
+impl Drop for WorkerRegionGuard {
+    fn drop(&mut self) {
+        IN_WORKER_REGION.with(|f| f.set(self.previous));
+    }
+}
+
+/// Runs `f` with this thread's shared [`KernelScratch`].
+///
+/// Used by scratch-less entry points ([`crate::Tensor::matmul`] and friends)
+/// so repeated calls on one thread still reuse buffers. Do not call
+/// recursively (the arena is a `RefCell`); kernels never do.
+///
+/// Caveat: the vendored rayon shim spawns transient worker threads, so work
+/// dispatched onto fresh workers (sharded batch evaluation) starts with an
+/// empty thread scratch each time. Long-lived threads — the serving engine's
+/// calling thread, the training loop — get full reuse; see the ROADMAP note
+/// on a persistent worker pool.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut KernelScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_buf_reuses_after_high_water() {
+        let before = stats();
+        let mut buf = GrowBuf::new();
+        let s = buf.take(64);
+        assert_eq!(s.len(), 64);
+        let _ = buf.take(16);
+        let _ = buf.take(64);
+        let after = stats();
+        assert_eq!(
+            after.allocs - before.allocs,
+            1,
+            "only the first take allocates"
+        );
+        assert_eq!(after.reuses - before.reuses, 2);
+        assert_eq!(buf.capacity(), 64);
+    }
+
+    #[test]
+    fn clone_is_fresh_and_empty() {
+        let mut buf = GrowBuf::new();
+        let _ = buf.take(128);
+        let clone = buf.clone();
+        assert_eq!(clone.capacity(), 0);
+    }
+
+    #[test]
+    fn worker_region_guard_nests_and_restores() {
+        assert!(!in_worker_region());
+        {
+            let _outer = enter_worker_region();
+            assert!(in_worker_region());
+            {
+                let _inner = enter_worker_region();
+                assert!(in_worker_region());
+            }
+            assert!(in_worker_region(), "inner drop restores outer region");
+        }
+        assert!(!in_worker_region());
+    }
+
+    #[test]
+    fn thread_scratch_is_reentrant_across_calls() {
+        let cap = with_thread_scratch(|s| {
+            let _ = s.cols.take(32);
+            s.cols.capacity()
+        });
+        assert!(cap >= 32);
+        let cap2 = with_thread_scratch(|s| s.cols.capacity());
+        assert!(cap2 >= 32, "thread scratch persists between calls");
+    }
+}

@@ -25,8 +25,9 @@ impl Layer for Relu {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        // The sign mask exists only for backward; eval passes skip it.
+        self.mask = train.then(|| input.data().iter().map(|&x| x > 0.0).collect());
         input.map(|x| x.max(0.0))
     }
 
@@ -87,9 +88,9 @@ impl Layer for Sigmoid {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let out = input.map(Sigmoid::apply);
-        self.output = Some(out.clone());
+        self.output = if train { Some(out.clone()) } else { None };
         out
     }
 

@@ -1,6 +1,21 @@
 //! 2-D convolution layers (standard and depthwise), NCHW layout.
+//!
+//! Both layers are lowered onto the blocked GEMM in [`crate::kernels`]:
+//! forward is `weight x im2col(x)` with the bias seeding the accumulators,
+//! the weight gradient is `grad_out x im2col(x)^T`, and the input gradient is
+//! `weight^T x grad_out` scattered back through `col2im`. The im2col column
+//! order matches the original 7-deep loop's `ic -> ky -> kx` tap order, so
+//! forward outputs and weight/bias gradients are bit-identical to the naive
+//! kernels (pinned by the equivalence tests below against
+//! [`crate::kernels::naive`]); the input gradient is numerically equivalent
+//! (GEMM sums output channels before scattering) and covered by gradcheck.
+//!
+//! Each layer owns a [`KernelScratch`] arena, so steady-state inference
+//! reuses its im2col and GEMM-packing buffers instead of allocating, and the
+//! input is only cached for backward when `train == true`.
 
 use crate::init::Init;
+use crate::kernels::{self, GemmInit, KernelScratch};
 use crate::layer::{Layer, Param};
 use crate::rng::SeededRng;
 use crate::tensor::Tensor;
@@ -42,6 +57,7 @@ pub struct Conv2d {
     stride: usize,
     padding: usize,
     cached_input: Option<Tensor>,
+    scratch: KernelScratch,
 }
 
 impl Conv2d {
@@ -79,12 +95,19 @@ impl Conv2d {
             stride,
             padding,
             cached_input: None,
+            scratch: KernelScratch::new(),
         }
     }
 
     /// Number of output channels.
     pub fn out_channels(&self) -> usize {
         self.out_channels
+    }
+
+    /// `true` when the convolution is a pointwise (1x1, stride 1, no padding)
+    /// one, whose im2col matrix is the input itself.
+    fn is_pointwise(&self) -> bool {
+        self.kernel == 1 && self.stride == 1 && self.padding == 0
     }
 
     fn check_input(&self, input: &Tensor) {
@@ -106,9 +129,13 @@ impl Layer for Conv2d {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         self.check_input(input);
-        self.cached_input = Some(input.clone());
+        if train {
+            self.cached_input = Some(input.clone());
+        } else {
+            self.cached_input = None;
+        }
         let (n, c, h, w) = (
             input.shape()[0],
             input.shape()[1],
@@ -117,38 +144,33 @@ impl Layer for Conv2d {
         );
         let k = self.kernel;
         let (oh, ow) = conv_output_hw(h, w, k, self.stride, self.padding);
+        let (s, ckk) = (oh * ow, c * k * k);
         let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
         let x = input.data();
         let wgt = self.weight.value.data();
         let bias = self.bias.value.data();
         let odata = out.data_mut();
+        let pointwise = self.is_pointwise();
         for b in 0..n {
-            for oc in 0..self.out_channels {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = bias[oc];
-                        for ic in 0..c {
-                            for ky in 0..k {
-                                let iy = (oy * self.stride + ky) as isize - self.padding as isize;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let ix =
-                                        (ox * self.stride + kx) as isize - self.padding as isize;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let xi = ((b * c + ic) * h + iy as usize) * w + ix as usize;
-                                    let wi = ((oc * c + ic) * k + ky) * k + kx;
-                                    acc += x[xi] * wgt[wi];
-                                }
-                            }
-                        }
-                        odata[((b * self.out_channels + oc) * oh + oy) * ow + ox] = acc;
-                    }
-                }
-            }
+            let xb = &x[b * c * h * w..(b + 1) * c * h * w];
+            let ob = &mut odata[b * self.out_channels * s..(b + 1) * self.out_channels * s];
+            let cols: &[f32] = if pointwise {
+                xb
+            } else {
+                let cols = self.scratch.cols.take(ckk * s);
+                kernels::im2col(xb, c, h, w, k, self.stride, self.padding, oh, ow, cols);
+                cols
+            };
+            kernels::gemm_into(
+                self.out_channels,
+                ckk,
+                s,
+                wgt,
+                cols,
+                GemmInit::RowBias(bias),
+                ob,
+                &mut self.scratch.packs,
+            );
         }
         out
     }
@@ -165,12 +187,15 @@ impl Layer for Conv2d {
             input.shape()[3],
         );
         let k = self.kernel;
+        let oc = self.out_channels;
         let (oh, ow) = conv_output_hw(h, w, k, self.stride, self.padding);
         assert_eq!(
             grad_output.shape(),
-            &[n, self.out_channels, oh, ow],
+            &[n, oc, oh, ow],
             "Conv2d backward shape mismatch"
         );
+        let (s, ckk) = (oh * ow, c * k * k);
+        let pointwise = self.is_pointwise();
         let mut grad_input = Tensor::zeros(input.shape());
         let x = input.data();
         let wgt = self.weight.value.data();
@@ -178,36 +203,72 @@ impl Layer for Conv2d {
         let gw = self.weight.grad.data_mut();
         let gb = self.bias.grad.data_mut();
         let gi = grad_input.data_mut();
+        // W^T, shared by every image's input-gradient GEMM.
+        let wt = self.scratch.weight_t.take(ckk * oc);
+        kernels::transpose_into(wgt, oc, ckk, wt);
         for b in 0..n {
-            for oc in 0..self.out_channels {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let g = go[((b * self.out_channels + oc) * oh + oy) * ow + ox];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        gb[oc] += g;
-                        for ic in 0..c {
-                            for ky in 0..k {
-                                let iy = (oy * self.stride + ky) as isize - self.padding as isize;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let ix =
-                                        (ox * self.stride + kx) as isize - self.padding as isize;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let xi = ((b * c + ic) * h + iy as usize) * w + ix as usize;
-                                    let wi = ((oc * c + ic) * k + ky) * k + kx;
-                                    gw[wi] += g * x[xi];
-                                    gi[xi] += g * wgt[wi];
-                                }
-                            }
-                        }
-                    }
+            let xb = &x[b * c * h * w..(b + 1) * c * h * w];
+            let gob = &go[b * oc * s..(b + 1) * oc * s];
+            let gib = &mut gi[b * c * h * w..(b + 1) * c * h * w];
+            // Bias gradient: per output channel, sum over spatial positions
+            // (batch-major accumulation, same order as the naive loop).
+            for (o, gbo) in gb.iter_mut().enumerate() {
+                let mut acc = *gbo;
+                for &g in &gob[o * s..(o + 1) * s] {
+                    acc += g;
                 }
+                *gbo = acc;
+            }
+            // Weight gradient: gw += grad_out [oc, s] x im2col(x)^T [s, ckk].
+            // The explicit transpose (rather than a B-transposed GEMM
+            // variant) is deliberate: with B transposed the reduction walks
+            // both operands along `p`, a strict-FP serial dot product the
+            // vectorizer cannot reassociate, so it runs scalar — slower than
+            // transpose + the vectorized kernel.
+            let cols_t = self.scratch.cols_t.take(s * ckk);
+            if pointwise {
+                kernels::transpose_into(xb, ckk, s, cols_t);
+            } else {
+                let cols = self.scratch.cols.take(ckk * s);
+                kernels::im2col(xb, c, h, w, k, self.stride, self.padding, oh, ow, cols);
+                kernels::transpose_into(cols, ckk, s, cols_t);
+            }
+            kernels::gemm_into(
+                oc,
+                s,
+                ckk,
+                gob,
+                cols_t,
+                GemmInit::Accumulate,
+                gw,
+                &mut self.scratch.packs,
+            );
+            // Input gradient: cols_grad = W^T [ckk, oc] x grad_out [oc, s],
+            // scattered back through col2im (identity for pointwise convs).
+            if pointwise {
+                kernels::gemm_into(
+                    ckk,
+                    oc,
+                    s,
+                    wt,
+                    gob,
+                    GemmInit::Zero,
+                    gib,
+                    &mut self.scratch.packs,
+                );
+            } else {
+                let gcols = self.scratch.grad_cols.take(ckk * s);
+                kernels::gemm_into(
+                    ckk,
+                    oc,
+                    s,
+                    wt,
+                    gob,
+                    GemmInit::Zero,
+                    gcols,
+                    &mut self.scratch.packs,
+                );
+                kernels::col2im(gcols, c, h, w, k, self.stride, self.padding, oh, ow, gib);
             }
         }
         grad_input
@@ -248,6 +309,7 @@ pub struct DepthwiseConv2d {
     stride: usize,
     padding: usize,
     cached_input: Option<Tensor>,
+    scratch: KernelScratch,
 }
 
 impl DepthwiseConv2d {
@@ -277,6 +339,7 @@ impl DepthwiseConv2d {
             stride,
             padding,
             cached_input: None,
+            scratch: KernelScratch::new(),
         }
     }
 }
@@ -290,10 +353,14 @@ impl Layer for DepthwiseConv2d {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.rank(), 4, "DepthwiseConv2d expects NCHW input");
         assert_eq!(input.shape()[1], self.channels, "channel mismatch");
-        self.cached_input = Some(input.clone());
+        if train {
+            self.cached_input = Some(input.clone());
+        } else {
+            self.cached_input = None;
+        }
         let (n, c, h, w) = (
             input.shape()[0],
             input.shape()[1],
@@ -302,34 +369,30 @@ impl Layer for DepthwiseConv2d {
         );
         let k = self.kernel;
         let (oh, ow) = conv_output_hw(h, w, k, self.stride, self.padding);
+        let (s, kk) = (oh * ow, k * k);
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
         let x = input.data();
         let wgt = self.weight.value.data();
         let bias = self.bias.value.data();
         let odata = out.data_mut();
+        // Each channel is an independent [1, k*k] x [k*k, s] GEMM, which the
+        // kernel layer runs on its small-problem path (plain row-accumulate).
         for b in 0..n {
             for ch in 0..c {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = bias[ch];
-                        for ky in 0..k {
-                            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            for kx in 0..k {
-                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                let xi = ((b * c + ch) * h + iy as usize) * w + ix as usize;
-                                let wi = (ch * k + ky) * k + kx;
-                                acc += x[xi] * wgt[wi];
-                            }
-                        }
-                        odata[((b * c + ch) * oh + oy) * ow + ox] = acc;
-                    }
-                }
+                let xc = &x[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                let ochan = &mut odata[(b * c + ch) * s..(b * c + ch + 1) * s];
+                let cols = self.scratch.cols.take(kk * s);
+                kernels::im2col(xc, 1, h, w, k, self.stride, self.padding, oh, ow, cols);
+                kernels::gemm_into(
+                    1,
+                    kk,
+                    s,
+                    &wgt[ch * kk..(ch + 1) * kk],
+                    cols,
+                    GemmInit::RowBias(&bias[ch..ch + 1]),
+                    ochan,
+                    &mut self.scratch.packs,
+                );
             }
         }
         out
@@ -348,6 +411,7 @@ impl Layer for DepthwiseConv2d {
         );
         let k = self.kernel;
         let (oh, ow) = conv_output_hw(h, w, k, self.stride, self.padding);
+        let (s, kk) = (oh * ow, k * k);
         let mut grad_input = Tensor::zeros(input.shape());
         let x = input.data();
         let wgt = self.weight.value.data();
@@ -357,31 +421,44 @@ impl Layer for DepthwiseConv2d {
         let gi = grad_input.data_mut();
         for b in 0..n {
             for ch in 0..c {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let g = go[((b * c + ch) * oh + oy) * ow + ox];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        gb[ch] += g;
-                        for ky in 0..k {
-                            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            for kx in 0..k {
-                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                let xi = ((b * c + ch) * h + iy as usize) * w + ix as usize;
-                                let wi = (ch * k + ky) * k + kx;
-                                gw[wi] += g * x[xi];
-                                gi[xi] += g * wgt[wi];
-                            }
-                        }
-                    }
+                let xc = &x[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                let goc = &go[(b * c + ch) * s..(b * c + ch + 1) * s];
+                let gic = &mut gi[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                // Bias gradient: spatial sum, batch-major like the naive loop.
+                let mut acc = gb[ch];
+                for &g in goc {
+                    acc += g;
                 }
+                gb[ch] = acc;
+                // Weight gradient: gw[ch] += grad_out [1, s] x im2col(x)^T.
+                let cols = self.scratch.cols.take(kk * s);
+                kernels::im2col(xc, 1, h, w, k, self.stride, self.padding, oh, ow, cols);
+                let cols_t = self.scratch.cols_t.take(s * kk);
+                kernels::transpose_into(cols, kk, s, cols_t);
+                kernels::gemm_into(
+                    1,
+                    s,
+                    kk,
+                    goc,
+                    cols_t,
+                    GemmInit::Accumulate,
+                    &mut gw[ch * kk..(ch + 1) * kk],
+                    &mut self.scratch.packs,
+                );
+                // Input gradient: outer product w[ch]^T [kk, 1] x grad_out
+                // [1, s], scattered back through col2im.
+                let gcols = self.scratch.grad_cols.take(kk * s);
+                kernels::gemm_into(
+                    kk,
+                    1,
+                    s,
+                    &wgt[ch * kk..(ch + 1) * kk],
+                    goc,
+                    GemmInit::Zero,
+                    gcols,
+                    &mut self.scratch.packs,
+                );
+                kernels::col2im(gcols, 1, h, w, k, self.stride, self.padding, oh, ow, gic);
             }
         }
         grad_input
@@ -470,6 +547,14 @@ mod tests {
     }
 
     #[test]
+    fn conv_gradcheck_pointwise() {
+        // The 1x1 fast path skips im2col/col2im entirely; check it too.
+        let mut rng = SeededRng::new(21);
+        let conv = Conv2d::new(3, 2, 1, 1, 0, &mut rng);
+        check_layer_gradients(Box::new(conv), &[2, 3, 4, 4], 2e-2, &mut rng);
+    }
+
+    #[test]
     fn depthwise_preserves_channels() {
         let mut rng = SeededRng::new(4);
         let mut dw = DepthwiseConv2d::new(5, 3, 1, 1, &mut rng);
@@ -483,6 +568,13 @@ mod tests {
         let mut rng = SeededRng::new(5);
         let dw = DepthwiseConv2d::new(3, 3, 1, 1, &mut rng);
         check_layer_gradients(Box::new(dw), &[2, 3, 5, 5], 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn depthwise_gradcheck_strided() {
+        let mut rng = SeededRng::new(15);
+        let dw = DepthwiseConv2d::new(2, 3, 2, 1, &mut rng);
+        check_layer_gradients(Box::new(dw), &[1, 2, 6, 6], 2e-2, &mut rng);
     }
 
     #[test]
@@ -500,5 +592,233 @@ mod tests {
         let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng);
         let x = Tensor::zeros(&[1, 2, 8, 8]);
         let _ = conv.forward(&x, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn eval_forward_does_not_cache_input() {
+        // Inference must not pay for the training-only input cache; backward
+        // after an eval-mode forward is a caller bug and panics.
+        let mut rng = SeededRng::new(8);
+        let mut conv = Conv2d::new(2, 2, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 5, 5], &mut rng);
+        let y = conv.forward(&x, false);
+        let _ = conv.backward(&Tensor::ones(y.shape()));
+    }
+}
+
+#[cfg(test)]
+mod equivalence {
+    //! Property suite: the GEMM-lowered layers against the retained naive
+    //! reference kernels, over seeded random shapes / stride / padding
+    //! combinations (the proptest-as-loops idiom used across this crate).
+
+    use super::*;
+    use crate::kernels::naive;
+
+    fn assert_bits_eq(a: &[f32], b: &[f32], tag: &str) {
+        assert_eq!(a.len(), b.len(), "{tag}: length mismatch");
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{tag}: bit mismatch at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// (kernel, stride, padding) combinations exercised by every suite. The
+    /// 7x7/padding-2 entry makes the kernel span the whole padded width of
+    /// the smallest test images, where some taps have an empty valid column
+    /// range (im2col underflow regression).
+    const GEOMETRIES: [(usize, usize, usize); 6] = [
+        (1, 1, 0),
+        (3, 1, 1),
+        (3, 2, 1),
+        (2, 2, 0),
+        (3, 1, 0),
+        (7, 1, 2),
+    ];
+
+    #[test]
+    fn conv_forward_is_bit_identical_to_naive() {
+        let mut rng = SeededRng::new(0xC0DE);
+        for &(k, stride, padding) in &GEOMETRIES {
+            for &(n, c, oc, hw) in &[(1usize, 1usize, 1usize, 6usize), (2, 3, 5, 8), (3, 4, 2, 7)] {
+                let mut conv = Conv2d::new(c, oc, k, stride, padding, &mut rng);
+                let x = Tensor::randn(&[n, c, hw, hw], &mut rng);
+                // Give the bias nonzero values so seeding order matters.
+                conv.bias.value = Tensor::randn(&[oc], &mut rng);
+                let y = conv.forward(&x, false);
+                let expect = naive::conv2d_forward_naive(
+                    x.data(),
+                    n,
+                    c,
+                    hw,
+                    hw,
+                    conv.weight.value.data(),
+                    conv.bias.value.data(),
+                    oc,
+                    k,
+                    stride,
+                    padding,
+                );
+                assert_bits_eq(
+                    y.data(),
+                    &expect,
+                    &format!("conv fwd k={k} s={stride} p={padding} n={n} c={c} oc={oc}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conv_backward_matches_naive() {
+        // Weight and bias gradients accumulate in the same order as the naive
+        // loop and must be bit-identical; the input gradient reassociates the
+        // output-channel sum (GEMM before scatter) and is compared with a
+        // tight numeric tolerance instead.
+        let mut rng = SeededRng::new(0xBACC);
+        for &(k, stride, padding) in &GEOMETRIES {
+            let (n, c, oc, hw) = (2usize, 3usize, 4usize, 7usize);
+            let mut conv = Conv2d::new(c, oc, k, stride, padding, &mut rng);
+            let x = Tensor::randn(&[n, c, hw, hw], &mut rng);
+            let y = conv.forward(&x, true);
+            let go = Tensor::randn(y.shape(), &mut rng);
+            let gi = conv.backward(&go);
+            let (gi_ref, gw_ref, gb_ref) = naive::conv2d_backward_naive(
+                x.data(),
+                n,
+                c,
+                hw,
+                hw,
+                conv.weight.value.data(),
+                go.data(),
+                oc,
+                k,
+                stride,
+                padding,
+            );
+            let tag = format!("conv bwd k={k} s={stride} p={padding}");
+            assert_bits_eq(conv.weight.grad.data(), &gw_ref, &format!("{tag} gw"));
+            assert_bits_eq(conv.bias.grad.data(), &gb_ref, &format!("{tag} gb"));
+            assert!(
+                max_abs_diff(gi.data(), &gi_ref) < 1e-4,
+                "{tag} gi deviates beyond reassociation noise"
+            );
+        }
+    }
+
+    #[test]
+    fn depthwise_forward_is_bit_identical_to_naive() {
+        let mut rng = SeededRng::new(0xDEE7);
+        for &(k, stride, padding) in &GEOMETRIES {
+            for &(n, c, hw) in &[(1usize, 1usize, 6usize), (2, 5, 8), (3, 3, 7)] {
+                let mut dw = DepthwiseConv2d::new(c, k, stride, padding, &mut rng);
+                dw.bias.value = Tensor::randn(&[c], &mut rng);
+                let x = Tensor::randn(&[n, c, hw, hw], &mut rng);
+                let y = dw.forward(&x, false);
+                let expect = naive::depthwise_forward_naive(
+                    x.data(),
+                    n,
+                    c,
+                    hw,
+                    hw,
+                    dw.weight.value.data(),
+                    dw.bias.value.data(),
+                    k,
+                    stride,
+                    padding,
+                );
+                assert_bits_eq(
+                    y.data(),
+                    &expect,
+                    &format!("dw fwd k={k} s={stride} p={padding} n={n} c={c}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_backward_matches_naive() {
+        let mut rng = SeededRng::new(0xDBAC);
+        for &(k, stride, padding) in &GEOMETRIES {
+            let (n, c, hw) = (2usize, 3usize, 7usize);
+            let mut dw = DepthwiseConv2d::new(c, k, stride, padding, &mut rng);
+            let x = Tensor::randn(&[n, c, hw, hw], &mut rng);
+            let y = dw.forward(&x, true);
+            let go = Tensor::randn(y.shape(), &mut rng);
+            let gi = dw.backward(&go);
+            let (gi_ref, gw_ref, gb_ref) = naive::depthwise_backward_naive(
+                x.data(),
+                n,
+                c,
+                hw,
+                hw,
+                dw.weight.value.data(),
+                go.data(),
+                k,
+                stride,
+                padding,
+            );
+            let tag = format!("dw bwd k={k} s={stride} p={padding}");
+            assert_bits_eq(dw.weight.grad.data(), &gw_ref, &format!("{tag} gw"));
+            assert_bits_eq(dw.bias.grad.data(), &gb_ref, &format!("{tag} gb"));
+            // col2im orders the scatter by tap rather than by output pixel,
+            // so the input gradient is compared numerically.
+            assert!(
+                max_abs_diff(gi.data(), &gi_ref) < 1e-5,
+                "{tag} gi deviates beyond reassociation noise"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_spanning_full_padded_width_matches_naive() {
+        // w + 2p == k: the 1x1-output geometry where some im2col taps have an
+        // empty valid column range (underflow regression in the stride-1
+        // fast path).
+        let mut rng = SeededRng::new(0x0F_F5);
+        let mut conv = Conv2d::new(2, 3, 7, 1, 2, &mut rng);
+        conv.bias.value = Tensor::randn(&[3], &mut rng);
+        let x = Tensor::randn(&[2, 2, 3, 3], &mut rng);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 3, 1, 1]);
+        let expect = naive::conv2d_forward_naive(
+            x.data(),
+            2,
+            2,
+            3,
+            3,
+            conv.weight.value.data(),
+            conv.bias.value.data(),
+            3,
+            7,
+            1,
+            2,
+        );
+        assert_bits_eq(y.data(), &expect, "full-padded-width conv");
+        // Backward through the same geometry (col2im side).
+        let go = Tensor::randn(y.shape(), &mut rng);
+        let gi = conv.backward(&go);
+        assert_eq!(gi.shape(), x.shape());
+    }
+
+    #[test]
+    fn forward_is_identical_across_train_and_eval() {
+        // Dropping the input cache in eval mode must not change outputs.
+        let mut rng = SeededRng::new(0x7E57);
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[2, 3, 6, 6], &mut rng);
+        let train = conv.forward(&x, true);
+        let eval = conv.forward(&x, false);
+        assert_bits_eq(train.data(), eval.data(), "train vs eval forward");
     }
 }

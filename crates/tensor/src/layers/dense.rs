@@ -75,17 +75,22 @@ impl Layer for Dense {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.rank(), 2, "Dense expects [batch, features] input");
         assert_eq!(
             input.shape()[1],
             self.in_features,
             "Dense input feature mismatch"
         );
-        self.cached_input = Some(input.clone());
-        input
-            .matmul(&self.weight.value)
-            .add_row_broadcast(&self.bias.value)
+        if train {
+            self.cached_input = Some(input.clone());
+        } else {
+            self.cached_input = None;
+        }
+        // Fused GEMM + bias: bit-identical to matmul + add_row_broadcast
+        // (the bias joins after each element's full K accumulation) without
+        // the intermediate tensor.
+        input.matmul_bias(&self.weight.value, &self.bias.value)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -154,6 +159,16 @@ mod tests {
         let mut rng = SeededRng::new(4);
         let layer = Dense::new(4, 3, &mut rng);
         check_layer_gradients(Box::new(layer), &[2, 4], 1e-2, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn eval_forward_does_not_cache_input() {
+        let mut rng = SeededRng::new(6);
+        let mut layer = Dense::new(4, 3, &mut rng);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        let _ = layer.forward(&x, false);
+        let _ = layer.backward(&Tensor::ones(&[2, 3]));
     }
 
     #[test]

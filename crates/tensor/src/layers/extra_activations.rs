@@ -29,9 +29,9 @@ impl Layer for Tanh {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let out = input.map(f32::tanh);
-        self.output = Some(out.clone());
+        self.output = if train { Some(out.clone()) } else { None };
         out
     }
 
@@ -92,8 +92,8 @@ impl Layer for LeakyRelu {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.mask = train.then(|| input.data().iter().map(|&x| x > 0.0).collect());
         let slope = self.slope;
         input.map(|x| if x > 0.0 { x } else { slope * x })
     }

@@ -25,9 +25,9 @@ impl Layer for Flatten {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert!(input.rank() >= 2, "Flatten expects at least [batch, ...]");
-        self.input_shape = Some(input.shape().to_vec());
+        self.input_shape = train.then(|| input.shape().to_vec());
         let n = input.shape()[0];
         let rest: usize = input.shape()[1..].iter().product();
         input.reshape(&[n, rest]).expect("element count unchanged")

@@ -74,47 +74,64 @@ impl Layer for BatchNorm2d {
         let per_channel = (n * h * w) as f32;
         let x = input.data();
         let mut out = Tensor::zeros(input.shape());
+        let gamma = self.gamma.value.data();
+        let beta = self.beta.value.data();
 
-        let (mean, var) = if train {
-            let mut mean = vec![0.0f32; c];
-            let mut var = vec![0.0f32; c];
-            for b in 0..n {
-                for (ch, m) in mean.iter_mut().enumerate() {
-                    let base = (b * c + ch) * h * w;
-                    for i in 0..h * w {
-                        *m += x[base + i];
-                    }
-                }
-            }
-            for m in &mut mean {
-                *m /= per_channel;
-            }
+        if !train {
+            // Eval path: normalize against the running statistics in place,
+            // with no batch-statistic, x_hat or cache allocations — this is
+            // the serving hot path. Drop any stale training cache so a
+            // backward after an eval forward panics (like every other layer)
+            // instead of silently using a previous batch's statistics.
+            self.cache = None;
+            let o = out.data_mut();
             for b in 0..n {
                 for ch in 0..c {
                     let base = (b * c + ch) * h * w;
+                    let mean = self.running_mean[ch];
+                    let std_inv = 1.0 / (self.running_var[ch] + self.eps).sqrt();
                     for i in 0..h * w {
-                        let d = x[base + i] - mean[ch];
-                        var[ch] += d * d;
+                        let normed = (x[base + i] - mean) * std_inv;
+                        o[base + i] = gamma[ch] * normed + beta[ch];
                     }
                 }
             }
-            for v in &mut var {
-                *v /= per_channel;
+            return out;
+        }
+
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for b in 0..n {
+            for (ch, m) in mean.iter_mut().enumerate() {
+                let base = (b * c + ch) * h * w;
+                for i in 0..h * w {
+                    *m += x[base + i];
+                }
             }
+        }
+        for m in &mut mean {
+            *m /= per_channel;
+        }
+        for b in 0..n {
             for ch in 0..c {
-                self.running_mean[ch] =
-                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean[ch];
-                self.running_var[ch] =
-                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var[ch];
+                let base = (b * c + ch) * h * w;
+                for i in 0..h * w {
+                    let d = x[base + i] - mean[ch];
+                    var[ch] += d * d;
+                }
             }
-            (mean, var)
-        } else {
-            (self.running_mean.clone(), self.running_var.clone())
-        };
+        }
+        for v in &mut var {
+            *v /= per_channel;
+        }
+        for ch in 0..c {
+            self.running_mean[ch] =
+                (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean[ch];
+            self.running_var[ch] =
+                (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var[ch];
+        }
 
         let std_inv: Vec<f32> = var.iter().map(|v| 1.0 / (v + self.eps).sqrt()).collect();
-        let gamma = self.gamma.value.data();
-        let beta = self.beta.value.data();
         let mut x_hat = Tensor::zeros(input.shape());
         {
             let xh = x_hat.data_mut();
@@ -130,13 +147,11 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        if train {
-            self.cache = Some(BnCache {
-                x_hat,
-                std_inv,
-                input_shape: input.shape().to_vec(),
-            });
-        }
+        self.cache = Some(BnCache {
+            x_hat,
+            std_inv,
+            input_shape: input.shape().to_vec(),
+        });
         out
     }
 
@@ -259,5 +274,16 @@ mod tests {
     fn param_count_is_two_per_channel() {
         let mut bn = BatchNorm2d::new(7);
         assert_eq!(bn.param_count(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn eval_forward_clears_training_cache() {
+        let mut rng = SeededRng::new(4);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[4, 2, 3, 3], &mut rng);
+        bn.forward(&x, true);
+        bn.forward(&x, false);
+        let _ = bn.backward(&Tensor::ones(&[4, 2, 3, 3]));
     }
 }

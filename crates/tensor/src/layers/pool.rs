@@ -47,7 +47,7 @@ impl Layer for MaxPool2d {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.rank(), 4, "MaxPool2d expects NCHW input");
         let (n, c, h, w) = (
             input.shape()[0],
@@ -57,7 +57,9 @@ impl Layer for MaxPool2d {
         );
         let (oh, ow) = pool_output_hw(h, w, self.kernel, self.stride);
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
-        let mut argmax = vec![0usize; n * c * oh * ow];
+        // The winner-index table exists only for backward; eval passes skip
+        // the allocation.
+        let mut argmax = train.then(|| vec![0usize; n * c * oh * ow]);
         let x = input.data();
         let odata = out.data_mut();
         for b in 0..n {
@@ -79,13 +81,15 @@ impl Layer for MaxPool2d {
                         }
                         let oi = ((b * c + ch) * oh + oy) * ow + ox;
                         odata[oi] = best;
-                        argmax[oi] = best_idx;
+                        if let Some(table) = argmax.as_mut() {
+                            table[oi] = best_idx;
+                        }
                     }
                 }
             }
         }
-        self.argmax = Some(argmax);
-        self.input_shape = Some(input.shape().to_vec());
+        self.argmax = argmax;
+        self.input_shape = train.then(|| input.shape().to_vec());
         out
     }
 
@@ -150,7 +154,7 @@ impl Layer for AvgPool2d {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.rank(), 4, "AvgPool2d expects NCHW input");
         let (n, c, h, w) = (
             input.shape()[0],
@@ -180,7 +184,7 @@ impl Layer for AvgPool2d {
                 }
             }
         }
-        self.input_shape = Some(input.shape().to_vec());
+        self.input_shape = train.then(|| input.shape().to_vec());
         out
     }
 
@@ -249,7 +253,7 @@ impl Layer for GlobalAvgPool2d {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.rank(), 4, "GlobalAvgPool2d expects NCHW input");
         let (n, c, h, w) = (
             input.shape()[0],
@@ -257,7 +261,7 @@ impl Layer for GlobalAvgPool2d {
             input.shape()[2],
             input.shape()[3],
         );
-        self.input_shape = Some(input.shape().to_vec());
+        self.input_shape = train.then(|| input.shape().to_vec());
         let mut out = Tensor::zeros(&[n, c]);
         let x = input.data();
         let norm = 1.0 / (h * w) as f32;

@@ -106,8 +106,14 @@ impl Layer for Sequential {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
+        // Feed the borrowed input straight to the first layer instead of
+        // cloning it up front; only an empty container clones.
+        let mut layers = self.layers.iter_mut();
+        let mut x = match layers.next() {
+            Some(first) => first.forward(input, train),
+            None => input.clone(),
+        };
+        for layer in layers {
             x = layer.forward(&x, train);
         }
         x

@@ -68,9 +68,9 @@ impl Layer for ChannelShuffle {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.rank(), 4, "ChannelShuffle expects NCHW input");
-        self.input_shape = Some(input.shape().to_vec());
+        self.input_shape = train.then(|| input.shape().to_vec());
         self.permute(input, false)
     }
 

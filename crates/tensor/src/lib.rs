@@ -9,7 +9,11 @@
 //!
 //! * [`Tensor`] — a contiguous `f32` n-dimensional array with the small set
 //!   of operations needed by the layers (elementwise math, matrix multiply,
-//!   reductions, im2col).
+//!   reductions).
+//! * [`kernels`] — the compute-kernel layer underneath: a cache-blocked,
+//!   register-tiled GEMM (with a rayon row-parallel path), im2col/col2im
+//!   convolution lowering and reusable scratch arenas, all bit-identical to
+//!   the naive reference loops they replaced.
 //! * [`Layer`] — the layer abstraction with explicit `forward` / `backward`
 //!   passes and per-layer FLOP accounting.
 //! * [`layers`] — dense, convolution (standard / depthwise / grouped),
@@ -46,6 +50,7 @@
 pub mod error;
 pub mod gradcheck;
 pub mod init;
+pub mod kernels;
 pub mod layer;
 pub mod layers;
 pub mod loss;

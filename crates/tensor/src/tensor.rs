@@ -442,6 +442,12 @@ impl Tensor {
 
     /// Matrix multiplication of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
     ///
+    /// Runs on the cache-blocked kernel in [`crate::kernels`] (register-tiled
+    /// microkernel, packed panels, rayon row-parallel for large problems).
+    /// Results are bit-identical to the original naive `i-k-j` loop: every
+    /// output element accumulates its products in ascending inner-dimension
+    /// order regardless of blocking or thread count.
+    ///
     /// # Panics
     ///
     /// Panics if either tensor is not rank 2 or the inner dimensions differ.
@@ -452,21 +458,53 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        // i-k-j loop order: the innermost loop walks both `other` and `out`
-        // contiguously, which is what makes this fast enough for training.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+        crate::kernels::with_thread_scratch(|scratch| {
+            crate::kernels::gemm_into(
+                m,
+                k,
+                n,
+                &self.data,
+                &other.data,
+                crate::kernels::GemmInit::Zero,
+                &mut out,
+                &mut scratch.packs,
+            );
+        });
+        Self {
+            shape: vec![m, n],
+            data: out,
         }
+    }
+
+    /// Fused `self x other + bias` (bias broadcast over rows): bit-identical
+    /// to [`Tensor::matmul`] followed by [`Tensor::add_row_broadcast`], but
+    /// allocates no intermediate tensor (the bias pass runs in place over
+    /// the GEMM output). This is the dense-layer forward primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatches (same contract as the unfused pair).
+    pub fn matmul_bias(&self, other: &Tensor, bias: &Tensor) -> Self {
+        assert_eq!(self.rank(), 2, "matmul_bias lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul_bias rhs must be rank 2");
+        assert_eq!(bias.rank(), 1, "matmul_bias bias must be rank 1");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_bias inner dimensions differ: {k} vs {k2}");
+        assert_eq!(bias.len(), n, "bias length must equal number of columns");
+        let mut out = vec![0.0f32; m * n];
+        crate::kernels::with_thread_scratch(|scratch| {
+            crate::kernels::gemm_bias_cols(
+                m,
+                k,
+                n,
+                &self.data,
+                &other.data,
+                &bias.data,
+                &mut out,
+                &mut scratch.packs,
+            );
+        });
         Self {
             shape: vec![m, n],
             data: out,
@@ -591,6 +629,22 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_bias_matches_unfused_pair_bitwise() {
+        let mut rng = SeededRng::new(11);
+        for &(m, k, n) in &[(1usize, 3usize, 4usize), (5, 17, 9), (33, 64, 65)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let bias = Tensor::randn(&[n], &mut rng);
+            let fused = a.matmul_bias(&b, &bias);
+            let unfused = a.matmul(&b).add_row_broadcast(&bias);
+            assert_eq!(fused.shape(), unfused.shape());
+            for (x, y) in fused.data().iter().zip(unfused.data().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}x{n}");
+            }
+        }
     }
 
     #[test]

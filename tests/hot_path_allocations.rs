@@ -1,0 +1,70 @@
+//! Allocation guard for the serving hot path.
+//!
+//! The kernel layer (`appeal_tensor::kernels`) draws im2col matrices and
+//! GEMM packing panels from per-layer high-water scratch arenas and counts
+//! every buffer growth / reuse in process-wide atomics. This test pins down
+//! the PR-level guarantee: once the engine has warmed up, steady-state
+//! `Engine::submit` traffic performs **zero** scratch allocations — every
+//! im2col and packing buffer is a reuse — and eval-mode forward passes no
+//! longer clone their inputs into training caches.
+//!
+//! Kept as the only test in this file so no concurrently running test can
+//! perturb the process-wide counters.
+
+use appeal_models::{ModelFamily, ModelSpec};
+use appeal_tensor::kernels;
+use appeal_tensor::{SeededRng, Tensor};
+use appealnet_core::serve::{Engine, InferenceRequest, ThresholdPolicy};
+use appealnet_core::two_head::TwoHeadNet;
+
+#[test]
+fn steady_state_submit_reuses_scratch_without_allocating() {
+    let mut rng = SeededRng::new(31_337);
+    let little = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 6).build(&mut rng);
+    let big = ModelSpec::big([3, 12, 12], 6).build(&mut rng);
+    let net = TwoHeadNet::from_parts(little, &mut rng);
+    // max_batch 1: every submit answers immediately, the worst case for
+    // per-request overhead. δ = 1.0 forces every request through both the
+    // edge scorer and the big network, exercising every conv/dense scratch.
+    let mut engine = Engine::builder()
+        .appealnet(net)
+        .big(big)
+        .policy(ThresholdPolicy::new(1.0).unwrap())
+        .max_batch(1)
+        .build()
+        .unwrap();
+
+    // Warm-up: the first requests grow each layer's scratch to its
+    // high-water mark.
+    for id in 0..3u64 {
+        let image = Tensor::randn(&[3, 12, 12], &mut rng);
+        let out = engine.submit(InferenceRequest::new(id, image)).unwrap();
+        assert!(out.is_some(), "max_batch 1 answers every submit");
+    }
+
+    // Steady state: more single-request traffic must not allocate scratch.
+    let before = kernels::scratch_stats();
+    let steady_requests = 16u64;
+    for id in 0..steady_requests {
+        let image = Tensor::randn(&[3, 12, 12], &mut rng);
+        let out = engine
+            .submit(InferenceRequest::new(100 + id, image))
+            .unwrap();
+        assert!(out.is_some());
+    }
+    let after = kernels::scratch_stats();
+
+    assert_eq!(
+        after.allocs, before.allocs,
+        "steady-state submits must not grow any scratch buffer \
+         (allocs {} -> {})",
+        before.allocs, after.allocs
+    );
+    let reuses = after.reuses - before.reuses;
+    assert!(
+        reuses >= steady_requests,
+        "steady-state submits must reuse warmed scratch buffers \
+         (saw {reuses} reuses over {steady_requests} requests)"
+    );
+    assert_eq!(engine.stats().requests, 3 + steady_requests);
+}
