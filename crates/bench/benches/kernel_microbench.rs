@@ -2,10 +2,14 @@
 //! the GEMM-lowered convolutions against the retained naive reference
 //! kernels from `appeal_tensor::kernels::naive`.
 //!
-//! Three groups:
+//! Groups:
 //!
-//! * `matmul_shapes` — naive vs. blocked square matmuls (the acceptance bar
-//!   is >= 3x single-thread at 128x128x128).
+//! * `matmul_shapes` — naive vs. dispatched-SIMD blocked matmuls, plus a
+//!   forced-scalar entry per shape so the explicit-SIMD speedup (and the
+//!   scalar fallback's parity with the PR 3 autovectorized kernel) is
+//!   directly visible. The active ISA is printed once at startup.
+//! * `elementwise` — ReLU forward / bias broadcast / axpy on the dispatched
+//!   SIMD backend vs. forced scalar vs. the seed closure idioms.
 //! * `conv_forward` — the seed 7-deep loop vs. the im2col + GEMM `Conv2d`
 //!   forward (bar: >= 5x on a 3x3 convolution), plus the depthwise pair.
 //! * `conv_backward` — seed loop vs. GEMM-lowered backward.
@@ -16,7 +20,7 @@
 //! once without to compare serial vs. row-parallel GEMM on multicore hosts
 //! (on a single-core container both paths are the serial kernel).
 
-use appeal_tensor::kernels::naive;
+use appeal_tensor::kernels::{self, elementwise, naive, Isa};
 use appeal_tensor::prelude::*;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -30,6 +34,9 @@ fn randn_vec(rng: &mut SeededRng, len: usize) -> Vec<f32> {
 }
 
 fn bench_matmul_shapes(c: &mut Criterion) {
+    // Perf numbers are only meaningful relative to a dispatch path; print it
+    // once so recorded runs (reports/kernel_speedup.txt) are attributable.
+    eprintln!("kernel_microbench: active ISA = {}", kernels::active_isa());
     let mut group = c.benchmark_group("matmul_shapes");
     group.sample_size(if quick() { 5 } else { 20 });
     let sizes: &[usize] = if quick() {
@@ -44,10 +51,92 @@ fn bench_matmul_shapes(c: &mut Criterion) {
         group.bench_function(format!("naive_{s}x{s}x{s}"), |bch| {
             bch.iter(|| naive::matmul_naive(s, s, s, black_box(a.data()), black_box(b.data())))
         });
-        group.bench_function(format!("blocked_{s}x{s}x{s}"), |bch| {
+        // The dispatched explicit-SIMD kernel (whatever active_isa() picked).
+        group.bench_function(format!("simd_{s}x{s}x{s}"), |bch| {
             bch.iter(|| black_box(&a).matmul(black_box(&b)))
         });
+        // The scalar (autovectorized) microkernel — i.e. the PR 3 kernel —
+        // for a like-for-like scalar-vs-SIMD comparison in one run.
+        let prev = kernels::force_isa(Some(Isa::Scalar));
+        group.bench_function(format!("forced_scalar_{s}x{s}x{s}"), |bch| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b)))
+        });
+        kernels::force_isa(prev);
     }
+    group.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elementwise");
+    group.sample_size(if quick() { 5 } else { 20 });
+    let n: usize = if quick() { 1 << 12 } else { 1 << 16 };
+    let (rows, cols) = if quick() {
+        (16usize, 64usize)
+    } else {
+        (64, 256)
+    };
+    let mut rng = SeededRng::new(0xE1_E3);
+    let src: Vec<f32> = (0..n).map(|_| rng.normal(0.0, 1.0)).collect();
+    let other: Vec<f32> = (0..n).map(|_| rng.normal(0.0, 1.0)).collect();
+    let bias: Vec<f32> = (0..cols).map(|_| rng.normal(0.0, 1.0)).collect();
+    let matrix: Vec<f32> = (0..rows * cols).map(|_| rng.normal(0.0, 1.0)).collect();
+    let mut dst = vec![0.0f32; n];
+
+    // ReLU forward: seed closure idiom vs dispatched kernel vs forced scalar.
+    group.bench_function("relu_naive_map", |bch| {
+        bch.iter(|| {
+            black_box(&src)
+                .iter()
+                .map(|&x| x.max(0.0))
+                .collect::<Vec<f32>>()
+        })
+    });
+    group.bench_function("relu_simd", |bch| {
+        bch.iter(|| elementwise::relu_fwd(black_box(&src), black_box(&mut dst)))
+    });
+    let prev = kernels::force_isa(Some(Isa::Scalar));
+    group.bench_function("relu_forced_scalar", |bch| {
+        bch.iter(|| elementwise::relu_fwd(black_box(&src), black_box(&mut dst)))
+    });
+    kernels::force_isa(prev);
+
+    // Column-broadcast bias add.
+    group.bench_function("bias_naive_loop", |bch| {
+        bch.iter(|| {
+            let mut data = black_box(&matrix).clone();
+            for row in data.chunks_exact_mut(cols) {
+                for (o, &bv) in row.iter_mut().zip(bias.iter()) {
+                    *o += bv;
+                }
+            }
+            data
+        })
+    });
+    group.bench_function("bias_simd", |bch| {
+        bch.iter(|| {
+            let mut data = black_box(&matrix).clone();
+            elementwise::bias_add_rows(&mut data, black_box(&bias));
+            data
+        })
+    });
+
+    // axpy (the SGD / gradient-accumulation primitive).
+    group.bench_function("axpy_naive_loop", |bch| {
+        bch.iter(|| {
+            let mut y = black_box(&src).clone();
+            for (a, &b) in y.iter_mut().zip(other.iter()) {
+                *a += 0.5 * b;
+            }
+            y
+        })
+    });
+    group.bench_function("axpy_simd", |bch| {
+        bch.iter(|| {
+            let mut y = black_box(&src).clone();
+            elementwise::axpy(0.5, black_box(&other), &mut y);
+            y
+        })
+    });
     group.finish();
 }
 
@@ -151,6 +240,7 @@ fn bench_conv_backward(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul_shapes,
+    bench_elementwise,
     bench_conv_forward,
     bench_conv_backward
 );

@@ -54,7 +54,11 @@ pub struct InferenceResponse {
 }
 
 /// Cumulative serving statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// The `Debug` representation additionally reports the kernel ISA the
+/// process dispatched to (`appeal_tensor::kernels::active_isa`), so logged
+/// throughput numbers are always attributable to a compute backend.
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Requests answered.
     pub requests: u64,
@@ -68,6 +72,20 @@ pub struct EngineStats {
     pub total_cost: InferenceCost,
     /// Wall-clock seconds spent inside batch execution.
     pub busy_seconds: f64,
+}
+
+impl std::fmt::Debug for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineStats")
+            .field("requests", &self.requests)
+            .field("batches", &self.batches)
+            .field("edge_handled", &self.edge_handled)
+            .field("offloaded", &self.offloaded)
+            .field("total_cost", &self.total_cost)
+            .field("busy_seconds", &self.busy_seconds)
+            .field("kernel_isa", &appeal_tensor::kernels::active_isa().name())
+            .finish()
+    }
 }
 
 impl EngineStats {
@@ -304,11 +322,12 @@ impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "Engine(scorer={}, policy={}, pending={}, requests={})",
+            "Engine(scorer={}, policy={}, pending={}, requests={}, kernel_isa={})",
             self.scorer.kind(),
             self.policy.name(),
             self.pending_ids.len(),
-            self.stats.requests
+            self.stats.requests,
+            appeal_tensor::kernels::active_isa()
         )
     }
 }
@@ -558,6 +577,22 @@ mod tests {
             .max_batch(max_batch)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn stats_debug_reports_kernel_isa() {
+        // Perf numbers logged from EngineStats must always be attributable
+        // to a kernel dispatch path.
+        let engine = engine(1);
+        let debug = format!("{:?}", engine.stats());
+        assert!(
+            debug.contains("kernel_isa"),
+            "EngineStats debug output must name the kernel ISA: {debug}"
+        );
+        let isa = appeal_tensor::kernels::active_isa().name();
+        assert!(debug.contains(isa), "expected {isa} in {debug}");
+        let engine_debug = format!("{engine:?}");
+        assert!(engine_debug.contains("kernel_isa"), "{engine_debug}");
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! performs the innermost multiply-accumulate with all `MR * NR` partial sums
 //! held in registers.
 //!
+//! The microkernel dispatches onto the explicit-SIMD backend in
+//! [`super::simd`]: SSE2 and AVX2 instantiations of the `MR x NR` tile, and
+//! on AVX-512 hosts a widened `2*MR x NR` paired-strip kernel (eight 16-lane
+//! accumulator chains, enough independent adds to saturate both 512-bit
+//! vector ports). [`super::simd::active_isa`] picks the backend at runtime;
+//! the scalar microkernel remains the `Isa::Scalar` fallback and the
+//! reference all backends must match bit-for-bit.
+//!
 //! # Determinism contract
 //!
 //! Every path in this module accumulates each output element's products in
@@ -21,6 +29,7 @@
 //! byte-stable across kernel choices and thread counts.
 
 use super::scratch::PackScratch;
+use super::simd::{self, Isa};
 
 /// Rows of the register microkernel tile.
 pub const MR: usize = 4;
@@ -96,8 +105,9 @@ pub fn gemm_into(
     }
     let threads = rayon::current_num_threads();
     // Stay serial inside an outer parallel region (sharded batch workers):
-    // the vendored rayon shim spawns raw OS threads, so nesting would
-    // oversubscribe the CPU with up to threads^2 transient threads.
+    // the batch is already parallel at that level, so splitting each
+    // per-sample GEMM again would only add queueing overhead on the shared
+    // worker pool.
     if threads > 1 && macs >= PAR_MIN_MACS && m >= 2 * MR && !super::scratch::in_worker_region() {
         gemm_parallel(m, k, n, a, b, init, out, threads, packs);
     } else {
@@ -154,11 +164,13 @@ fn gemm_ikj(
 /// unchanged.
 ///
 /// The first band runs on the calling thread with the caller's (reused)
-/// packing scratch; spawned bands pack into private buffers, since the
-/// vendored rayon shim's workers are transient threads with nothing to
-/// retain a high-water buffer on. Large multicore GEMMs therefore trade a
-/// packing allocation per extra band for the parallel speedup (see the
-/// ROADMAP open item on a persistent worker pool).
+/// packing scratch; each spawned band checks the [`PackScratch`] slot keyed
+/// by its band index out of the shared band pool
+/// ([`super::scratch::with_band_packs`]) and returns it afterwards. Band
+/// `b` always reuses arena `b`, so a steady state of multi-band GEMMs
+/// performs **zero** packing allocations — deterministically, regardless of
+/// which persistent pool worker picks up which band (pinned by
+/// `tests/hot_path_allocations.rs`).
 #[allow(clippy::too_many_arguments)]
 fn gemm_parallel(
     m: usize,
@@ -195,11 +207,12 @@ fn gemm_parallel(
     let mut jobs = jobs.into_iter();
     let first = jobs.next();
     rayon::scope(|s| {
-        for (band_row0, rows, band_out) in jobs {
+        for (band, (band_row0, rows, band_out)) in jobs.enumerate() {
             s.spawn(move |_| {
                 let (band_a, band_init) = band_slice(band_row0, rows);
-                let mut local = PackScratch::new();
-                gemm_blocked(rows, k, n, band_a, b, band_init, band_out, &mut local);
+                super::scratch::with_band_packs(band, |packs| {
+                    gemm_blocked(rows, k, n, band_a, b, band_init, band_out, packs);
+                });
             });
         }
         // The scope body runs on the calling thread: do the first band here
@@ -224,6 +237,10 @@ fn gemm_blocked(
     out: &mut [f32],
     packs: &mut PackScratch,
 ) {
+    // Resolve the SIMD backend once per blocked call; the microkernel then
+    // dispatches branch-predictably per tile.
+    let isa = simd::active_isa();
+    let pair = simd::has_paired_microkernel(isa);
     let a_panel_len = MC.div_ceil(MR) * MR * KC;
     let b_panel_len = NC.div_ceil(NR) * NR * KC;
     let mut jc = 0;
@@ -246,21 +263,38 @@ fn gemm_blocked(
                     let j0 = jc + jt * NR;
                     let ncols = NR.min(n - j0);
                     let b_tile = &b_pack[jt * kcb * NR..(jt + 1) * kcb * NR];
-                    for it in 0..i_tiles {
+                    let mut it = 0;
+                    while it < i_tiles {
                         let i0 = ic + it * MR;
                         let mrows = MR.min(m - i0);
                         let a_tile = &a_pack[it * kcb * MR..(it + 1) * kcb * MR];
+                        if pair
+                            && ncols == NR
+                            && mrows == MR
+                            && it + 1 < i_tiles
+                            && m - (i0 + MR) >= MR
+                        {
+                            // Two vertically adjacent full strips: the
+                            // widened 2*MR x NR AVX-512 kernel.
+                            let a_hi = &a_pack[(it + 1) * kcb * MR..(it + 2) * kcb * MR];
+                            micro_kernel_full_pair(
+                                kcb, a_tile, a_hi, b_tile, init, first_slab, i0, j0, n, out,
+                            );
+                            it += 2;
+                            continue;
+                        }
                         if mrows == MR && ncols == NR {
                             // Full tile: every bound is a constant, so the
                             // accumulator tile stays in SIMD registers.
                             micro_kernel_full(
-                                kcb, a_tile, b_tile, init, first_slab, i0, j0, n, out,
+                                isa, kcb, a_tile, b_tile, init, first_slab, i0, j0, n, out,
                             );
                         } else {
                             micro_kernel_edge(
                                 kcb, a_tile, b_tile, init, first_slab, i0, j0, mrows, ncols, n, out,
                             );
                         }
+                        it += 1;
                     }
                 }
                 ic += mcb;
@@ -273,12 +307,12 @@ fn gemm_blocked(
 
 /// The register-tiled inner kernel for a full `MR x NR` output tile:
 /// loads the tile (or its [`GemmInit`] seed on the first slab), runs
-/// `acc[r][c] += a[p][r] * b[p][c]` for every `p` in ascending order, and
-/// stores it back. Every loop bound is a compile-time constant so LLVM keeps
-/// the whole accumulator tile in SIMD registers.
+/// `acc[r][c] += a[p][r] * b[p][c]` for every `p` in ascending order on the
+/// dispatched SIMD backend, and stores it back.
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn micro_kernel_full(
+    isa: Isa,
     kc: usize,
     a_tile: &[f32],
     b_tile: &[f32],
@@ -290,10 +324,54 @@ fn micro_kernel_full(
     out: &mut [f32],
 ) {
     let mut acc = [[0.0f32; NR]; MR];
+    seed_tile_rows(&mut acc, init, first_slab, i0, j0, ldc, out);
+    simd::microkernel_4x16(isa, kc, a_tile, b_tile, &mut acc);
+    store_tile_rows(&acc, i0, j0, ldc, out);
+}
+
+/// The widened paired-strip kernel for two vertically adjacent full
+/// `MR x NR` tiles (a `2*MR x NR` output block): seed/load all `2*MR` rows,
+/// run the widened microkernel, store back. Per element this is the same
+/// ascending-`p` mul-then-add sequence as every other path.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel_full_pair(
+    kc: usize,
+    a_lo: &[f32],
+    a_hi: &[f32],
+    b_tile: &[f32],
+    init: GemmInit<'_>,
+    first_slab: bool,
+    i0: usize,
+    j0: usize,
+    ldc: usize,
+    out: &mut [f32],
+) {
+    let mut acc = [[0.0f32; NR]; 2 * MR];
+    seed_tile_rows(&mut acc, init, first_slab, i0, j0, ldc, out);
+    simd::microkernel_8x16(kc, a_lo, a_hi, b_tile, &mut acc);
+    store_tile_rows(&acc, i0, j0, ldc, out);
+}
+
+/// Seeds a full-width accumulator block of any row count starting at output
+/// row `i0`: the [`GemmInit`] seed on the first `KC` slab, the current
+/// output values afterwards (or for `Accumulate`). Shared by the single and
+/// paired full-tile kernels so the seeding rules cannot diverge between
+/// dispatch paths.
+#[inline]
+fn seed_tile_rows(
+    acc: &mut [[f32; NR]],
+    init: GemmInit<'_>,
+    first_slab: bool,
+    i0: usize,
+    j0: usize,
+    ldc: usize,
+    out: &[f32],
+) {
     if first_slab {
         match init {
             GemmInit::Zero => {}
-            GemmInit::Accumulate => load_tile(&mut acc, out, i0, j0, ldc),
+            GemmInit::Accumulate => load_tile_rows(acc, out, i0, j0, ldc),
             GemmInit::RowBias(bias) => {
                 for (r, acc_row) in acc.iter_mut().enumerate() {
                     *acc_row = [bias[i0 + r]; NR];
@@ -301,68 +379,26 @@ fn micro_kernel_full(
             }
         }
     } else {
-        load_tile(&mut acc, out, i0, j0, ldc);
-    }
-    micro_kernel_loop(kc, a_tile, b_tile, &mut acc);
-    for (r, acc_row) in acc.iter().enumerate() {
-        let row = (i0 + r) * ldc + j0;
-        out[row..row + NR].copy_from_slice(acc_row);
+        load_tile_rows(acc, out, i0, j0, ldc);
     }
 }
 
-/// The innermost multiply-accumulate loop, kept as its own compilation unit
-/// (`inline(never)`) so the loop vectorizer reliably promotes the whole
-/// `MR x NR` accumulator tile into SIMD registers — inlined into the blocked
-/// driver it degrades to scalar stack traffic. One call per tile per slab is
-/// amortized over `kc * MR * NR` multiply-accumulates.
-#[inline(never)]
-fn micro_kernel_loop(kc: usize, a_tile: &[f32], b_tile: &[f32], acc: &mut [[f32; NR]; MR]) {
-    let mut tile = *acc;
-    // Eight `p` steps per iteration to amortize loop overhead; the steps stay
-    // strictly sequential per accumulator, preserving accumulation order.
-    const U: usize = 8;
-    let quads = kc / U;
-    for (ap, bp) in a_tile[..quads * U * MR]
-        .chunks_exact(U * MR)
-        .zip(b_tile[..quads * U * NR].chunks_exact(U * NR))
-    {
-        for u in 0..U {
-            micro_step(
-                &mut tile,
-                &ap[u * MR..(u + 1) * MR],
-                &bp[u * NR..(u + 1) * NR],
-            );
-        }
-    }
-    for p in quads * U..kc {
-        micro_step(
-            &mut tile,
-            &a_tile[p * MR..(p + 1) * MR],
-            &b_tile[p * NR..(p + 1) * NR],
-        );
-    }
-    *acc = tile;
-}
-
-/// One `p` step of the microkernel: `tile[r][c] += a[r] * b[c]`.
-#[inline(always)]
-fn micro_step(tile: &mut [[f32; NR]; MR], ap: &[f32], bp: &[f32]) {
-    let ap: &[f32; MR] = ap.try_into().expect("MR-sized A strip");
-    let bp: &[f32; NR] = bp.try_into().expect("NR-sized B strip");
-    for (r, acc_row) in tile.iter_mut().enumerate() {
-        let av = ap[r];
-        for c in 0..NR {
-            acc_row[c] += av * bp[c];
-        }
-    }
-}
-
-/// Loads a full `MR x NR` tile of `out` into the accumulator.
+/// Loads full `NR`-wide rows of `out` starting at `(i0, j0)` into the
+/// accumulator block.
 #[inline]
-fn load_tile(acc: &mut [[f32; NR]; MR], out: &[f32], i0: usize, j0: usize, ldc: usize) {
+fn load_tile_rows(acc: &mut [[f32; NR]], out: &[f32], i0: usize, j0: usize, ldc: usize) {
     for (r, acc_row) in acc.iter_mut().enumerate() {
         let row = (i0 + r) * ldc + j0;
         acc_row.copy_from_slice(&out[row..row + NR]);
+    }
+}
+
+/// Stores the accumulator block back to full `NR`-wide rows of `out`.
+#[inline]
+fn store_tile_rows(acc: &[[f32; NR]], i0: usize, j0: usize, ldc: usize, out: &mut [f32]) {
+    for (r, acc_row) in acc.iter().enumerate() {
+        let row = (i0 + r) * ldc + j0;
+        out[row..row + NR].copy_from_slice(acc_row);
     }
 }
 
@@ -463,11 +499,7 @@ pub fn gemm_bias_cols(
 ) {
     assert_eq!(bias.len(), n, "gemm_bias_cols: bias must have n entries");
     gemm_into(m, k, n, a, b, GemmInit::Zero, out, packs);
-    for row in out.chunks_exact_mut(n) {
-        for (o, &bv) in row.iter_mut().zip(bias.iter()) {
-            *o += bv;
-        }
-    }
+    super::elementwise::bias_add_rows(out, bias);
 }
 
 /// Transposes the row-major `rows x cols` matrix `src` into `dst`

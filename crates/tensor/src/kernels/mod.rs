@@ -1,4 +1,5 @@
-//! The compute-kernel layer: blocked GEMM, im2col lowering and scratch reuse.
+//! The compute-kernel layer: blocked GEMM, explicit SIMD, im2col lowering
+//! and scratch reuse.
 //!
 //! Everything expensive in this crate — dense layers, standard and depthwise
 //! convolutions, their backward passes — bottoms out in the handful of
@@ -9,11 +10,21 @@
 //!   `MR x NR` microkernel and packed operand panels), with a rayon
 //!   row-parallel path for large problems that degrades to the serial kernel
 //!   on one core.
+//! * [`simd`] — the explicit-SIMD backend underneath: a portable `f32x8`
+//!   abstraction with SSE2/AVX2 implementations, an AVX-512 widened
+//!   microkernel, and cached runtime CPU-feature dispatch ([`active_isa`]
+//!   reports the choice, [`force_isa`] / `APPEALNET_FORCE_SCALAR` pin it).
+//! * [`elementwise`] — vectorized order-safe elementwise kernels (ReLU
+//!   forward/backward, bias broadcast, axpy/scale, residual add) used by the
+//!   hot layers and `Tensor` operations.
 //! * [`im2col`](fn@im2col) / [`col2im`] — convolution-to-GEMM lowering whose
 //!   column order matches the naive loop's `ic -> ky -> kx` tap order.
 //! * [`KernelScratch`] / [`GrowBuf`] — high-water-mark scratch buffers so
 //!   steady-state inference performs **zero** heap allocations for im2col
 //!   matrices and GEMM packing panels (observable via [`scratch_stats`]).
+//!   Arenas live per *thread* (see [`with_thread_scratch`]) plus a shared
+//!   checkout pool for GEMM row bands, so the persistent rayon worker pool
+//!   retains every high-water buffer across calls.
 //!
 //! # Determinism
 //!
@@ -28,19 +39,20 @@
 //! (the naive loop interleaved them); it is numerically equivalent and
 //! covered by gradient checks rather than bit-equality.
 
+pub mod elementwise;
 pub mod gemm;
 pub mod im2col;
 pub mod naive;
 pub mod scratch;
+pub mod simd;
 
 pub use gemm::{gemm_bias_cols, gemm_into, transpose_into, GemmInit, KC, MC, MR, NC, NR};
 pub use im2col::{col2im, im2col};
 pub use scratch::{
-    enter_worker_region, in_worker_region, stats as scratch_stats, GrowBuf, KernelScratch,
-    PackScratch, ScratchStats, WorkerRegionGuard,
+    enter_worker_region, in_worker_region, stats as scratch_stats, with_thread_scratch, GrowBuf,
+    KernelScratch, PackScratch, ScratchStats, WorkerRegionGuard,
 };
-
-pub(crate) use scratch::with_thread_scratch;
+pub use simd::{active_isa, force_isa, supported_isas, Isa};
 
 #[cfg(test)]
 mod tests {
@@ -120,6 +132,84 @@ mod tests {
             let mut out = vec![f32::NAN; m * n];
             gemm_into(m, k, n, &a, &b, GemmInit::Zero, &mut out, &mut packs);
             assert_bits_eq(&out, &expect, &format!("sparse gemm {m}x{k}x{n}"));
+        }
+    }
+
+    /// The SIMD microkernels are bit-identical to the naive loop on every
+    /// dispatchable ISA (scalar, SSE2, AVX2, AVX-512 where supported) and on
+    /// the dispatched default, over remainder-heavy shapes that exercise
+    /// partial tiles on every edge.
+    #[test]
+    fn simd_gemm_bit_identical_across_isas_on_remainder_shapes() {
+        let _lock = simd::isa_override_test_lock();
+        let dims = [1usize, 5, 7, 9, 31, 33];
+        let mut rng = SeededRng::new(0x51_4D);
+        let mut packs = PackScratch::new();
+        let mut isa_modes: Vec<Option<Isa>> = supported_isas().into_iter().map(Some).collect();
+        isa_modes.push(None); // the dispatched default
+        for &m in &dims {
+            for &k in &dims {
+                for &n in &dims {
+                    let a = random_vec(&mut rng, m * k);
+                    let b = random_vec(&mut rng, k * n);
+                    let expect = naive::matmul_naive(m, k, n, &a, &b);
+                    for &mode in &isa_modes {
+                        let prev = force_isa(mode);
+                        let mut out = vec![f32::NAN; m * n];
+                        gemm_into(m, k, n, &a, &b, GemmInit::Zero, &mut out, &mut packs);
+                        force_isa(prev);
+                        assert_bits_eq(&out, &expect, &format!("gemm {m}x{k}x{n} isa={mode:?}"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shapes large enough for the blocked/packed path (multiple `KC` slabs,
+    /// paired AVX-512 strips, ragged microkernel edges) stay bit-identical
+    /// to the naive loop on every ISA, for every [`GemmInit`] mode.
+    #[test]
+    fn simd_blocked_paths_bit_identical_across_isas() {
+        let _lock = simd::isa_override_test_lock();
+        let mut rng = SeededRng::new(0x51_4E);
+        let mut packs = PackScratch::new();
+        for &(m, k, n) in &[(96usize, 160usize, 96usize), (130, 200, 70), (37, 300, 33)] {
+            let a = random_vec(&mut rng, m * k);
+            let b = random_vec(&mut rng, k * n);
+            let bias = random_vec(&mut rng, m);
+            let seed_out = random_vec(&mut rng, m * n);
+            for isa in supported_isas() {
+                let prev = force_isa(Some(isa));
+                for mode in 0..3 {
+                    let (init, mut out) = match mode {
+                        0 => (GemmInit::Zero, vec![f32::NAN; m * n]),
+                        1 => (GemmInit::Accumulate, seed_out.clone()),
+                        _ => (GemmInit::RowBias(&bias), vec![f32::NAN; m * n]),
+                    };
+                    let mut expect = match mode {
+                        0 => vec![0.0f32; m * n],
+                        1 => seed_out.clone(),
+                        _ => {
+                            let mut e = vec![0.0f32; m * n];
+                            for i in 0..m {
+                                e[i * n..(i + 1) * n].fill(bias[i]);
+                            }
+                            e
+                        }
+                    };
+                    for i in 0..m {
+                        for p in 0..k {
+                            let av = a[i * k + p];
+                            for j in 0..n {
+                                expect[i * n + j] += av * b[p * n + j];
+                            }
+                        }
+                    }
+                    gemm_into(m, k, n, &a, &b, init, &mut out, &mut packs);
+                    assert_bits_eq(&out, &expect, &format!("{m}x{k}x{n} mode={mode} {isa}"));
+                }
+                force_isa(prev);
+            }
         }
     }
 

@@ -7,12 +7,26 @@
 //! once and is reused (dirty) afterwards. Callers are responsible for fully
 //! overwriting the slice they request — every kernel in this module does.
 //!
+//! Arenas live in two places, both keyed to the **persistent** rayon worker
+//! pool so high-water buffers survive across calls:
+//!
+//! * [`with_thread_scratch`] — a per-thread stack of arenas. Long-lived
+//!   threads (the serving engine's caller, the training loop, every pool
+//!   worker) retain their arenas for the life of the process; the stack
+//!   makes the call reentrant, so a thread that picks up queued kernel work
+//!   while waiting on its own parallel region simply uses a second arena.
+//! * `with_band_packs` — a shared checkout pool of GEMM packing panels
+//!   used by spawned row bands. Checkout is keyed to the *band*, not the
+//!   thread, so a steady state of multi-band GEMMs reuses the same panels
+//!   no matter which worker picks up which band.
+//!
 //! Growth and reuse events are counted in process-wide atomics (see
 //! [`stats`]) so tests can assert that a steady-state serving loop performs
 //! zero scratch allocations.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Times any scratch buffer had to allocate or grow its backing storage.
 static SCRATCH_ALLOCS: AtomicU64 = AtomicU64::new(0);
@@ -105,13 +119,15 @@ impl PackScratch {
     }
 }
 
-/// The full scratch arena a GEMM-lowered layer holds between calls.
+/// The full scratch arena a kernel-lowered pass draws from between calls.
 ///
 /// Conv layers use `cols` for the im2col matrix, `cols_t` for its transpose
 /// (weight-gradient GEMMs), `grad_cols` for the column-space input gradient
-/// and `weight_t` for the transposed weight, plus the GEMM `packs`. Layers
-/// own one arena each; replicas start with an empty one (see [`GrowBuf`]'s
-/// `Clone`).
+/// and `weight_t` for the transposed weight, plus the GEMM `packs`. Arenas
+/// are retained per thread (see [`with_thread_scratch`]) — layers and model
+/// replicas carry no scratch of their own, so replicating a model onto a
+/// persistent pool worker automatically shares that worker's warmed-up
+/// buffers.
 #[derive(Debug, Default, Clone)]
 pub struct KernelScratch {
     /// im2col matrix, `[c*k*k, oh*ow]`.
@@ -134,14 +150,24 @@ impl KernelScratch {
 }
 
 thread_local! {
-    static THREAD_SCRATCH: RefCell<KernelScratch> = RefCell::new(KernelScratch::new());
+    /// A stack of arenas per thread: `with_thread_scratch` pops one (or
+    /// creates the first), runs, and pushes it back. The stack depth is the
+    /// maximum nesting ever seen on the thread (1 in almost every case; 2
+    /// when a thread helps execute queued kernel work while waiting on its
+    /// own parallel region).
+    static THREAD_SCRATCH: RefCell<Vec<KernelScratch>> = const { RefCell::new(Vec::new()) };
     static IN_WORKER_REGION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
+/// Per-band slots of GEMM packing panels for spawned row bands (see
+/// [`with_band_packs`]). `None` marks a slot currently checked out.
+static BAND_PACKS: Mutex<Vec<Option<PackScratch>>> = Mutex::new(Vec::new());
+
 /// Marks the current thread as a parallel worker for the guard's lifetime;
-/// kernels consult this to keep their own row-parallel paths serial instead
-/// of spawning nested threads (the vendored rayon shim has no shared pool to
-/// cap oversubscription). Drop restores the previous state.
+/// kernels consult this to keep their own row-parallel paths serial — the
+/// batch is already parallel at the sharding level, so splitting each
+/// per-sample GEMM again would only add queueing overhead on the shared
+/// worker pool. Drop restores the previous state.
 ///
 /// Batch-sharding code (`appealnet_core::parallel`, the serving engine's
 /// edge pass) holds one of these inside each worker closure.
@@ -167,19 +193,50 @@ impl Drop for WorkerRegionGuard {
     }
 }
 
-/// Runs `f` with this thread's shared [`KernelScratch`].
+/// Runs `f` with a [`KernelScratch`] arena retained by the current thread.
 ///
-/// Used by scratch-less entry points ([`crate::Tensor::matmul`] and friends)
-/// so repeated calls on one thread still reuse buffers. Do not call
-/// recursively (the arena is a `RefCell`); kernels never do.
+/// Used by scratch-less entry points ([`crate::Tensor::matmul`] and
+/// friends) and by the conv layers, so repeated calls on one thread reuse
+/// buffers. The vendored rayon shim's workers are **persistent**, so work
+/// dispatched onto the pool (sharded batch evaluation, spawned GEMM bands)
+/// reuses each worker's arenas across calls too.
 ///
-/// Caveat: the vendored rayon shim spawns transient worker threads, so work
-/// dispatched onto fresh workers (sharded batch evaluation) starts with an
-/// empty thread scratch each time. Long-lived threads — the serving engine's
-/// calling thread, the training loop — get full reuse; see the ROADMAP note
-/// on a persistent worker pool.
+/// Reentrant: a nested call (a thread executing queued kernel work while it
+/// waits on its own parallel region) gets a second arena from the thread's
+/// stack rather than panicking on a `RefCell` double borrow.
 pub fn with_thread_scratch<R>(f: impl FnOnce(&mut KernelScratch) -> R) -> R {
-    THREAD_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+    let mut arena = THREAD_SCRATCH
+        .with(|s| s.borrow_mut().pop())
+        .unwrap_or_default();
+    let out = f(&mut arena);
+    THREAD_SCRATCH.with(|s| s.borrow_mut().push(arena));
+    out
+}
+
+/// Runs `f` with the [`PackScratch`] dedicated to spawned row band `band`.
+///
+/// Spawned GEMM row bands use this instead of thread-local scratch, and the
+/// slot is keyed by **band index**, not by thread or checkout order: band
+/// `b` always reuses arena `b`, so once a GEMM shape has run once, repeat
+/// runs perform zero packing allocations *deterministically* — regardless
+/// of which persistent pool worker picks up which band or how their
+/// execution overlaps. (Only concurrent multi-band GEMMs — which the
+/// worker-region gate already makes rare — can contend for a slot; the
+/// loser falls back to a transient arena and the last one back wins the
+/// slot.) The brief mutex holds are once per band, amortized over the whole
+/// band's work.
+pub(crate) fn with_band_packs<R>(band: usize, f: impl FnOnce(&mut PackScratch) -> R) -> R {
+    let mut packs = {
+        let mut slots = BAND_PACKS.lock().expect("band scratch pool poisoned");
+        if slots.len() <= band {
+            slots.resize_with(band + 1, || None);
+        }
+        slots[band].take()
+    }
+    .unwrap_or_default();
+    let out = f(&mut packs);
+    BAND_PACKS.lock().expect("band scratch pool poisoned")[band] = Some(packs);
+    out
 }
 
 #[cfg(test)]
@@ -236,5 +293,43 @@ mod tests {
         assert!(cap >= 32);
         let cap2 = with_thread_scratch(|s| s.cols.capacity());
         assert!(cap2 >= 32, "thread scratch persists between calls");
+    }
+
+    #[test]
+    fn thread_scratch_supports_nested_use() {
+        // A nested call gets a second arena rather than panicking on a
+        // RefCell double borrow (this happens when a thread helps execute
+        // queued kernel work while waiting on its own parallel region).
+        with_thread_scratch(|outer| {
+            let _ = outer.cols.take(16);
+            with_thread_scratch(|inner| {
+                let _ = inner.cols.take(16);
+            });
+        });
+    }
+
+    #[test]
+    fn band_packs_slots_reuse_high_water_buffers_per_band() {
+        // Use band indices no other test (or GEMM) touches so concurrent
+        // tests cannot perturb the counters for these slots.
+        with_band_packs(91, |p| {
+            let _ = p.a.take(64);
+        });
+        with_band_packs(92, |p| {
+            let _ = p.a.take(64);
+        });
+        let before = stats();
+        with_band_packs(91, |p| {
+            let _ = p.a.take(64);
+        });
+        with_band_packs(92, |p| {
+            let _ = p.a.take(32);
+        });
+        let after = stats();
+        assert_eq!(
+            after.allocs, before.allocs,
+            "a band re-checkout must reuse its slot's high-water buffer"
+        );
+        assert!(after.reuses >= before.reuses + 2);
     }
 }

@@ -1,0 +1,583 @@
+//! Explicit-SIMD backend: runtime ISA detection and the vectorized GEMM
+//! microkernels.
+//!
+//! The autovectorized microkernel from the blocked-GEMM layer is at the mercy
+//! of the compiler's loop vectorizer (and of whatever `-C target-cpu` the
+//! binary was built with). This module takes that out of the compiler's
+//! hands: a small portable `f32x8` abstraction (the `F32x8` trait) with SSE2 and AVX2
+//! implementations, an AVX-512 widened microkernel, and a cached runtime
+//! CPU-feature dispatch ([`active_isa`]) that picks the widest instruction
+//! set the host actually supports — independent of how the binary was
+//! compiled.
+//!
+//! # Determinism contract
+//!
+//! Every vector path performs, per output element, **exactly the same
+//! sequence of IEEE-754 operations** as the scalar reference: lanes are
+//! independent output elements, products are accumulated in ascending
+//! inner-dimension order, and multiplication and addition stay separate
+//! instructions (`mulps` + `addps`, never `fmadd`). SIMD results are
+//! therefore bit-identical to the scalar kernels on every ISA — pinned by
+//! the equivalence suites, which re-run the kernels under every
+//! [`supported_isas`] entry.
+//!
+//! # Forcing a backend
+//!
+//! * `APPEALNET_FORCE_SCALAR=1` (environment, read once) pins detection to
+//!   [`Isa::Scalar`] for the whole process — the CI fallback job uses this.
+//! * [`force_isa`] installs a process-wide override at runtime (clamped to
+//!   what the host supports); tests and benches use it to compare backends
+//!   inside one process. Because all backends are bit-identical, flipping
+//!   the override concurrently with other work is safe — it can only change
+//!   speed, never results.
+#![allow(unsafe_code)] // The one module allowed to use std::arch intrinsics.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use super::gemm::{MR, NR};
+
+/// An instruction-set backend for the compute kernels, ordered from
+/// narrowest to widest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Isa {
+    /// Plain Rust loops (whatever the compiler autovectorizes them to).
+    Scalar,
+    /// 128-bit SSE2 vectors (baseline on every `x86_64`).
+    Sse2,
+    /// 256-bit AVX2 vectors.
+    Avx2,
+    /// 512-bit AVX-512F vectors (widened `8 x 16` GEMM microkernel).
+    Avx512,
+}
+
+impl Isa {
+    /// Short lowercase name, for reports and debug output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Sse2 => "sse2",
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+        }
+    }
+
+    fn from_index(i: u8) -> Isa {
+        match i {
+            0 => Isa::Scalar,
+            1 => Isa::Sse2,
+            2 => Isa::Avx2,
+            _ => Isa::Avx512,
+        }
+    }
+
+    fn index(self) -> u8 {
+        match self {
+            Isa::Scalar => 0,
+            Isa::Sse2 => 1,
+            Isa::Avx2 => 2,
+            Isa::Avx512 => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for Isa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// `ISA_OVERRIDE` encoding: 0 = no override, otherwise `Isa::index() + 1`.
+static ISA_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Widest ISA the host supports (respecting `APPEALNET_FORCE_SCALAR`),
+/// detected once per process.
+fn detected_isa() -> Isa {
+    static DETECTED: OnceLock<Isa> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        let forced_scalar =
+            std::env::var("APPEALNET_FORCE_SCALAR").is_ok_and(|v| !v.is_empty() && v != "0");
+        if forced_scalar {
+            return Isa::Scalar;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return Isa::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return Isa::Avx2;
+            }
+            if std::arch::is_x86_feature_detected!("sse2") {
+                return Isa::Sse2;
+            }
+        }
+        Isa::Scalar
+    })
+}
+
+/// The ISA the kernels currently dispatch to: the [`force_isa`] override if
+/// one is installed, otherwise the detected host maximum.
+pub fn active_isa() -> Isa {
+    match ISA_OVERRIDE.load(Ordering::Relaxed) {
+        0 => detected_isa(),
+        n => Isa::from_index(n - 1),
+    }
+}
+
+/// Installs (or clears, with `None`) a process-wide ISA override and returns
+/// the override that was previously in place.
+///
+/// The request is clamped to the detected host maximum — forcing AVX2 on a
+/// host without it silently degrades to the widest supported backend, so the
+/// kernels can never execute instructions the CPU lacks. Intended for tests
+/// and benches; because every backend is bit-identical, a concurrently
+/// flipped override can change performance but never results.
+pub fn force_isa(isa: Option<Isa>) -> Option<Isa> {
+    let encoded = match isa {
+        None => 0,
+        Some(req) => req.min(detected_isa()).index() + 1,
+    };
+    match ISA_OVERRIDE.swap(encoded, Ordering::Relaxed) {
+        0 => None,
+        n => Some(Isa::from_index(n - 1)),
+    }
+}
+
+/// Every backend this host can run, narrowest first (always starts with
+/// [`Isa::Scalar`]). Equivalence suites iterate this to pin bit-identity on
+/// each dispatchable path.
+pub fn supported_isas() -> Vec<Isa> {
+    let max = detected_isa();
+    [Isa::Scalar, Isa::Sse2, Isa::Avx2, Isa::Avx512]
+        .into_iter()
+        .filter(|isa| *isa <= max)
+        .collect()
+}
+
+/// `true` when the active ISA has the widened `2*MR x NR` paired-strip GEMM
+/// microkernel (AVX-512: eight 16-lane accumulator chains saturate both
+/// 512-bit vector ports, which the `MR x NR` tile alone cannot).
+pub(crate) fn has_paired_microkernel(isa: Isa) -> bool {
+    cfg!(target_arch = "x86_64") && isa == Isa::Avx512
+}
+
+// ---------------------------------------------------------------------------
+// The portable 8-lane vector abstraction.
+// ---------------------------------------------------------------------------
+
+/// Eight `f32` lanes with the handful of operations the kernels need.
+///
+/// Implementations must be **lanewise IEEE-754 exact**: `add`/`mul` are the
+/// plain (unfused) operations, `gt_zero_mask` yields all-ones/all-zeros lane
+/// bit-masks from an ordered quiet `>` compare, and `load`/`store` preserve
+/// bit patterns (including NaN payloads — masks travel through these
+/// registers).
+///
+/// # Safety
+///
+/// `load`/`store` dereference raw pointers (8 lanes' worth), and every
+/// method of a SIMD implementation must only be executed on hosts where the
+/// corresponding CPU feature is available; [`active_isa`] guarantees this
+/// for all dispatched calls.
+pub(crate) trait F32x8: Copy {
+    /// Loads 8 consecutive lanes from `ptr` (unaligned).
+    ///
+    /// # Safety
+    ///
+    /// `ptr..ptr+8` must be readable; the impl's CPU feature must be active.
+    unsafe fn load(ptr: *const f32) -> Self;
+    /// Stores 8 consecutive lanes to `ptr` (unaligned).
+    ///
+    /// # Safety
+    ///
+    /// `ptr..ptr+8` must be writable; the impl's CPU feature must be active.
+    unsafe fn store(self, ptr: *mut f32);
+    /// Broadcasts one value to all lanes.
+    fn splat(v: f32) -> Self;
+    /// Lanewise `self + other` (single IEEE addition per lane).
+    fn add(self, other: Self) -> Self;
+    /// Lanewise `self * other` (single IEEE multiplication per lane).
+    fn mul(self, other: Self) -> Self;
+    /// Lanewise `self > 0.0` as an all-ones/all-zeros bit mask
+    /// (ordered, quiet: NaN lanes compare false).
+    fn gt_zero_mask(self) -> Self;
+    /// Lanewise bitwise AND.
+    fn and(self, other: Self) -> Self;
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{F32x8, MR, NR};
+    use std::arch::x86_64::*;
+
+    /// Two SSE2 `__m128` halves acting as one 8-lane vector.
+    #[derive(Clone, Copy)]
+    pub(crate) struct Sse2V(__m128, __m128);
+
+    impl F32x8 for Sse2V {
+        #[inline(always)]
+        unsafe fn load(ptr: *const f32) -> Self {
+            Sse2V(_mm_loadu_ps(ptr), _mm_loadu_ps(ptr.add(4)))
+        }
+
+        #[inline(always)]
+        unsafe fn store(self, ptr: *mut f32) {
+            _mm_storeu_ps(ptr, self.0);
+            _mm_storeu_ps(ptr.add(4), self.1);
+        }
+
+        #[inline(always)]
+        fn splat(v: f32) -> Self {
+            unsafe { Sse2V(_mm_set1_ps(v), _mm_set1_ps(v)) }
+        }
+
+        #[inline(always)]
+        fn add(self, other: Self) -> Self {
+            unsafe { Sse2V(_mm_add_ps(self.0, other.0), _mm_add_ps(self.1, other.1)) }
+        }
+
+        #[inline(always)]
+        fn mul(self, other: Self) -> Self {
+            unsafe { Sse2V(_mm_mul_ps(self.0, other.0), _mm_mul_ps(self.1, other.1)) }
+        }
+
+        #[inline(always)]
+        fn gt_zero_mask(self) -> Self {
+            unsafe {
+                let z = _mm_setzero_ps();
+                Sse2V(_mm_cmpgt_ps(self.0, z), _mm_cmpgt_ps(self.1, z))
+            }
+        }
+
+        #[inline(always)]
+        fn and(self, other: Self) -> Self {
+            unsafe { Sse2V(_mm_and_ps(self.0, other.0), _mm_and_ps(self.1, other.1)) }
+        }
+    }
+
+    /// One AVX2 `__m256`.
+    #[derive(Clone, Copy)]
+    pub(crate) struct Avx2V(__m256);
+
+    impl F32x8 for Avx2V {
+        #[inline(always)]
+        unsafe fn load(ptr: *const f32) -> Self {
+            Avx2V(_mm256_loadu_ps(ptr))
+        }
+
+        #[inline(always)]
+        unsafe fn store(self, ptr: *mut f32) {
+            _mm256_storeu_ps(ptr, self.0);
+        }
+
+        #[inline(always)]
+        fn splat(v: f32) -> Self {
+            unsafe { Avx2V(_mm256_set1_ps(v)) }
+        }
+
+        #[inline(always)]
+        fn add(self, other: Self) -> Self {
+            unsafe { Avx2V(_mm256_add_ps(self.0, other.0)) }
+        }
+
+        #[inline(always)]
+        fn mul(self, other: Self) -> Self {
+            unsafe { Avx2V(_mm256_mul_ps(self.0, other.0)) }
+        }
+
+        #[inline(always)]
+        fn gt_zero_mask(self) -> Self {
+            unsafe { Avx2V(_mm256_cmp_ps::<_CMP_GT_OQ>(self.0, _mm256_setzero_ps())) }
+        }
+
+        #[inline(always)]
+        fn and(self, other: Self) -> Self {
+            unsafe { Avx2V(_mm256_and_ps(self.0, other.0)) }
+        }
+    }
+
+    /// The generic `MR x NR` microkernel inner loop over a packed A strip and
+    /// B strip: `acc[r][c] += a[p][r] * b[p][c]` for every `p` in ascending
+    /// order, with the whole accumulator tile held in `MR * NR / 8` vector
+    /// registers. Lanes are independent output elements, so this is
+    /// bit-identical to the scalar loop.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee `V`'s CPU feature is active and the slice
+    /// layout invariants of the packed panels (`a_tile.len() >= kc * MR`,
+    /// `b_tile.len() >= kc * NR`).
+    #[inline(always)]
+    unsafe fn microkernel_4x16<V: F32x8>(
+        kc: usize,
+        a_tile: &[f32],
+        b_tile: &[f32],
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        debug_assert!(a_tile.len() >= kc * MR && b_tile.len() >= kc * NR);
+        let mut c: [[V; 2]; MR] = [[V::splat(0.0); 2]; MR];
+        for (r, row) in acc.iter().enumerate() {
+            c[r][0] = V::load(row.as_ptr());
+            c[r][1] = V::load(row.as_ptr().add(8));
+        }
+        let a = a_tile.as_ptr();
+        let b = b_tile.as_ptr();
+        for p in 0..kc {
+            let b0 = V::load(b.add(p * NR));
+            let b1 = V::load(b.add(p * NR + 8));
+            for (r, cr) in c.iter_mut().enumerate() {
+                let av = V::splat(*a.add(p * MR + r));
+                cr[0] = cr[0].add(av.mul(b0));
+                cr[1] = cr[1].add(av.mul(b1));
+            }
+        }
+        for (r, row) in acc.iter_mut().enumerate() {
+            c[r][0].store(row.as_mut_ptr());
+            c[r][1].store(row.as_mut_ptr().add(8));
+        }
+    }
+
+    /// SSE2 instantiation of the `MR x NR` microkernel loop.
+    ///
+    /// # Safety
+    ///
+    /// Host must support SSE2 (always true on `x86_64`); packed-panel layout
+    /// invariants as in [`microkernel_4x16`].
+    #[target_feature(enable = "sse2")]
+    pub(crate) unsafe fn microkernel_4x16_sse2(
+        kc: usize,
+        a_tile: &[f32],
+        b_tile: &[f32],
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        microkernel_4x16::<Sse2V>(kc, a_tile, b_tile, acc);
+    }
+
+    /// AVX2 instantiation of the `MR x NR` microkernel loop.
+    ///
+    /// # Safety
+    ///
+    /// Host must support AVX2; packed-panel layout invariants as in
+    /// [`microkernel_4x16`].
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn microkernel_4x16_avx2(
+        kc: usize,
+        a_tile: &[f32],
+        b_tile: &[f32],
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        microkernel_4x16::<Avx2V>(kc, a_tile, b_tile, acc);
+    }
+
+    /// AVX-512 paired-strip microkernel: two vertically adjacent `MR`-row A
+    /// strips against one `NR`-column B strip, i.e. a `2*MR x NR` tile with
+    /// one 16-lane `zmm` accumulator per row. Eight independent
+    /// multiply-then-add chains keep both 512-bit vector ports busy despite
+    /// the 4-cycle add latency the ordered accumulation imposes.
+    ///
+    /// Per element this is still `acc += a[p] * b[p]` in ascending `p` order
+    /// — bit-identical to the scalar kernel.
+    ///
+    /// # Safety
+    ///
+    /// Host must support AVX-512F; `a_lo`/`a_hi` must each hold `kc * MR`
+    /// packed values and `b_tile` must hold `kc * NR`.
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::needless_range_loop)] // indices mirror the zmm register layout
+    pub(crate) unsafe fn microkernel_8x16_avx512(
+        kc: usize,
+        a_lo: &[f32],
+        a_hi: &[f32],
+        b_tile: &[f32],
+        acc: &mut [[f32; NR]; 2 * MR],
+    ) {
+        debug_assert!(a_lo.len() >= kc * MR && a_hi.len() >= kc * MR);
+        debug_assert!(b_tile.len() >= kc * NR);
+        let mut c: [__m512; 2 * MR] = [_mm512_setzero_ps(); 2 * MR];
+        for (r, row) in acc.iter().enumerate() {
+            c[r] = _mm512_loadu_ps(row.as_ptr());
+        }
+        let alo = a_lo.as_ptr();
+        let ahi = a_hi.as_ptr();
+        let b = b_tile.as_ptr();
+        for p in 0..kc {
+            let bv = _mm512_loadu_ps(b.add(p * NR));
+            for r in 0..MR {
+                let av = _mm512_set1_ps(*alo.add(p * MR + r));
+                c[r] = _mm512_add_ps(c[r], _mm512_mul_ps(av, bv));
+            }
+            for r in 0..MR {
+                let av = _mm512_set1_ps(*ahi.add(p * MR + r));
+                c[MR + r] = _mm512_add_ps(c[MR + r], _mm512_mul_ps(av, bv));
+            }
+        }
+        for (r, row) in acc.iter_mut().enumerate() {
+            _mm512_storeu_ps(row.as_mut_ptr(), c[r]);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) use x86::{Avx2V, Sse2V};
+
+// ---------------------------------------------------------------------------
+// Scalar microkernel (the reference) and the safe dispatchers the blocked
+// GEMM driver calls.
+// ---------------------------------------------------------------------------
+
+/// The scalar (autovectorized) `MR x NR` microkernel loop — the
+/// `Isa::Scalar` backend and the reference every SIMD backend must match
+/// bit-for-bit. Kept as its own compilation unit (`inline(never)`) so the
+/// loop vectorizer reliably promotes the whole accumulator tile into SIMD
+/// registers; one call per tile per slab is amortized over `kc * MR * NR`
+/// multiply-accumulates.
+#[inline(never)]
+fn microkernel_4x16_scalar(kc: usize, a_tile: &[f32], b_tile: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let mut tile = *acc;
+    // Eight `p` steps per iteration to amortize loop overhead; the steps stay
+    // strictly sequential per accumulator, preserving accumulation order.
+    const U: usize = 8;
+    let quads = kc / U;
+    for (ap, bp) in a_tile[..quads * U * MR]
+        .chunks_exact(U * MR)
+        .zip(b_tile[..quads * U * NR].chunks_exact(U * NR))
+    {
+        for u in 0..U {
+            scalar_micro_step(
+                &mut tile,
+                &ap[u * MR..(u + 1) * MR],
+                &bp[u * NR..(u + 1) * NR],
+            );
+        }
+    }
+    for p in quads * U..kc {
+        scalar_micro_step(
+            &mut tile,
+            &a_tile[p * MR..(p + 1) * MR],
+            &b_tile[p * NR..(p + 1) * NR],
+        );
+    }
+    *acc = tile;
+}
+
+/// One `p` step of the scalar microkernel: `tile[r][c] += a[r] * b[c]`.
+#[inline(always)]
+fn scalar_micro_step(tile: &mut [[f32; NR]; MR], ap: &[f32], bp: &[f32]) {
+    let ap: &[f32; MR] = ap.try_into().expect("MR-sized A strip");
+    let bp: &[f32; NR] = bp.try_into().expect("NR-sized B strip");
+    for (r, acc_row) in tile.iter_mut().enumerate() {
+        let av = ap[r];
+        for c in 0..NR {
+            acc_row[c] += av * bp[c];
+        }
+    }
+}
+
+/// Runs the `MR x NR` microkernel inner loop on the backend for `isa`:
+/// `acc[r][c] += a_tile[p*MR+r] * b_tile[p*NR+c]` for every `p` ascending.
+/// All backends are bit-identical; only throughput differs.
+///
+/// # Panics
+///
+/// Debug-asserts that the packed panels hold at least `kc` steps.
+pub(crate) fn microkernel_4x16(
+    isa: Isa,
+    kc: usize,
+    a_tile: &[f32],
+    b_tile: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    debug_assert!(a_tile.len() >= kc * MR && b_tile.len() >= kc * NR);
+    match isa {
+        Isa::Scalar => microkernel_4x16_scalar(kc, a_tile, b_tile, acc),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `isa` comes from `active_isa`, which only reports CPU
+        // features the host has, and the panel sizes are asserted above.
+        Isa::Sse2 => unsafe { x86::microkernel_4x16_sse2(kc, a_tile, b_tile, acc) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above; AVX-512 hosts always have AVX2 (odd strips on
+        // the paired path land here).
+        Isa::Avx2 | Isa::Avx512 => unsafe { x86::microkernel_4x16_avx2(kc, a_tile, b_tile, acc) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => microkernel_4x16_scalar(kc, a_tile, b_tile, acc),
+    }
+}
+
+/// Runs the widened `2*MR x NR` paired-strip microkernel. Only callable on
+/// ISAs for which [`has_paired_microkernel`] is true (AVX-512).
+///
+/// # Panics
+///
+/// Panics (via `unreachable!`) if no paired backend exists on this target.
+#[allow(unused_variables)]
+pub(crate) fn microkernel_8x16(
+    kc: usize,
+    a_lo: &[f32],
+    a_hi: &[f32],
+    b_tile: &[f32],
+    acc: &mut [[f32; NR]; 2 * MR],
+) {
+    debug_assert!(a_lo.len() >= kc * MR && a_hi.len() >= kc * MR);
+    debug_assert!(b_tile.len() >= kc * NR);
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: the blocked driver only takes this path when `active_isa`
+    // reported AVX-512; panel sizes are asserted above.
+    unsafe {
+        x86::microkernel_8x16_avx512(kc, a_lo, a_hi, b_tile, acc)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    unreachable!("paired microkernel is x86_64-only");
+}
+
+/// Serializes tests that install [`force_isa`] overrides. The override is
+/// process-global; without this, concurrently running tests could observe
+/// each other's overrides (every backend is bit-identical, so results could
+/// never be corrupted — but a test could end up comparing a backend against
+/// itself, weakening what it proves). Recovers from poisoning: a panicked
+/// ISA test must not cascade.
+#[cfg(test)]
+pub(crate) fn isa_override_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    use std::sync::Mutex;
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isa_ordering_and_names() {
+        assert!(Isa::Scalar < Isa::Sse2);
+        assert!(Isa::Sse2 < Isa::Avx2);
+        assert!(Isa::Avx2 < Isa::Avx512);
+        assert_eq!(Isa::Avx2.name(), "avx2");
+        assert_eq!(format!("{}", Isa::Scalar), "scalar");
+    }
+
+    #[test]
+    fn supported_isas_starts_with_scalar_and_is_sorted() {
+        let _lock = isa_override_test_lock();
+        let isas = supported_isas();
+        assert_eq!(isas[0], Isa::Scalar);
+        assert!(isas.windows(2).all(|w| w[0] < w[1]));
+        // The override is always clamped to a supported ISA, so the active
+        // ISA is supported whether or not one is installed.
+        assert!(isas.contains(&active_isa()));
+    }
+
+    #[test]
+    fn force_isa_round_trips_and_clamps() {
+        let _lock = isa_override_test_lock();
+        let prev = force_isa(Some(Isa::Scalar));
+        assert_eq!(active_isa(), Isa::Scalar);
+        let back = force_isa(prev);
+        assert_eq!(back, Some(Isa::Scalar));
+        // A forced ISA never exceeds what the host supports.
+        let widest = *supported_isas().last().unwrap();
+        let prev = force_isa(Some(Isa::Avx512));
+        assert!(active_isa() <= widest);
+        force_isa(prev);
+    }
+}

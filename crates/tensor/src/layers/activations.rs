@@ -1,12 +1,18 @@
 //! Elementwise activation layers.
 
+use crate::kernels::elementwise;
 use crate::layer::Layer;
 use crate::tensor::Tensor;
 
-/// Rectified linear unit: `y = max(0, x)`.
+/// Rectified linear unit: `y = x > 0 ? x : 0`.
+///
+/// Forward and backward run on the vectorized elementwise kernels
+/// ([`crate::kernels::elementwise`]); the backward mask is stored as
+/// all-ones/all-zeros words so the gradient select is a single bitwise AND
+/// on every ISA backend.
 #[derive(Debug, Default, Clone)]
 pub struct Relu {
-    mask: Option<Vec<bool>>,
+    mask: Option<Vec<u32>>,
 }
 
 impl Relu {
@@ -26,20 +32,24 @@ impl Layer for Relu {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        // The sign mask exists only for backward; eval passes skip it.
-        self.mask = train.then(|| input.data().iter().map(|&x| x > 0.0).collect());
-        input.map(|x| x.max(0.0))
+        let mut out = vec![0.0f32; input.len()];
+        if train {
+            // The sign mask exists only for backward; eval passes skip it.
+            let mut mask = vec![0u32; input.len()];
+            elementwise::relu_fwd_mask(input.data(), &mut out, &mut mask);
+            self.mask = Some(mask);
+        } else {
+            self.mask = None;
+            elementwise::relu_fwd(input.data(), &mut out);
+        }
+        Tensor::from_vec(out, input.shape()).expect("shape preserved")
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let mask = self.mask.as_ref().expect("backward before forward");
         assert_eq!(mask.len(), grad_output.len(), "ReLU grad shape mismatch");
-        let data = grad_output
-            .data()
-            .iter()
-            .zip(mask.iter())
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let mut data = vec![0.0f32; grad_output.len()];
+        elementwise::relu_bwd(grad_output.data(), mask, &mut data);
         Tensor::from_vec(data, grad_output.shape()).expect("shape preserved")
     }
 

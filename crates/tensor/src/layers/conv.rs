@@ -10,12 +10,15 @@
 //! [`crate::kernels::naive`]); the input gradient is numerically equivalent
 //! (GEMM sums output channels before scattering) and covered by gradcheck.
 //!
-//! Each layer owns a [`KernelScratch`] arena, so steady-state inference
-//! reuses its im2col and GEMM-packing buffers instead of allocating, and the
-//! input is only cached for backward when `train == true`.
+//! Both layers draw their im2col and GEMM-packing buffers from the current
+//! thread's [`kernels::with_thread_scratch`] arena, so steady-state
+//! inference reuses warmed high-water buffers instead of allocating — on the
+//! calling thread and on the persistent rayon pool workers alike (model
+//! replicas carry no scratch of their own). The input is only cached for
+//! backward when `train == true`.
 
 use crate::init::Init;
-use crate::kernels::{self, GemmInit, KernelScratch};
+use crate::kernels::{self, GemmInit};
 use crate::layer::{Layer, Param};
 use crate::rng::SeededRng;
 use crate::tensor::Tensor;
@@ -57,7 +60,6 @@ pub struct Conv2d {
     stride: usize,
     padding: usize,
     cached_input: Option<Tensor>,
-    scratch: KernelScratch,
 }
 
 impl Conv2d {
@@ -95,7 +97,6 @@ impl Conv2d {
             stride,
             padding,
             cached_input: None,
-            scratch: KernelScratch::new(),
         }
     }
 
@@ -151,27 +152,29 @@ impl Layer for Conv2d {
         let bias = self.bias.value.data();
         let odata = out.data_mut();
         let pointwise = self.is_pointwise();
-        for b in 0..n {
-            let xb = &x[b * c * h * w..(b + 1) * c * h * w];
-            let ob = &mut odata[b * self.out_channels * s..(b + 1) * self.out_channels * s];
-            let cols: &[f32] = if pointwise {
-                xb
-            } else {
-                let cols = self.scratch.cols.take(ckk * s);
-                kernels::im2col(xb, c, h, w, k, self.stride, self.padding, oh, ow, cols);
-                cols
-            };
-            kernels::gemm_into(
-                self.out_channels,
-                ckk,
-                s,
-                wgt,
-                cols,
-                GemmInit::RowBias(bias),
-                ob,
-                &mut self.scratch.packs,
-            );
-        }
+        kernels::with_thread_scratch(|scratch| {
+            for b in 0..n {
+                let xb = &x[b * c * h * w..(b + 1) * c * h * w];
+                let ob = &mut odata[b * self.out_channels * s..(b + 1) * self.out_channels * s];
+                let cols: &[f32] = if pointwise {
+                    xb
+                } else {
+                    let cols = scratch.cols.take(ckk * s);
+                    kernels::im2col(xb, c, h, w, k, self.stride, self.padding, oh, ow, cols);
+                    cols
+                };
+                kernels::gemm_into(
+                    self.out_channels,
+                    ckk,
+                    s,
+                    wgt,
+                    cols,
+                    GemmInit::RowBias(bias),
+                    ob,
+                    &mut scratch.packs,
+                );
+            }
+        });
         out
     }
 
@@ -203,74 +206,76 @@ impl Layer for Conv2d {
         let gw = self.weight.grad.data_mut();
         let gb = self.bias.grad.data_mut();
         let gi = grad_input.data_mut();
-        // W^T, shared by every image's input-gradient GEMM.
-        let wt = self.scratch.weight_t.take(ckk * oc);
-        kernels::transpose_into(wgt, oc, ckk, wt);
-        for b in 0..n {
-            let xb = &x[b * c * h * w..(b + 1) * c * h * w];
-            let gob = &go[b * oc * s..(b + 1) * oc * s];
-            let gib = &mut gi[b * c * h * w..(b + 1) * c * h * w];
-            // Bias gradient: per output channel, sum over spatial positions
-            // (batch-major accumulation, same order as the naive loop).
-            for (o, gbo) in gb.iter_mut().enumerate() {
-                let mut acc = *gbo;
-                for &g in &gob[o * s..(o + 1) * s] {
-                    acc += g;
+        kernels::with_thread_scratch(|scratch| {
+            // W^T, shared by every image's input-gradient GEMM.
+            let wt = scratch.weight_t.take(ckk * oc);
+            kernels::transpose_into(wgt, oc, ckk, wt);
+            for b in 0..n {
+                let xb = &x[b * c * h * w..(b + 1) * c * h * w];
+                let gob = &go[b * oc * s..(b + 1) * oc * s];
+                let gib = &mut gi[b * c * h * w..(b + 1) * c * h * w];
+                // Bias gradient: per output channel, sum over spatial positions
+                // (batch-major accumulation, same order as the naive loop).
+                for (o, gbo) in gb.iter_mut().enumerate() {
+                    let mut acc = *gbo;
+                    for &g in &gob[o * s..(o + 1) * s] {
+                        acc += g;
+                    }
+                    *gbo = acc;
                 }
-                *gbo = acc;
-            }
-            // Weight gradient: gw += grad_out [oc, s] x im2col(x)^T [s, ckk].
-            // The explicit transpose (rather than a B-transposed GEMM
-            // variant) is deliberate: with B transposed the reduction walks
-            // both operands along `p`, a strict-FP serial dot product the
-            // vectorizer cannot reassociate, so it runs scalar — slower than
-            // transpose + the vectorized kernel.
-            let cols_t = self.scratch.cols_t.take(s * ckk);
-            if pointwise {
-                kernels::transpose_into(xb, ckk, s, cols_t);
-            } else {
-                let cols = self.scratch.cols.take(ckk * s);
-                kernels::im2col(xb, c, h, w, k, self.stride, self.padding, oh, ow, cols);
-                kernels::transpose_into(cols, ckk, s, cols_t);
-            }
-            kernels::gemm_into(
-                oc,
-                s,
-                ckk,
-                gob,
-                cols_t,
-                GemmInit::Accumulate,
-                gw,
-                &mut self.scratch.packs,
-            );
-            // Input gradient: cols_grad = W^T [ckk, oc] x grad_out [oc, s],
-            // scattered back through col2im (identity for pointwise convs).
-            if pointwise {
+                // Weight gradient: gw += grad_out [oc, s] x im2col(x)^T [s, ckk].
+                // The explicit transpose (rather than a B-transposed GEMM
+                // variant) is deliberate: with B transposed the reduction walks
+                // both operands along `p`, a strict-FP serial dot product the
+                // vectorizer cannot reassociate, so it runs scalar — slower than
+                // transpose + the vectorized kernel.
+                let cols_t = scratch.cols_t.take(s * ckk);
+                if pointwise {
+                    kernels::transpose_into(xb, ckk, s, cols_t);
+                } else {
+                    let cols = scratch.cols.take(ckk * s);
+                    kernels::im2col(xb, c, h, w, k, self.stride, self.padding, oh, ow, cols);
+                    kernels::transpose_into(cols, ckk, s, cols_t);
+                }
                 kernels::gemm_into(
-                    ckk,
                     oc,
                     s,
-                    wt,
-                    gob,
-                    GemmInit::Zero,
-                    gib,
-                    &mut self.scratch.packs,
-                );
-            } else {
-                let gcols = self.scratch.grad_cols.take(ckk * s);
-                kernels::gemm_into(
                     ckk,
-                    oc,
-                    s,
-                    wt,
                     gob,
-                    GemmInit::Zero,
-                    gcols,
-                    &mut self.scratch.packs,
+                    cols_t,
+                    GemmInit::Accumulate,
+                    gw,
+                    &mut scratch.packs,
                 );
-                kernels::col2im(gcols, c, h, w, k, self.stride, self.padding, oh, ow, gib);
+                // Input gradient: cols_grad = W^T [ckk, oc] x grad_out [oc, s],
+                // scattered back through col2im (identity for pointwise convs).
+                if pointwise {
+                    kernels::gemm_into(
+                        ckk,
+                        oc,
+                        s,
+                        wt,
+                        gob,
+                        GemmInit::Zero,
+                        gib,
+                        &mut scratch.packs,
+                    );
+                } else {
+                    let gcols = scratch.grad_cols.take(ckk * s);
+                    kernels::gemm_into(
+                        ckk,
+                        oc,
+                        s,
+                        wt,
+                        gob,
+                        GemmInit::Zero,
+                        gcols,
+                        &mut scratch.packs,
+                    );
+                    kernels::col2im(gcols, c, h, w, k, self.stride, self.padding, oh, ow, gib);
+                }
             }
-        }
+        });
         grad_input
     }
 
@@ -309,7 +314,6 @@ pub struct DepthwiseConv2d {
     stride: usize,
     padding: usize,
     cached_input: Option<Tensor>,
-    scratch: KernelScratch,
 }
 
 impl DepthwiseConv2d {
@@ -339,7 +343,6 @@ impl DepthwiseConv2d {
             stride,
             padding,
             cached_input: None,
-            scratch: KernelScratch::new(),
         }
     }
 }
@@ -377,24 +380,26 @@ impl Layer for DepthwiseConv2d {
         let odata = out.data_mut();
         // Each channel is an independent [1, k*k] x [k*k, s] GEMM, which the
         // kernel layer runs on its small-problem path (plain row-accumulate).
-        for b in 0..n {
-            for ch in 0..c {
-                let xc = &x[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
-                let ochan = &mut odata[(b * c + ch) * s..(b * c + ch + 1) * s];
-                let cols = self.scratch.cols.take(kk * s);
-                kernels::im2col(xc, 1, h, w, k, self.stride, self.padding, oh, ow, cols);
-                kernels::gemm_into(
-                    1,
-                    kk,
-                    s,
-                    &wgt[ch * kk..(ch + 1) * kk],
-                    cols,
-                    GemmInit::RowBias(&bias[ch..ch + 1]),
-                    ochan,
-                    &mut self.scratch.packs,
-                );
+        kernels::with_thread_scratch(|scratch| {
+            for b in 0..n {
+                for ch in 0..c {
+                    let xc = &x[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                    let ochan = &mut odata[(b * c + ch) * s..(b * c + ch + 1) * s];
+                    let cols = scratch.cols.take(kk * s);
+                    kernels::im2col(xc, 1, h, w, k, self.stride, self.padding, oh, ow, cols);
+                    kernels::gemm_into(
+                        1,
+                        kk,
+                        s,
+                        &wgt[ch * kk..(ch + 1) * kk],
+                        cols,
+                        GemmInit::RowBias(&bias[ch..ch + 1]),
+                        ochan,
+                        &mut scratch.packs,
+                    );
+                }
             }
-        }
+        });
         out
     }
 
@@ -419,48 +424,50 @@ impl Layer for DepthwiseConv2d {
         let gw = self.weight.grad.data_mut();
         let gb = self.bias.grad.data_mut();
         let gi = grad_input.data_mut();
-        for b in 0..n {
-            for ch in 0..c {
-                let xc = &x[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
-                let goc = &go[(b * c + ch) * s..(b * c + ch + 1) * s];
-                let gic = &mut gi[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
-                // Bias gradient: spatial sum, batch-major like the naive loop.
-                let mut acc = gb[ch];
-                for &g in goc {
-                    acc += g;
+        kernels::with_thread_scratch(|scratch| {
+            for b in 0..n {
+                for ch in 0..c {
+                    let xc = &x[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                    let goc = &go[(b * c + ch) * s..(b * c + ch + 1) * s];
+                    let gic = &mut gi[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                    // Bias gradient: spatial sum, batch-major like the naive loop.
+                    let mut acc = gb[ch];
+                    for &g in goc {
+                        acc += g;
+                    }
+                    gb[ch] = acc;
+                    // Weight gradient: gw[ch] += grad_out [1, s] x im2col(x)^T.
+                    let cols = scratch.cols.take(kk * s);
+                    kernels::im2col(xc, 1, h, w, k, self.stride, self.padding, oh, ow, cols);
+                    let cols_t = scratch.cols_t.take(s * kk);
+                    kernels::transpose_into(cols, kk, s, cols_t);
+                    kernels::gemm_into(
+                        1,
+                        s,
+                        kk,
+                        goc,
+                        cols_t,
+                        GemmInit::Accumulate,
+                        &mut gw[ch * kk..(ch + 1) * kk],
+                        &mut scratch.packs,
+                    );
+                    // Input gradient: outer product w[ch]^T [kk, 1] x grad_out
+                    // [1, s], scattered back through col2im.
+                    let gcols = scratch.grad_cols.take(kk * s);
+                    kernels::gemm_into(
+                        kk,
+                        1,
+                        s,
+                        &wgt[ch * kk..(ch + 1) * kk],
+                        goc,
+                        GemmInit::Zero,
+                        gcols,
+                        &mut scratch.packs,
+                    );
+                    kernels::col2im(gcols, 1, h, w, k, self.stride, self.padding, oh, ow, gic);
                 }
-                gb[ch] = acc;
-                // Weight gradient: gw[ch] += grad_out [1, s] x im2col(x)^T.
-                let cols = self.scratch.cols.take(kk * s);
-                kernels::im2col(xc, 1, h, w, k, self.stride, self.padding, oh, ow, cols);
-                let cols_t = self.scratch.cols_t.take(s * kk);
-                kernels::transpose_into(cols, kk, s, cols_t);
-                kernels::gemm_into(
-                    1,
-                    s,
-                    kk,
-                    goc,
-                    cols_t,
-                    GemmInit::Accumulate,
-                    &mut gw[ch * kk..(ch + 1) * kk],
-                    &mut self.scratch.packs,
-                );
-                // Input gradient: outer product w[ch]^T [kk, 1] x grad_out
-                // [1, s], scattered back through col2im.
-                let gcols = self.scratch.grad_cols.take(kk * s);
-                kernels::gemm_into(
-                    kk,
-                    1,
-                    s,
-                    &wgt[ch * kk..(ch + 1) * kk],
-                    goc,
-                    GemmInit::Zero,
-                    gcols,
-                    &mut self.scratch.packs,
-                );
-                kernels::col2im(gcols, 1, h, w, k, self.stride, self.padding, oh, ow, gic);
             }
-        }
+        });
         grad_input
     }
 

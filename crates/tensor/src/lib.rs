@@ -45,7 +45,11 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the explicit-SIMD backend
+// (`kernels::simd` / `kernels::elementwise`) opts back in with a scoped
+// `allow` — it is the only place in the workspace permitted to use `unsafe`
+// (std::arch intrinsics behind runtime CPU-feature detection).
+#![deny(unsafe_code)]
 
 pub mod error;
 pub mod gradcheck;

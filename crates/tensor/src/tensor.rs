@@ -282,13 +282,24 @@ impl Tensor {
         }
     }
 
-    /// Elementwise addition.
+    /// Elementwise addition (the residual-add primitive), on the vectorized
+    /// elementwise kernel.
     ///
     /// # Panics
     ///
     /// Panics if the shapes differ.
     pub fn add(&self, other: &Tensor) -> Self {
-        self.zip(other, |a, b| a + b)
+        assert_eq!(
+            self.shape, other.shape,
+            "elementwise op requires equal shapes ({:?} vs {:?})",
+            self.shape, other.shape
+        );
+        let mut data = vec![0.0f32; self.data.len()];
+        crate::kernels::elementwise::add(&self.data, &other.data, &mut data);
+        Self {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Elementwise subtraction.
@@ -331,21 +342,26 @@ impl Tensor {
         }
     }
 
-    /// Adds `other * alpha` into `self` in place.
+    /// Adds `other * alpha` into `self` in place (vectorized axpy; one
+    /// multiply and one add per element, like the scalar loop it replaced).
     ///
     /// # Panics
     ///
     /// Panics if the shapes differ.
     pub fn add_scaled_inplace(&mut self, other: &Tensor, alpha: f32) {
         assert_eq!(self.shape, other.shape, "add_scaled_inplace shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
-        }
+        crate::kernels::elementwise::axpy(alpha, &other.data, &mut self.data);
     }
 
-    /// Multiplies every element by a scalar, returning a new tensor.
+    /// Multiplies every element by a scalar, returning a new tensor
+    /// (vectorized).
     pub fn scale(&self, alpha: f32) -> Self {
-        self.map(|x| x * alpha)
+        let mut data = vec![0.0f32; self.data.len()];
+        crate::kernels::elementwise::scale(&self.data, alpha, &mut data);
+        Self {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Fills the tensor with a constant value.
@@ -511,7 +527,8 @@ impl Tensor {
         }
     }
 
-    /// Adds a rank-1 bias of length `cols` to every row of a rank-2 tensor.
+    /// Adds a rank-1 bias of length `cols` to every row of a rank-2 tensor
+    /// (vectorized column broadcast).
     ///
     /// # Panics
     ///
@@ -519,13 +536,11 @@ impl Tensor {
     pub fn add_row_broadcast(&self, bias: &Tensor) -> Self {
         assert_eq!(self.rank(), 2, "add_row_broadcast requires rank-2 input");
         assert_eq!(bias.rank(), 1, "bias must be rank 1");
-        let (r, c) = (self.shape[0], self.shape[1]);
+        let c = self.shape[1];
         assert_eq!(bias.len(), c, "bias length must equal number of columns");
         let mut out = self.clone();
-        for i in 0..r {
-            for j in 0..c {
-                out.data[i * c + j] += bias.data[j];
-            }
+        if c > 0 {
+            crate::kernels::elementwise::bias_add_rows(&mut out.data, &bias.data);
         }
         out
     }

@@ -1,15 +1,20 @@
 //! Allocation guard for the serving hot path.
 //!
 //! The kernel layer (`appeal_tensor::kernels`) draws im2col matrices and
-//! GEMM packing panels from per-layer high-water scratch arenas and counts
+//! GEMM packing panels from high-water scratch arenas — retained per thread
+//! and, for spawned GEMM row bands, in a shared checkout pool — and counts
 //! every buffer growth / reuse in process-wide atomics. This test pins down
-//! the PR-level guarantee: once the engine has warmed up, steady-state
+//! the PR-level guarantees: once the engine has warmed up, steady-state
 //! `Engine::submit` traffic performs **zero** scratch allocations — every
-//! im2col and packing buffer is a reuse — and eval-mode forward passes no
-//! longer clone their inputs into training caches.
+//! im2col and packing buffer is a reuse — eval-mode forward passes do not
+//! clone their inputs into training caches, and (new with the persistent
+//! rayon worker pool) steady-state **multi-band** GEMMs perform zero packing
+//! allocations no matter which pool worker picks up which band.
 //!
 //! Kept as the only test in this file so no concurrently running test can
-//! perturb the process-wide counters.
+//! perturb the process-wide counters. `RAYON_NUM_THREADS` is pinned to 4 at
+//! the very top — before the first rayon call caches the thread count — so
+//! the row-band parallel path actually engages even on a single-core host.
 
 use appeal_models::{ModelFamily, ModelSpec};
 use appeal_tensor::kernels;
@@ -19,6 +24,10 @@ use appealnet_core::two_head::TwoHeadNet;
 
 #[test]
 fn steady_state_submit_reuses_scratch_without_allocating() {
+    // Must precede every rayon touch in this process: the shim caches its
+    // thread count (and sizes its persistent pool) on first use.
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+
     let mut rng = SeededRng::new(31_337);
     let little = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 6).build(&mut rng);
     let big = ModelSpec::big([3, 12, 12], 6).build(&mut rng);
@@ -67,4 +76,54 @@ fn steady_state_submit_reuses_scratch_without_allocating() {
          (saw {reuses} reuses over {steady_requests} requests)"
     );
     assert_eq!(engine.stats().requests, 3 + steady_requests);
+
+    multi_band_gemm_reuses_pooled_band_scratch(&mut rng);
+}
+
+/// Steady-state multi-band GEMMs perform zero packing allocations: spawned
+/// bands check their panels out of the shared band pool, whose size
+/// converges to the maximum number of concurrent bands — so reuse holds
+/// regardless of which persistent pool worker runs which band.
+fn multi_band_gemm_reuses_pooled_band_scratch(rng: &mut SeededRng) {
+    assert!(
+        rayon::current_num_threads() > 1,
+        "RAYON_NUM_THREADS=4 must be set before the first rayon call"
+    );
+    // 256^3 = 16.7M MACs — far above the row-parallel threshold, so the
+    // GEMM splits into 4 row bands: one on the calling thread, three on
+    // persistent pool workers drawing from the band scratch pool.
+    let a = Tensor::randn(&[256, 256], rng);
+    let b = Tensor::randn(&[256, 256], rng);
+
+    // Warm-up: grows the caller's packing panels and the band pool to their
+    // high-water marks.
+    let warm = a.matmul(&b);
+
+    let before = kernels::scratch_stats();
+    let steady_rounds = 6u64;
+    let mut last = warm.clone();
+    for _ in 0..steady_rounds {
+        last = a.matmul(&b);
+    }
+    let after = kernels::scratch_stats();
+
+    assert_eq!(
+        after.allocs, before.allocs,
+        "steady-state multi-band GEMMs must not grow any packing buffer \
+         (allocs {} -> {})",
+        before.allocs, after.allocs
+    );
+    assert!(
+        after.reuses - before.reuses >= steady_rounds,
+        "multi-band GEMMs must reuse pooled band scratch"
+    );
+    // Sanity: the banded result matches the warm-up run bit-for-bit
+    // (determinism across repeated parallel executions).
+    for (x, y) in warm.data().iter().zip(last.data().iter()) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "banded GEMM must be deterministic"
+        );
+    }
 }

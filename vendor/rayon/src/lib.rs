@@ -4,8 +4,8 @@
 //! be fetched. This crate implements the slice of rayon's API the workspace
 //! uses — [`join`], [`scope`], `par_iter()` / `par_chunks()` /
 //! `into_par_iter()` with `map` / `collect` / `sum` / `for_each` — on top of
-//! `std::thread::scope`, with two properties the AppealNet evaluation engine
-//! depends on:
+//! a lazily started **persistent worker pool**, with three properties the
+//! AppealNet evaluation engine depends on:
 //!
 //! 1. **Determinism.** Work is split into contiguous index ranges and results
 //!    are concatenated in index order, so every reduction observes the same
@@ -14,12 +14,31 @@
 //! 2. **Graceful degradation.** When the input is smaller than the chunking
 //!    threshold (`with_min_len`) or only one thread is available, everything
 //!    runs inline on the calling thread with zero spawn overhead.
+//! 3. **Worker persistence.** `current_num_threads() - 1` named worker
+//!    threads are spawned once, on the first parallel operation, and live
+//!    for the rest of the process. Thread-local state on a worker — most
+//!    importantly the kernel scratch arenas in `appeal_tensor` — survives
+//!    across parallel calls, which is what extends the serving engine's
+//!    zero-allocation steady state to spawned GEMM row bands and sharded
+//!    batch workers.
+//!
+//! Tasks are queued into one shared injector; a thread waiting for its
+//! scope/join to finish **helps execute queued tasks** instead of blocking,
+//! so nested scopes cannot deadlock and the caller participates in its own
+//! fan-out (caller + pool = `current_num_threads()` runnable lanes, never
+//! more — the pool also caps total parallelism where the old transient-spawn
+//! design could oversubscribe with nested regions). Panics in spawned tasks
+//! are captured and propagated when the owning scope exits, like rayon.
 //!
 //! Thread count comes from `RAYON_NUM_THREADS` (if set) or
 //! `std::thread::available_parallelism()`.
 
+use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::ops::Range;
-use std::sync::OnceLock;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Number of worker threads parallel operations may use.
 pub fn current_num_threads() -> usize {
@@ -38,9 +57,132 @@ pub fn current_num_threads() -> usize {
     })
 }
 
+// ---------------------------------------------------------------------------
+// The persistent worker pool.
+// ---------------------------------------------------------------------------
+
+/// A queued unit of work. Closures borrowing scope-local data are
+/// lifetime-erased to `'static` when enqueued; soundness comes from every
+/// scope waiting for its own task count to reach zero before returning (see
+/// [`ScopeData`] and the wait-guard in [`scope`]).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the injector queue, the workers and every waiter.
+struct PoolShared {
+    /// The global FIFO injector. Coarse tasks (row bands, batch shards) make
+    /// the single lock uncontended in practice.
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when a job is pushed **and** when a scope's last task
+    /// finishes; workers and scope-waiters both sleep on it.
+    cv: Condvar,
+}
+
+struct Pool {
+    shared: Arc<PoolShared>,
+    /// Number of persistent worker threads (0 on a single-thread config —
+    /// then everything runs inline and no threads are ever spawned).
+    workers: usize,
+}
+
+/// The process-wide pool, spawned lazily on the first parallel operation.
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = current_num_threads().saturating_sub(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        });
+        for i in 0..workers {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || worker_loop(&sh))
+                .expect("failed to spawn pool worker");
+        }
+        Pool { shared, workers }
+    })
+}
+
+/// Body of a persistent worker: pop a job, run it, repeat forever. Jobs
+/// never unwind (spawn wraps them in `catch_unwind`), so a worker lives for
+/// the life of the process and its thread-local state (kernel scratch
+/// arenas) persists across parallel calls.
+fn worker_loop(shared: &PoolShared) {
+    let mut guard = shared.queue.lock().expect("pool queue poisoned");
+    loop {
+        if let Some(job) = guard.pop_front() {
+            drop(guard);
+            job();
+            guard = shared.queue.lock().expect("pool queue poisoned");
+        } else {
+            guard = shared.cv.wait(guard).expect("pool queue poisoned");
+        }
+    }
+}
+
+fn push_job(job: Job) {
+    let sh = &pool().shared;
+    sh.queue.lock().expect("pool queue poisoned").push_back(job);
+    sh.cv.notify_all();
+}
+
+/// Per-scope completion state. `pending` counts spawned-but-unfinished
+/// tasks; the first captured panic is stashed and re-thrown when the scope
+/// exits.
+struct ScopeData {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl ScopeData {
+    fn new() -> Self {
+        Self {
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Marks one task finished and wakes waiters if it was the last. The
+    /// lock round-trip before notifying pairs with the waiter's
+    /// check-under-lock, so no wakeup can be lost.
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let sh = &pool().shared;
+            drop(sh.queue.lock().expect("pool queue poisoned"));
+            sh.cv.notify_all();
+        }
+    }
+
+    /// Waits until every task spawned on this scope has finished, executing
+    /// queued jobs (of any scope) while waiting instead of blocking — this
+    /// is what makes nested scopes deadlock-free and lets the caller
+    /// participate in its own fan-out.
+    fn wait(&self) {
+        let sh = &pool().shared;
+        loop {
+            if self.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            let mut q = sh.queue.lock().expect("pool queue poisoned");
+            if let Some(job) = q.pop_front() {
+                drop(q);
+                job();
+                continue;
+            }
+            if self.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            drop(sh.cv.wait(q).expect("pool queue poisoned"));
+        }
+    }
+}
+
 /// Runs `a` and `b`, potentially in parallel, returning both results.
 ///
-/// `a` runs on the calling thread; `b` runs on a scoped worker thread.
+/// `a` runs on the calling thread; `b` runs on a pool worker (or inline
+/// when only one thread is configured). Panics from `b` propagate to the
+/// caller once both sides have finished.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -48,43 +190,102 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
+    if current_num_threads() <= 1 || pool().workers == 0 {
         let ra = a();
         let rb = b();
         return (ra, rb);
     }
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        let rb = hb.join().expect("rayon::join worker panicked");
-        (ra, rb)
-    })
+    let mut rb_slot: Option<RB> = None;
+    let ra = scope(|s| {
+        let slot = &mut rb_slot;
+        s.spawn(move |_| *slot = Some(b()));
+        a()
+    });
+    (ra, rb_slot.expect("rayon::join worker produced no result"))
 }
 
 /// A scope in which tasks can be spawned that borrow from the environment.
+///
+/// `data == None` is the inline mode used when the pool has no workers:
+/// spawned tasks run immediately on the calling thread.
 pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
+    data: Option<Arc<ScopeData>>,
+    _marker: PhantomData<&'scope mut &'env ()>,
 }
 
-/// Creates a scope, runs `f` in it and waits for all spawned tasks.
+/// Creates a scope, runs `f` in it and waits for all spawned tasks — even
+/// if `f` unwinds, so borrowed data stays valid for every queued task.
 ///
 /// Panics from spawned tasks propagate when the scope exits, like rayon.
 pub fn scope<'env, F, R>(f: F) -> R
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
-    std::thread::scope(|s| f(&Scope { inner: s }))
+    if pool().workers == 0 {
+        let s = Scope {
+            data: None,
+            _marker: PhantomData,
+        };
+        return f(&s);
+    }
+    let data = Arc::new(ScopeData::new());
+    let s = Scope {
+        data: Some(Arc::clone(&data)),
+        _marker: PhantomData,
+    };
+    /// Waits for the scope's tasks on drop, so an unwinding scope body
+    /// cannot free data that queued tasks still borrow.
+    struct WaitGuard<'a>(&'a ScopeData);
+    impl Drop for WaitGuard<'_> {
+        fn drop(&mut self) {
+            self.0.wait();
+        }
+    }
+    let guard = WaitGuard(&data);
+    let result = f(&s);
+    drop(guard);
+    if let Some(payload) = data.panic.lock().expect("scope panic slot poisoned").take() {
+        resume_unwind(payload);
+    }
+    result
 }
 
 impl<'scope, 'env> Scope<'scope, 'env> {
     /// Spawns a task in the scope. The task receives the scope so it can
-    /// spawn further tasks.
+    /// spawn further tasks; it runs on a pool worker or on any thread
+    /// currently waiting for a scope (inline immediately when the pool has
+    /// no workers).
     pub fn spawn<F>(&self, f: F)
     where
         F: for<'a> FnOnce(&'a Scope<'scope, 'env>) + Send + 'scope,
     {
-        let inner = self.inner;
-        inner.spawn(move || f(&Scope { inner }));
+        let data = match &self.data {
+            None => return f(self),
+            Some(data) => data,
+        };
+        data.pending.fetch_add(1, Ordering::AcqRel);
+        let task_data = Arc::clone(data);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let task_scope: Scope<'scope, 'env> = Scope {
+                data: Some(Arc::clone(&task_data)),
+                _marker: PhantomData,
+            };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&task_scope))) {
+                let mut slot = task_data.panic.lock().expect("scope panic slot poisoned");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            drop(task_scope);
+            task_data.finish_one();
+        });
+        // SAFETY (lifetime erasure): the job may borrow `'scope`/`'env`
+        // data, but `scope` waits (via its drop guard) until `pending`
+        // reaches zero before those borrows can expire, and the job itself
+        // keeps the `ScopeData` alive through its own `Arc`.
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        push_job(job);
     }
 }
 
@@ -105,6 +306,10 @@ fn split_ranges(n: usize, min_len: usize) -> Vec<Range<usize>> {
 
 /// Core executor: applies `run` to contiguous index ranges (in parallel when
 /// worthwhile) and concatenates the per-range outputs in index order.
+///
+/// The first range runs on the calling thread while pool workers take the
+/// rest; the caller then helps drain the queue until its own ranges are
+/// done, so caller + workers = `current_num_threads()` runnable lanes.
 fn execute<R, F>(n: usize, min_len: usize, run: F) -> Vec<R>
 where
     R: Send,
@@ -117,14 +322,24 @@ where
     if ranges.len() <= 1 {
         return run(0..n);
     }
-    std::thread::scope(|s| {
-        let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(|| run(r))).collect();
-        let mut out = Vec::with_capacity(n);
-        for h in handles {
-            out.extend(h.join().expect("rayon worker panicked"));
+    let mut slots: Vec<Option<Vec<R>>> = Vec::new();
+    slots.resize_with(ranges.len(), || None);
+    scope(|s| {
+        let run = &run;
+        let mut jobs = ranges.into_iter().zip(slots.iter_mut());
+        let first = jobs.next();
+        for (range, slot) in jobs {
+            s.spawn(move |_| *slot = Some(run(range)));
         }
-        out
-    })
+        if let Some((range, slot)) = first {
+            *slot = Some(run(range));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        out.extend(slot.expect("parallel range produced no result"));
+    }
+    out
 }
 
 /// Ordered collection target of a parallel iterator (rayon's
@@ -469,6 +684,85 @@ mod tests {
             }
         });
         assert!(slots.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    /// Best-effort request for a multi-thread pool: must run before the
+    /// first rayon call in the process to take effect (the thread count is
+    /// cached once). Every assertion below also holds in inline mode, so
+    /// losing the race to another test is harmless.
+    fn request_threads() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| std::env::set_var("RAYON_NUM_THREADS", "4"));
+    }
+
+    #[test]
+    fn workers_are_persistent_across_parallel_calls() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        request_threads();
+        // With transient spawning the set of observed thread ids would grow
+        // with every scope; a persistent pool (plus the caller) is bounded
+        // by current_num_threads().
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        for _ in 0..8 {
+            scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        ids.lock().unwrap().insert(std::thread::current().id());
+                    });
+                }
+            });
+        }
+        let distinct = ids.lock().unwrap().len();
+        assert!(
+            distinct <= current_num_threads(),
+            "saw {distinct} distinct threads for {} configured",
+            current_num_threads()
+        );
+    }
+
+    #[test]
+    fn scope_propagates_spawned_panic() {
+        request_threads();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("boom from task"));
+            });
+        }));
+        assert!(caught.is_err(), "spawned panic must reach the scope caller");
+        // The pool must remain usable after a panicked task.
+        let v: Vec<usize> = (0..100).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(v[99], 100);
+    }
+
+    #[test]
+    fn nested_scopes_complete_without_deadlock() {
+        request_threads();
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|s| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    // Tasks spawn further tasks into the same scope.
+                    s.spawn(|_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn join_runs_both_sides_under_pool() {
+        request_threads();
+        let (a, b) = join(
+            || (0..1000).map(|i| i as u64).sum::<u64>(),
+            || (0..1000).map(|i| (i * 2) as u64).sum::<u64>(),
+        );
+        assert_eq!(a, 499_500);
+        assert_eq!(b, 999_000);
     }
 
     #[test]
