@@ -56,8 +56,13 @@ pub struct InferenceResponse {
 /// Cumulative serving statistics.
 ///
 /// The `Debug` representation additionally reports the kernel ISA the
-/// process dispatched to (`appeal_tensor::kernels::active_isa`), so logged
-/// throughput numbers are always attributable to a compute backend.
+/// process dispatched to (`appeal_tensor::kernels::active_isa`) and the
+/// build's numeric contract (`appeal_tensor::kernels::numeric_contract`,
+/// with a `+fma` marker when the fused tier is actually dispatched), so
+/// logged throughput numbers are always attributable to a compute backend
+/// *and* a numeric tier — a `fast-kernels` build is faster but only
+/// deterministic per build, and operators reading serving logs need to know
+/// which guarantee the numbers came from.
 #[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Requests answered.
@@ -84,7 +89,20 @@ impl std::fmt::Debug for EngineStats {
             .field("total_cost", &self.total_cost)
             .field("busy_seconds", &self.busy_seconds)
             .field("kernel_isa", &appeal_tensor::kernels::active_isa().name())
+            .field("numeric_contract", &numeric_contract_label())
             .finish()
+    }
+}
+
+/// The build's numeric contract for debug output, with a `+fma` suffix when
+/// the fused kernel tier is live on this host (contract alone says what the
+/// build *promises*; the suffix says what the dispatched kernels *do*).
+fn numeric_contract_label() -> String {
+    let contract = appeal_tensor::kernels::numeric_contract();
+    if appeal_tensor::kernels::fused_active() {
+        format!("{contract}+fma")
+    } else {
+        contract.name().to_string()
     }
 }
 
@@ -322,12 +340,13 @@ impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "Engine(scorer={}, policy={}, pending={}, requests={}, kernel_isa={})",
+            "Engine(scorer={}, policy={}, pending={}, requests={}, kernel_isa={}, contract={})",
             self.scorer.kind(),
             self.policy.name(),
             self.pending_ids.len(),
             self.stats.requests,
-            appeal_tensor::kernels::active_isa()
+            appeal_tensor::kernels::active_isa(),
+            numeric_contract_label()
         )
     }
 }
@@ -580,9 +599,9 @@ mod tests {
     }
 
     #[test]
-    fn stats_debug_reports_kernel_isa() {
+    fn stats_debug_reports_kernel_isa_and_numeric_contract() {
         // Perf numbers logged from EngineStats must always be attributable
-        // to a kernel dispatch path.
+        // to a kernel dispatch path and a numeric tier.
         let engine = engine(1);
         let debug = format!("{:?}", engine.stats());
         assert!(
@@ -591,8 +610,22 @@ mod tests {
         );
         let isa = appeal_tensor::kernels::active_isa().name();
         assert!(debug.contains(isa), "expected {isa} in {debug}");
+        let contract = appeal_tensor::kernels::numeric_contract().name();
+        assert!(
+            debug.contains("numeric_contract") && debug.contains(contract),
+            "EngineStats debug output must name the numeric contract: {debug}"
+        );
+        if appeal_tensor::kernels::fused_active() {
+            assert!(debug.contains("+fma"), "fused tier must be marked: {debug}");
+        } else {
+            assert!(!debug.contains("+fma"), "no fused marker expected: {debug}");
+        }
         let engine_debug = format!("{engine:?}");
         assert!(engine_debug.contains("kernel_isa"), "{engine_debug}");
+        assert!(
+            engine_debug.contains("contract=") && engine_debug.contains(contract),
+            "{engine_debug}"
+        );
     }
 
     #[test]

@@ -25,21 +25,49 @@
 //! contracts `a * b + c` into a fused multiply-add on its own, the blocked
 //! kernel, the small-problem fallback and the rayon row-parallel path are all
 //! **bit-identical** to the naive `i-k-j` triple loop (see
-//! [`super::naive::matmul_naive`]) — which is what keeps serving results
-//! byte-stable across kernel choices and thread counts.
+//! [`super::naive::matmul_naive`]) on the default build — which is what
+//! keeps serving results byte-stable across kernel choices and thread
+//! counts.
+//!
+//! Under the opt-in `fast-kernels` feature the *full* `MR x NR` (and
+//! paired `2*MR x NR`) tiles dispatch onto fused-multiply-add microkernels
+//! when the host supports FMA ([`super::simd::fused_for_isa`], resolved
+//! once per `gemm_into` call and shared by all row bands of the parallel
+//! path, so one GEMM never mixes tiers mid-stream). The
+//! accumulation order is unchanged — only the per-step rounding count drops
+//! from two to one — so results remain bit-identical across thread counts
+//! and runs of one build, and tolerance-bounded against the seed (the
+//! `deterministic-per-build` contract; see `docs/DETERMINISM.md`). Edge
+//! tiles and the small-problem `i-k-j` path keep separate mul+add in both
+//! tiers: they cover O(edge) of the work, and keeping them unfused means a
+//! problem small enough to skip blocking reproduces the seed exactly even
+//! on a `fast-kernels` build.
 
 use super::scratch::PackScratch;
 use super::simd::{self, Isa};
 
-/// Rows of the register microkernel tile.
+/// Rows of the register microkernel tile. With [`NR`]` = 16` the `MR x NR`
+/// accumulator block is 8 `ymm` registers (16 on the paired AVX-512 path's
+/// `2*MR x NR` tile, one `zmm` per row) — small enough to leave registers
+/// for the A broadcasts and B loads on every backend down to SSE2.
 pub const MR: usize = 4;
-/// Columns of the register microkernel tile.
+/// Columns of the register microkernel tile: two 8-lane vectors per row
+/// (one 16-lane vector on AVX-512), matching the widest `f32x8`/`f32x16`
+/// strips the SIMD backends load per step.
 pub const NR: usize = 16;
-/// Rows of A packed per macro-block (multiple of `MR`).
+/// Rows of A packed per macro-block (multiple of [`MR`]). An
+/// `MC x KC` A panel is 32 KiB — half a typical L1d — so the strip the
+/// microkernel streams stays L1-resident against the L2-resident B panel.
 pub const MC: usize = 64;
-/// Depth consumed per packed slab.
+/// Depth consumed per packed slab (the `p`-extent of both panels). Chosen
+/// so panel height amortizes the pack cost while `KC * NR` B strips
+/// (8 KiB) stay comfortably cached; slabs also bound how long the
+/// microkernel holds a tile before the determinism contract's
+/// reload/store at slab boundaries.
 pub const KC: usize = 128;
-/// Columns of B packed per macro-block (multiple of `NR`).
+/// Columns of B packed per macro-block (multiple of [`NR`]). A `KC x NC`
+/// B panel is 128 KiB — sized for L2 so every A strip of the macro-block
+/// reuses it without refetching from L3/memory.
 pub const NC: usize = 256;
 
 /// Problems with fewer multiply-accumulates than this skip packing entirely
@@ -103,15 +131,20 @@ pub fn gemm_into(
         gemm_ikj(m, k, n, a, b, init, out);
         return;
     }
+    // Resolve the SIMD backend and numeric tier once per gemm_into call, so
+    // every tile of this GEMM — across all row bands of the parallel path —
+    // uses the same kernel even if an override flips mid-call.
+    let isa = simd::active_isa();
+    let fused = simd::fused_for_isa(isa);
     let threads = rayon::current_num_threads();
     // Stay serial inside an outer parallel region (sharded batch workers):
     // the batch is already parallel at that level, so splitting each
     // per-sample GEMM again would only add queueing overhead on the shared
     // worker pool.
     if threads > 1 && macs >= PAR_MIN_MACS && m >= 2 * MR && !super::scratch::in_worker_region() {
-        gemm_parallel(m, k, n, a, b, init, out, threads, packs);
+        gemm_parallel(isa, fused, m, k, n, a, b, init, out, threads, packs);
     } else {
-        gemm_blocked(m, k, n, a, b, init, out, packs);
+        gemm_blocked(isa, fused, m, k, n, a, b, init, out, packs);
     }
 }
 
@@ -173,6 +206,8 @@ fn gemm_ikj(
 /// `tests/hot_path_allocations.rs`).
 #[allow(clippy::too_many_arguments)]
 fn gemm_parallel(
+    isa: Isa,
+    fused: bool,
     m: usize,
     k: usize,
     n: usize,
@@ -211,7 +246,9 @@ fn gemm_parallel(
             s.spawn(move |_| {
                 let (band_a, band_init) = band_slice(band_row0, rows);
                 super::scratch::with_band_packs(band, |packs| {
-                    gemm_blocked(rows, k, n, band_a, b, band_init, band_out, packs);
+                    gemm_blocked(
+                        isa, fused, rows, k, n, band_a, b, band_init, band_out, packs,
+                    );
                 });
             });
         }
@@ -219,7 +256,9 @@ fn gemm_parallel(
         // with the caller's scratch while the spawned bands proceed.
         if let Some((band_row0, rows, band_out)) = first {
             let (band_a, band_init) = band_slice(band_row0, rows);
-            gemm_blocked(rows, k, n, band_a, b, band_init, band_out, packs);
+            gemm_blocked(
+                isa, fused, rows, k, n, band_a, b, band_init, band_out, packs,
+            );
         }
     });
 }
@@ -228,6 +267,8 @@ fn gemm_parallel(
 /// `MC`-row packed A panels, `MR x NR` register microkernel.
 #[allow(clippy::too_many_arguments)]
 fn gemm_blocked(
+    isa: Isa,
+    fused: bool,
     m: usize,
     k: usize,
     n: usize,
@@ -237,9 +278,8 @@ fn gemm_blocked(
     out: &mut [f32],
     packs: &mut PackScratch,
 ) {
-    // Resolve the SIMD backend once per blocked call; the microkernel then
-    // dispatches branch-predictably per tile.
-    let isa = simd::active_isa();
+    // The backend and numeric tier come resolved from `gemm_into`; the
+    // microkernel dispatches branch-predictably per tile.
     let pair = simd::has_paired_microkernel(isa);
     let a_panel_len = MC.div_ceil(MR) * MR * KC;
     let b_panel_len = NC.div_ceil(NR) * NR * KC;
@@ -278,7 +318,7 @@ fn gemm_blocked(
                             // widened 2*MR x NR AVX-512 kernel.
                             let a_hi = &a_pack[(it + 1) * kcb * MR..(it + 2) * kcb * MR];
                             micro_kernel_full_pair(
-                                kcb, a_tile, a_hi, b_tile, init, first_slab, i0, j0, n, out,
+                                fused, kcb, a_tile, a_hi, b_tile, init, first_slab, i0, j0, n, out,
                             );
                             it += 2;
                             continue;
@@ -287,7 +327,7 @@ fn gemm_blocked(
                             // Full tile: every bound is a constant, so the
                             // accumulator tile stays in SIMD registers.
                             micro_kernel_full(
-                                isa, kcb, a_tile, b_tile, init, first_slab, i0, j0, n, out,
+                                isa, fused, kcb, a_tile, b_tile, init, first_slab, i0, j0, n, out,
                             );
                         } else {
                             micro_kernel_edge(
@@ -313,6 +353,7 @@ fn gemm_blocked(
 #[allow(clippy::too_many_arguments)]
 fn micro_kernel_full(
     isa: Isa,
+    fused: bool,
     kc: usize,
     a_tile: &[f32],
     b_tile: &[f32],
@@ -325,7 +366,7 @@ fn micro_kernel_full(
 ) {
     let mut acc = [[0.0f32; NR]; MR];
     seed_tile_rows(&mut acc, init, first_slab, i0, j0, ldc, out);
-    simd::microkernel_4x16(isa, kc, a_tile, b_tile, &mut acc);
+    simd::microkernel_4x16(isa, fused, kc, a_tile, b_tile, &mut acc);
     store_tile_rows(&acc, i0, j0, ldc, out);
 }
 
@@ -336,6 +377,7 @@ fn micro_kernel_full(
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn micro_kernel_full_pair(
+    fused: bool,
     kc: usize,
     a_lo: &[f32],
     a_hi: &[f32],
@@ -349,7 +391,7 @@ fn micro_kernel_full_pair(
 ) {
     let mut acc = [[0.0f32; NR]; 2 * MR];
     seed_tile_rows(&mut acc, init, first_slab, i0, j0, ldc, out);
-    simd::microkernel_8x16(kc, a_lo, a_hi, b_tile, &mut acc);
+    simd::microkernel_8x16(fused, kc, a_lo, a_hi, b_tile, &mut acc);
     store_tile_rows(&acc, i0, j0, ldc, out);
 }
 

@@ -28,16 +28,36 @@
 //!
 //! # Determinism
 //!
-//! Every optimized kernel accumulates each output element's products in the
-//! same order as the seed implementation it replaced (ascending inner
-//! dimension; convolution bias seeded first). Forward passes are therefore
-//! bit-identical to the original naive loops — across blocking choices,
-//! problem sizes and thread counts — which the equivalence suites in this
-//! module and `layers::conv` pin down against the retained [`naive`]
-//! references. The one documented exception is the convolution *input*
-//! gradient, where GEMM lowering sums over output channels before scattering
-//! (the naive loop interleaved them); it is numerically equivalent and
-//! covered by gradient checks rather than bit-equality.
+//! The crate ships **two numeric contracts**, selected at build time and
+//! reported at runtime by [`numeric_contract`] (the full specification
+//! lives in `docs/DETERMINISM.md`):
+//!
+//! * **Default build —
+//!   [`BitIdenticalToSeed`](NumericContract::BitIdenticalToSeed).** Every
+//!   optimized kernel accumulates each output element's products in the
+//!   same order as the seed implementation it replaced (ascending inner
+//!   dimension; convolution bias seeded first), and multiplication and
+//!   addition stay separate roundings. Forward passes are therefore
+//!   bit-identical to the original naive loops — across blocking choices,
+//!   problem sizes, thread counts and ISA backends — which the equivalence
+//!   suites in this module and `layers::conv` pin down against the retained
+//!   [`naive`] references. The one documented exception is the convolution
+//!   *input* gradient, where GEMM lowering sums over output channels before
+//!   scattering (the naive loop interleaved them); it is numerically
+//!   equivalent and covered by gradient checks rather than bit-equality.
+//! * **`fast-kernels` build —
+//!   [`DeterministicPerBuild`](NumericContract::DeterministicPerBuild).**
+//!   The AVX2/AVX-512 GEMM microkernels and [`elementwise::axpy`] contract
+//!   `a * b + c` into a single `fmadd` rounding ([`simd`] has the tier
+//!   rules; [`fma_supported`] / [`fused_active`] report them at runtime).
+//!   Results then match the seed within the per-accumulation-step error
+//!   bounds of the [`tolerance`] harness instead of bit-for-bit, but remain
+//!   bit-identical **across runs and thread counts on any one build**:
+//!   accumulation order is still never reassociated, row bands and batch
+//!   shards split work without changing per-element operation sequences,
+//!   and the fused AVX2/AVX-512 kernels are bit-identical to each other.
+//!   Scalar- or SSE2-forced dispatch (including `APPEALNET_FORCE_SCALAR`)
+//!   never fuses and so still reproduces the seed exactly.
 
 pub mod elementwise;
 pub mod gemm;
@@ -45,6 +65,7 @@ pub mod im2col;
 pub mod naive;
 pub mod scratch;
 pub mod simd;
+pub mod tolerance;
 
 pub use gemm::{gemm_bias_cols, gemm_into, transpose_into, GemmInit, KC, MC, MR, NC, NR};
 pub use im2col::{col2im, im2col};
@@ -52,10 +73,59 @@ pub use scratch::{
     enter_worker_region, in_worker_region, stats as scratch_stats, with_thread_scratch, GrowBuf,
     KernelScratch, PackScratch, ScratchStats, WorkerRegionGuard,
 };
-pub use simd::{active_isa, force_isa, supported_isas, Isa};
+pub use simd::{
+    active_isa, fma_supported, force_fused, force_isa, fused_active, supported_isas, Isa,
+};
+
+/// The numeric guarantee a build of this kernel layer provides — one of the
+/// two contracts specified in `docs/DETERMINISM.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumericContract {
+    /// Default build: every kernel result is bit-identical to the seed
+    /// (naive reference) implementation on every ISA, thread count and
+    /// blocking choice.
+    BitIdenticalToSeed,
+    /// `fast-kernels` build: results are bit-identical across runs and
+    /// thread counts of *this* build (and across the fused backends), and
+    /// tolerance-bounded against the seed references — FMA contraction
+    /// removes one rounding per accumulation step where the host supports
+    /// it.
+    DeterministicPerBuild,
+}
+
+impl NumericContract {
+    /// Short stable name, for reports and debug output
+    /// (`"bit-identical-to-seed"` / `"deterministic-per-build"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            NumericContract::BitIdenticalToSeed => "bit-identical-to-seed",
+            NumericContract::DeterministicPerBuild => "deterministic-per-build",
+        }
+    }
+}
+
+impl std::fmt::Display for NumericContract {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The numeric contract this build was compiled under: a compile-time
+/// property of the `fast-kernels` feature, independent of what the host CPU
+/// ends up dispatching (a `fast-kernels` build on a non-FMA host computes
+/// seed-identical results but still only *promises* per-build determinism —
+/// use [`fused_active`] to ask what the dispatched kernels actually do).
+pub fn numeric_contract() -> NumericContract {
+    if cfg!(feature = "fast-kernels") {
+        NumericContract::DeterministicPerBuild
+    } else {
+        NumericContract::BitIdenticalToSeed
+    }
+}
 
 #[cfg(test)]
 mod tests {
+    use super::tolerance::assert_bits_eq;
     use super::*;
     use crate::rng::SeededRng;
 
@@ -63,15 +133,29 @@ mod tests {
         (0..len).map(|_| rng.uniform(-2.0, 2.0)).collect()
     }
 
-    fn assert_bits_eq(a: &[f32], b: &[f32], tag: &str) {
-        assert_eq!(a.len(), b.len(), "{tag}: length mismatch");
-        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
-            assert_eq!(
-                x.to_bits(),
-                y.to_bits(),
-                "{tag}: bit mismatch at {i}: {x} vs {y}"
-            );
-        }
+    /// Contract-following check of a GEMM result against its reference:
+    /// bit equality on the default build, the k-step accumulation bound
+    /// under `fast-kernels` (see [`tolerance::assert_matches_reference`];
+    /// the scales are computed lazily, only in the tolerance branch).
+    #[allow(clippy::too_many_arguments)]
+    fn assert_gemm_matches(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        seed: Option<&[f32]>,
+        got: &[f32],
+        want: &[f32],
+        tag: &str,
+    ) {
+        tolerance::assert_matches_reference(
+            got,
+            want,
+            || tolerance::gemm_abs_scales(m, k, n, a, b, seed),
+            k + 1,
+            tag,
+        );
     }
 
     /// Property suite: the blocked GEMM is bit-identical to the seed `i-k-j`
@@ -91,7 +175,17 @@ mod tests {
                     let expect = naive::matmul_naive(m, k, n, &a, &b);
                     let mut out = vec![f32::NAN; m * n];
                     gemm_into(m, k, n, &a, &b, GemmInit::Zero, &mut out, &mut packs);
-                    assert_bits_eq(&out, &expect, &format!("gemm {m}x{k}x{n}"));
+                    assert_gemm_matches(
+                        m,
+                        k,
+                        n,
+                        &a,
+                        &b,
+                        None,
+                        &out,
+                        &expect,
+                        &format!("gemm {m}x{k}x{n}"),
+                    );
                 }
             }
         }
@@ -109,7 +203,17 @@ mod tests {
             let expect = naive::matmul_naive(m, k, n, &a, &b);
             let mut out = vec![f32::NAN; m * n];
             gemm_into(m, k, n, &a, &b, GemmInit::Zero, &mut out, &mut packs);
-            assert_bits_eq(&out, &expect, &format!("large gemm {m}x{k}x{n}"));
+            assert_gemm_matches(
+                m,
+                k,
+                n,
+                &a,
+                &b,
+                None,
+                &out,
+                &expect,
+                &format!("large gemm {m}x{k}x{n}"),
+            );
         }
     }
 
@@ -131,7 +235,17 @@ mod tests {
             let expect = naive::matmul_naive(m, k, n, &a, &b);
             let mut out = vec![f32::NAN; m * n];
             gemm_into(m, k, n, &a, &b, GemmInit::Zero, &mut out, &mut packs);
-            assert_bits_eq(&out, &expect, &format!("sparse gemm {m}x{k}x{n}"));
+            assert_gemm_matches(
+                m,
+                k,
+                n,
+                &a,
+                &b,
+                None,
+                &out,
+                &expect,
+                &format!("sparse gemm {m}x{k}x{n}"),
+            );
         }
     }
 
@@ -155,10 +269,18 @@ mod tests {
                     let expect = naive::matmul_naive(m, k, n, &a, &b);
                     for &mode in &isa_modes {
                         let prev = force_isa(mode);
+                        let fused = fused_active();
                         let mut out = vec![f32::NAN; m * n];
                         gemm_into(m, k, n, &a, &b, GemmInit::Zero, &mut out, &mut packs);
                         force_isa(prev);
-                        assert_bits_eq(&out, &expect, &format!("gemm {m}x{k}x{n} isa={mode:?}"));
+                        let tag = format!("gemm {m}x{k}x{n} isa={mode:?}");
+                        if fused {
+                            assert_gemm_matches(m, k, n, &a, &b, None, &out, &expect, &tag);
+                        } else {
+                            // Unfused backends reproduce the seed exactly,
+                            // on both builds.
+                            assert_bits_eq(&out, &expect, &tag);
+                        }
                     }
                 }
             }
@@ -178,8 +300,13 @@ mod tests {
             let b = random_vec(&mut rng, k * n);
             let bias = random_vec(&mut rng, m);
             let seed_out = random_vec(&mut rng, m * n);
+            let mut bias_rows = vec![0.0f32; m * n];
+            for i in 0..m {
+                bias_rows[i * n..(i + 1) * n].fill(bias[i]);
+            }
             for isa in supported_isas() {
                 let prev = force_isa(Some(isa));
+                let fused_for_this = fused_active();
                 for mode in 0..3 {
                     let (init, mut out) = match mode {
                         0 => (GemmInit::Zero, vec![f32::NAN; m * n]),
@@ -206,7 +333,17 @@ mod tests {
                         }
                     }
                     gemm_into(m, k, n, &a, &b, init, &mut out, &mut packs);
-                    assert_bits_eq(&out, &expect, &format!("{m}x{k}x{n} mode={mode} {isa}"));
+                    let tag = format!("{m}x{k}x{n} mode={mode} {isa}");
+                    if fused_for_this {
+                        let seed_abs = match mode {
+                            0 => None,
+                            1 => Some(seed_out.as_slice()),
+                            _ => Some(bias_rows.as_slice()),
+                        };
+                        assert_gemm_matches(m, k, n, &a, &b, seed_abs, &out, &expect, &tag);
+                    } else {
+                        assert_bits_eq(&out, &expect, &tag);
+                    }
                 }
                 force_isa(prev);
             }
@@ -235,7 +372,17 @@ mod tests {
             }
             let mut out = seed_out.clone();
             gemm_into(m, k, n, &a, &b, GemmInit::Accumulate, &mut out, &mut packs);
-            assert_bits_eq(&out, &expect, &format!("accumulate {m}x{k}x{n}"));
+            assert_gemm_matches(
+                m,
+                k,
+                n,
+                &a,
+                &b,
+                Some(&seed_out),
+                &out,
+                &expect,
+                &format!("accumulate {m}x{k}x{n}"),
+            );
         }
     }
 
@@ -272,7 +419,21 @@ mod tests {
                 &mut out,
                 &mut packs,
             );
-            assert_bits_eq(&out, &expect, &format!("row bias {m}x{k}x{n}"));
+            let mut bias_rows = vec![0.0f32; m * n];
+            for i in 0..m {
+                bias_rows[i * n..(i + 1) * n].fill(bias[i]);
+            }
+            assert_gemm_matches(
+                m,
+                k,
+                n,
+                &a,
+                &b,
+                Some(&bias_rows),
+                &out,
+                &expect,
+                &format!("row bias {m}x{k}x{n}"),
+            );
         }
     }
 
@@ -294,7 +455,21 @@ mod tests {
             }
             let mut out = vec![f32::NAN; m * n];
             gemm_bias_cols(m, k, n, &a, &b, &bias, &mut out, &mut packs);
-            assert_bits_eq(&out, &expect, &format!("fused bias {m}x{k}x{n}"));
+            let mut bias_rows = vec![0.0f32; m * n];
+            for row in bias_rows.chunks_exact_mut(n) {
+                row.copy_from_slice(&bias);
+            }
+            assert_gemm_matches(
+                m,
+                k,
+                n,
+                &a,
+                &b,
+                Some(&bias_rows),
+                &out,
+                &expect,
+                &format!("fused bias {m}x{k}x{n}"),
+            );
         }
     }
 
@@ -316,6 +491,126 @@ mod tests {
             &mut packs,
         );
         assert_eq!(out, vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    /// `fast-kernels` on an FMA host: the fused tier must genuinely diverge
+    /// from the seed somewhere (otherwise the feature is silently inert),
+    /// stay within the tolerance contract while doing so, agree bit-for-bit
+    /// between the fused AVX2 and AVX-512 kernels (identical per-element
+    /// fma sequences), and collapse back to seed bit-identity when forced
+    /// off.
+    #[test]
+    #[cfg(feature = "fast-kernels")]
+    fn fused_tier_diverges_within_bound_and_collapses_when_forced_off() {
+        let _lock = simd::isa_override_test_lock();
+        if !fma_supported() || active_isa() < Isa::Avx2 {
+            eprintln!("skipping fused-tier test: no FMA-capable backend on this host");
+            return;
+        }
+        let mut rng = SeededRng::new(0xF_A57);
+        let mut packs = PackScratch::new();
+        let mut diverging_elements = 0usize;
+        for &(m, k, n) in &[(64usize, 64usize, 64usize), (96, 160, 96), (130, 200, 70)] {
+            let a = random_vec(&mut rng, m * k);
+            let b = random_vec(&mut rng, k * n);
+            let expect = naive::matmul_naive(m, k, n, &a, &b);
+            let tag = format!("fused gemm {m}x{k}x{n}");
+
+            // Forced-off tier: exactly the seed, bit for bit.
+            let prev = force_fused(Some(false));
+            let mut unfused = vec![f32::NAN; m * n];
+            gemm_into(m, k, n, &a, &b, GemmInit::Zero, &mut unfused, &mut packs);
+            force_fused(Some(true));
+            let mut fused = vec![f32::NAN; m * n];
+            gemm_into(m, k, n, &a, &b, GemmInit::Zero, &mut fused, &mut packs);
+            force_fused(prev);
+            assert_bits_eq(&unfused, &expect, &format!("{tag} forced-off"));
+
+            // Fused tier: inside the accumulation bound of the seed.
+            let scales = tolerance::gemm_abs_scales(m, k, n, &a, &b, None);
+            tolerance::check_accumulation(&fused, &expect, &scales, k)
+                .unwrap_or_else(|e| panic!("{tag}: {e}"));
+            diverging_elements += fused
+                .iter()
+                .zip(expect.iter())
+                .filter(|(x, y)| x.to_bits() != y.to_bits())
+                .count();
+
+            // The fused AVX2 and AVX-512 kernels run the identical
+            // per-element fma sequence: bit-identical to each other even
+            // though both differ from the seed.
+            if supported_isas().contains(&Isa::Avx512) {
+                let prev = force_isa(Some(Isa::Avx2));
+                let mut avx2_out = vec![f32::NAN; m * n];
+                gemm_into(m, k, n, &a, &b, GemmInit::Zero, &mut avx2_out, &mut packs);
+                force_isa(Some(Isa::Avx512));
+                let mut avx512_out = vec![f32::NAN; m * n];
+                gemm_into(m, k, n, &a, &b, GemmInit::Zero, &mut avx512_out, &mut packs);
+                force_isa(prev);
+                assert_bits_eq(&avx2_out, &avx512_out, &format!("{tag} avx2-vs-avx512"));
+            }
+        }
+        assert!(
+            diverging_elements > 0,
+            "the fused tier never diverged from the seed — FMA contraction \
+             is not reaching the dispatched kernels"
+        );
+    }
+
+    /// The paths documented as unfused-by-design must reproduce the seed
+    /// bit-for-bit even with the fused tier forced ON: the small-problem
+    /// `i-k-j` fallback (under `SMALL_PROBLEM_MACS` — "parity is expected
+    /// there") and the blocked kernel's edge tiles (shapes where every
+    /// tile is partial, e.g. `m < MR`). Guards the docs' claim against a
+    /// regression that makes either path consult the fused flag.
+    #[test]
+    #[cfg(feature = "fast-kernels")]
+    fn small_problem_and_edge_tile_paths_stay_seed_identical_when_fused() {
+        let _lock = simd::isa_override_test_lock();
+        if !fma_supported() || active_isa() < Isa::Avx2 {
+            eprintln!("skipping unfused-path test: no FMA-capable backend on this host");
+            return;
+        }
+        let mut rng = SeededRng::new(0x5E_ED);
+        let mut packs = PackScratch::new();
+        let prev = force_fused(Some(true));
+        // Small problems: 32^3 = 32K MACs sits at the i-k-j threshold, the
+        // odd shapes stay well under it.
+        for &(m, k, n) in &[(32usize, 32usize, 32usize), (5, 17, 9), (1, 300, 64)] {
+            let a = random_vec(&mut rng, m * k);
+            let b = random_vec(&mut rng, k * n);
+            let expect = naive::matmul_naive(m, k, n, &a, &b);
+            let mut out = vec![f32::NAN; m * n];
+            gemm_into(m, k, n, &a, &b, GemmInit::Zero, &mut out, &mut packs);
+            assert_bits_eq(&out, &expect, &format!("fused-on small {m}x{k}x{n}"));
+        }
+        // Edge tiles: m = 3 < MR forces every microkernel tile onto the
+        // scalar edge path while the MAC count (3*300*40 = 36K) takes the
+        // blocked route.
+        let (m, k, n) = (3usize, 300usize, 40usize);
+        let a = random_vec(&mut rng, m * k);
+        let b = random_vec(&mut rng, k * n);
+        let expect = naive::matmul_naive(m, k, n, &a, &b);
+        let mut out = vec![f32::NAN; m * n];
+        gemm_into(m, k, n, &a, &b, GemmInit::Zero, &mut out, &mut packs);
+        assert_bits_eq(&out, &expect, "fused-on all-edge-tile blocked gemm");
+        force_fused(prev);
+    }
+
+    /// The contract report is a build property: it must say
+    /// deterministic-per-build exactly when the feature is compiled in.
+    #[test]
+    fn numeric_contract_reflects_build() {
+        let expected = if cfg!(feature = "fast-kernels") {
+            NumericContract::DeterministicPerBuild
+        } else {
+            NumericContract::BitIdenticalToSeed
+        };
+        assert_eq!(numeric_contract(), expected);
+        assert!(
+            !numeric_contract().name().is_empty()
+                && numeric_contract().to_string() == numeric_contract().name()
+        );
     }
 
     #[test]

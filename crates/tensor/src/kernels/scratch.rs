@@ -20,9 +20,41 @@
 //!   thread, so a steady state of multi-band GEMMs reuses the same panels
 //!   no matter which worker picks up which band.
 //!
+//! # Ownership rules
+//!
+//! The rules that keep this sound and allocation-free, in one place:
+//!
+//! 1. **Layers and models own no scratch.** [`GrowBuf`]'s `Clone` yields a
+//!    fresh empty buffer, so replicating a model onto a pool worker never
+//!    copies (or aliases) high-water storage — the replica warms up the
+//!    *worker's* arena instead.
+//! 2. **A borrowed slice never outlives its closure.** [`GrowBuf::take`]
+//!    hands out `&mut [f32]` tied to the arena borrow inside
+//!    [`with_thread_scratch`] / `with_band_packs`; nothing can stash it.
+//! 3. **Buffers are dirty by contract.** `take` returns whatever the
+//!    previous user wrote; every kernel fully overwrites the region it
+//!    reads. (This is why there is no `clear` — zeroing would put a
+//!    memset on the hot path for no semantic gain.)
+//! 4. **Thread arenas are a stack, not a slot.** A thread that executes
+//!    queued kernel work while waiting on its own parallel region
+//!    (help-while-wait) pops a *second* arena rather than aliasing the
+//!    first; nesting depth is bounded by the nesting of parallel regions.
+//! 5. **Band slots are keyed by band index.** Spawned GEMM row band `b`
+//!    always checks out slot `b`, so reuse is deterministic regardless of
+//!    which worker runs which band. A concurrent multi-band GEMM (rare:
+//!    the worker-region gate keeps per-sample GEMMs serial inside batch
+//!    shards) can find its slot checked out; the loser pays a transient
+//!    arena and the last one back wins the slot.
+//! 6. **Worker regions silence nested parallelism.** [`enter_worker_region`]
+//!    marks batch-shard workers so `gemm_into` stays serial under them —
+//!    the batch is already parallel at the sharding level.
+//!
 //! Growth and reuse events are counted in process-wide atomics (see
 //! [`stats`]) so tests can assert that a steady-state serving loop performs
-//! zero scratch allocations.
+//! zero scratch allocations (`tests/hot_path_allocations.rs`). The
+//! `fast-kernels` feature does not change any of this: the fused
+//! microkernels consume the same packed panels with the same shapes, so
+//! scratch behavior is tier-independent.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -5,10 +5,13 @@
 //! the weight gradient is `grad_out x im2col(x)^T`, and the input gradient is
 //! `weight^T x grad_out` scattered back through `col2im`. The im2col column
 //! order matches the original 7-deep loop's `ic -> ky -> kx` tap order, so
-//! forward outputs and weight/bias gradients are bit-identical to the naive
-//! kernels (pinned by the equivalence tests below against
-//! [`crate::kernels::naive`]); the input gradient is numerically equivalent
-//! (GEMM sums output channels before scattering) and covered by gradcheck.
+//! forward outputs and weight/bias gradients follow the build's numeric
+//! contract against the naive kernels — bit-identical on the default build,
+//! tolerance-bounded under `fast-kernels` (pinned by the equivalence tests
+//! below against [`crate::kernels::naive`] through
+//! [`crate::kernels::tolerance`]); the input gradient is numerically
+//! equivalent (GEMM sums output channels before scattering) and covered by
+//! gradcheck.
 //!
 //! Both layers draw their im2col and GEMM-packing buffers from the current
 //! thread's [`kernels::with_thread_scratch`] arena, so steady-state
@@ -619,19 +622,26 @@ mod equivalence {
     //! Property suite: the GEMM-lowered layers against the retained naive
     //! reference kernels, over seeded random shapes / stride / padding
     //! combinations (the proptest-as-loops idiom used across this crate).
+    //!
+    //! The forward and weight-gradient checks follow the build's numeric
+    //! contract (see [`crate::kernels::tolerance`]): bit equality on the
+    //! default build, the accumulation bound under `fast-kernels`. The
+    //! magnitude scales come from re-running the naive reference kernels on
+    //! the |absolute values| of the inputs — `Σ|terms|` per output element,
+    //! exactly the quantity the bound needs. Bias gradients are plain sum
+    //! loops with no multiply to fuse, so they stay bit-identical under
+    //! both contracts.
 
     use super::*;
     use crate::kernels::naive;
+    use crate::kernels::tolerance::{self, assert_bits_eq};
 
-    fn assert_bits_eq(a: &[f32], b: &[f32], tag: &str) {
-        assert_eq!(a.len(), b.len(), "{tag}: length mismatch");
-        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
-            assert_eq!(
-                x.to_bits(),
-                y.to_bits(),
-                "{tag}: bit mismatch at {i}: {x} vs {y}"
-            );
-        }
+    fn abs_vec(xs: &[f32]) -> Vec<f32> {
+        xs.iter().map(|&x| x.abs()).collect()
+    }
+
+    fn as_f64(xs: &[f32]) -> Vec<f64> {
+        xs.iter().map(|&x| f64::from(x)).collect()
     }
 
     fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
@@ -655,10 +665,18 @@ mod equivalence {
     ];
 
     #[test]
-    fn conv_forward_is_bit_identical_to_naive() {
+    fn conv_forward_matches_naive_under_build_contract() {
         let mut rng = SeededRng::new(0xC0DE);
         for &(k, stride, padding) in &GEOMETRIES {
-            for &(n, c, oc, hw) in &[(1usize, 1usize, 1usize, 6usize), (2, 3, 5, 8), (3, 4, 2, 7)] {
+            // The (1, 8, 8, 16) shape pushes the lowered GEMM past the
+            // small-problem threshold onto the blocked (and, under
+            // `fast-kernels`, fused) path.
+            for &(n, c, oc, hw) in &[
+                (1usize, 1usize, 1usize, 6usize),
+                (2, 3, 5, 8),
+                (3, 4, 2, 7),
+                (1, 8, 8, 16),
+            ] {
                 let mut conv = Conv2d::new(c, oc, k, stride, padding, &mut rng);
                 let x = Tensor::randn(&[n, c, hw, hw], &mut rng);
                 // Give the bias nonzero values so seeding order matters.
@@ -677,9 +695,28 @@ mod equivalence {
                     stride,
                     padding,
                 );
-                assert_bits_eq(
+                // Σ|terms| per output element: the naive kernel on |x|, |w|
+                // (computed lazily — only the fast-kernels tolerance branch
+                // needs it).
+                tolerance::assert_matches_reference(
                     y.data(),
                     &expect,
+                    || {
+                        as_f64(&naive::conv2d_forward_naive(
+                            &abs_vec(x.data()),
+                            n,
+                            c,
+                            hw,
+                            hw,
+                            &abs_vec(conv.weight.value.data()),
+                            &abs_vec(conv.bias.value.data()),
+                            oc,
+                            k,
+                            stride,
+                            padding,
+                        ))
+                    },
+                    c * k * k + 1,
                     &format!("conv fwd k={k} s={stride} p={padding} n={n} c={c} oc={oc}"),
                 );
             }
@@ -714,7 +751,31 @@ mod equivalence {
                 padding,
             );
             let tag = format!("conv bwd k={k} s={stride} p={padding}");
-            assert_bits_eq(conv.weight.grad.data(), &gw_ref, &format!("{tag} gw"));
+            let (oh, ow) = (y.shape()[2], y.shape()[3]);
+            // Σ|terms| for the weight gradient: the naive backward on |x|,
+            // |w|, |go| (lazy; the |w| only feeds gi_abs, which we discard).
+            tolerance::assert_matches_reference(
+                conv.weight.grad.data(),
+                &gw_ref,
+                || {
+                    let (_, gw_abs, _) = naive::conv2d_backward_naive(
+                        &abs_vec(x.data()),
+                        n,
+                        c,
+                        hw,
+                        hw,
+                        &abs_vec(conv.weight.value.data()),
+                        &abs_vec(go.data()),
+                        oc,
+                        k,
+                        stride,
+                        padding,
+                    );
+                    as_f64(&gw_abs)
+                },
+                n * oh * ow + 1,
+                &format!("{tag} gw"),
+            );
             assert_bits_eq(conv.bias.grad.data(), &gb_ref, &format!("{tag} gb"));
             assert!(
                 max_abs_diff(gi.data(), &gi_ref) < 1e-4,
@@ -724,7 +785,7 @@ mod equivalence {
     }
 
     #[test]
-    fn depthwise_forward_is_bit_identical_to_naive() {
+    fn depthwise_forward_matches_naive_under_build_contract() {
         let mut rng = SeededRng::new(0xDEE7);
         for &(k, stride, padding) in &GEOMETRIES {
             for &(n, c, hw) in &[(1usize, 1usize, 6usize), (2, 5, 8), (3, 3, 7)] {
@@ -744,9 +805,24 @@ mod equivalence {
                     stride,
                     padding,
                 );
-                assert_bits_eq(
+                tolerance::assert_matches_reference(
                     y.data(),
                     &expect,
+                    || {
+                        as_f64(&naive::depthwise_forward_naive(
+                            &abs_vec(x.data()),
+                            n,
+                            c,
+                            hw,
+                            hw,
+                            &abs_vec(dw.weight.value.data()),
+                            &abs_vec(dw.bias.value.data()),
+                            k,
+                            stride,
+                            padding,
+                        ))
+                    },
+                    k * k + 1,
                     &format!("dw fwd k={k} s={stride} p={padding} n={n} c={c}"),
                 );
             }
@@ -776,7 +852,28 @@ mod equivalence {
                 padding,
             );
             let tag = format!("dw bwd k={k} s={stride} p={padding}");
-            assert_bits_eq(dw.weight.grad.data(), &gw_ref, &format!("{tag} gw"));
+            let (oh, ow) = (y.shape()[2], y.shape()[3]);
+            tolerance::assert_matches_reference(
+                dw.weight.grad.data(),
+                &gw_ref,
+                || {
+                    let (_, gw_abs, _) = naive::depthwise_backward_naive(
+                        &abs_vec(x.data()),
+                        n,
+                        c,
+                        hw,
+                        hw,
+                        &abs_vec(dw.weight.value.data()),
+                        &abs_vec(go.data()),
+                        k,
+                        stride,
+                        padding,
+                    );
+                    as_f64(&gw_abs)
+                },
+                n * oh * ow + 1,
+                &format!("{tag} gw"),
+            );
             assert_bits_eq(dw.bias.grad.data(), &gb_ref, &format!("{tag} gb"));
             // col2im orders the scatter by tap rather than by output pixel,
             // so the input gradient is compared numerically.
