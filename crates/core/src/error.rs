@@ -54,6 +54,32 @@ pub enum CoreError {
         /// The target that could not be met.
         target: f64,
     },
+    /// The engine's micro-batch queue buffers desynchronized (a panic unwound
+    /// mid-enqueue, or a caller poked internal state). The corrupt queue is
+    /// dropped atomically before this is returned, so the engine is already
+    /// consistent again — but the listed pending requests were lost and must
+    /// be resubmitted.
+    CorruptQueue {
+        /// Requests that were queued when the corruption was detected.
+        pending: usize,
+        /// Bytes-worth of samples the id queue implied (`n·c·h·w` floats).
+        expected: usize,
+        /// Floats actually present in the data queue.
+        got: usize,
+    },
+    /// The server's bounded admission queue is full; the request was rejected
+    /// for backpressure. Retry after draining some in-flight work.
+    Overloaded {
+        /// The admission capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The request was shed by the server's cost-budget overload policy
+    /// (the accounting window's offload budget is spent).
+    Shed,
+    /// The serving front-end has shut down and no longer answers requests.
+    ServerStopped,
+    /// A shed policy's accounting window must cover at least one request.
+    InvalidShedWindow,
 }
 
 impl fmt::Display for CoreError {
@@ -96,6 +122,34 @@ impl fmt::Display for CoreError {
             CoreError::UnreachableTarget { target } => {
                 write!(f, "no operating point reaches the target {target}")
             }
+            CoreError::CorruptQueue {
+                pending,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "micro-batch queue desynchronized ({pending} pending ids imply \
+                     {expected} floats, found {got}); the queue was dropped and the \
+                     lost requests must be resubmitted"
+                )
+            }
+            CoreError::Overloaded { capacity } => {
+                write!(
+                    f,
+                    "admission queue full ({capacity} requests in flight); retry later"
+                )
+            }
+            CoreError::Shed => {
+                write!(
+                    f,
+                    "request shed: the overload policy's cost budget is spent"
+                )
+            }
+            CoreError::ServerStopped => write!(f, "the serving front-end has shut down"),
+            CoreError::InvalidShedWindow => {
+                write!(f, "shed policy window must cover at least one request")
+            }
         }
     }
 }
@@ -132,6 +186,19 @@ mod tests {
         assert!(CoreError::InvalidScoreKind(ScoreKind::AppealNetQ)
             .to_string()
             .contains("AppealNet"));
+        let corrupt = CoreError::CorruptQueue {
+            pending: 2,
+            expected: 864,
+            got: 10,
+        };
+        assert!(corrupt.to_string().contains("864"));
+        assert!(corrupt.to_string().contains("resubmitted"));
+        assert!(CoreError::Overloaded { capacity: 64 }
+            .to_string()
+            .contains("64"));
+        assert!(CoreError::Shed.to_string().contains("budget"));
+        assert!(CoreError::ServerStopped.to_string().contains("shut down"));
+        assert!(CoreError::InvalidShedWindow.to_string().contains("window"));
     }
 
     #[test]

@@ -101,6 +101,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod scores;
 pub mod serve;
+pub mod server;
 pub mod sweep;
 pub mod system;
 pub mod training;
@@ -116,6 +117,7 @@ pub use serve::{
     BudgetPolicy, CalibratedPolicy, Engine, EngineBuilder, EngineStats, InferenceRequest,
     InferenceResponse, Route, RoutingPolicy, Scorer, ThresholdPolicy,
 };
+pub use server::{MicroBatcher, Server, ServerConfig, ServerHandle, ServerStats, ShedConfig};
 pub use system::{CollaborativeSystem, EvaluationArtifacts};
 pub use training::{TrainerConfig, TrainingReport};
 pub use two_head::{TwoHeadNet, TwoHeadOutput};
@@ -132,6 +134,10 @@ pub mod prelude {
         BudgetPolicy, CalibratedPolicy, ConfidenceScorer, Engine, EngineBuilder, EngineStats,
         InferenceRequest, InferenceResponse, QScorer, Route, RoutingContext, RoutingPolicy, Scorer,
         ThresholdPolicy,
+    };
+    pub use crate::server::{
+        MicroBatcher, ServedResponse, Server, ServerConfig, ServerHandle, ServerStats, ShedConfig,
+        Ticket,
     };
     pub use crate::sweep::{MethodSeries, SweepResult};
     pub use crate::system::{CollaborativeSystem, EvaluationArtifacts};

@@ -137,8 +137,12 @@ impl EngineStats {
     }
 
     /// Requests per second of busy time; 0 before any work was timed.
+    ///
+    /// Never returns NaN or infinity: a deserialized or hand-built stats
+    /// value with zero, negative or non-finite `busy_seconds` reports 0
+    /// instead of poisoning downstream aggregates.
     pub fn throughput_rps(&self) -> f64 {
-        if self.busy_seconds > 0.0 {
+        if self.busy_seconds.is_finite() && self.busy_seconds > 0.0 {
             self.requests as f64 / self.busy_seconds
         } else {
             0.0
@@ -153,6 +157,29 @@ impl EngineStats {
             self.requests as f64 / self.batches as f64
         }
     }
+}
+
+/// Checks that `shape` is `[c, h, w]` (or `[1, c, h, w]`) for the expected
+/// per-sample input shape. Shared by [`Engine::validate_request`] and the
+/// serving front-end's client-side admission check.
+pub(crate) fn check_sample_shape(shape: &[usize], expected: &[usize; 3]) -> CoreResult<()> {
+    let per_sample: &[usize] = match shape.len() {
+        3 => shape,
+        4 if shape[0] == 1 => &shape[1..],
+        _ => {
+            return Err(CoreError::ShapeMismatch {
+                expected: expected.to_vec(),
+                got: shape.to_vec(),
+            })
+        }
+    };
+    if per_sample != expected {
+        return Err(CoreError::ShapeMismatch {
+            expected: expected.to_vec(),
+            got: shape.to_vec(),
+        });
+    }
+    Ok(())
 }
 
 enum PendingScorer {
@@ -366,41 +393,74 @@ impl Engine {
         &mut self,
         request: InferenceRequest,
     ) -> CoreResult<Option<Vec<InferenceResponse>>> {
-        let shape = request.image.shape();
-        let per_sample: &[usize] = match shape.len() {
-            3 => shape,
-            4 if shape[0] == 1 => &shape[1..],
-            _ => {
-                return Err(CoreError::ShapeMismatch {
-                    expected: self.input_shape.to_vec(),
-                    got: shape.to_vec(),
-                })
-            }
-        };
-        if per_sample != self.input_shape {
-            return Err(CoreError::ShapeMismatch {
-                expected: self.input_shape.to_vec(),
-                got: shape.to_vec(),
-            });
-        }
-        self.pending_ids.push(request.id);
+        // Validate *before* touching either pending buffer: a rejected
+        // request must leave the queue exactly as it was, or the next flush
+        // would assemble a batch tensor from desynchronized ids and data.
+        self.validate_request(&request)?;
+        // Grow the data buffer first, then the id list: the id push is the
+        // single point after which the request counts as queued, so a panic
+        // unwinding between the two lines leaves orphan floats that the
+        // flush-time consistency check below detects and drops.
         self.pending_data.extend_from_slice(request.image.data());
+        self.pending_ids.push(request.id);
         if self.pending_ids.len() >= self.max_batch {
             return Ok(Some(self.flush()?));
         }
         Ok(None)
     }
 
+    /// Checks one request against the scorer's input shape without mutating
+    /// any engine state.
+    ///
+    /// Errors with [`CoreError::ShapeMismatch`] if the image is not
+    /// `[c, h, w]` (or `[1, c, h, w]`). The serving front-end
+    /// ([`crate::server`]) calls this on the client thread so malformed
+    /// requests are rejected before they ever occupy queue capacity.
+    pub fn validate_request(&self, request: &InferenceRequest) -> CoreResult<()> {
+        check_sample_shape(request.image.shape(), &self.input_shape)
+    }
+
     /// Answers every queued request as one micro-batch (empty queue → empty
     /// vec). Responses come back in submission order.
+    ///
+    /// The flush is transactional: the queue's id/data buffers are checked
+    /// for consistency *before* either is taken, so an error cannot leave
+    /// one emptied and the other populated. If they have desynchronized
+    /// (possible only if a panic unwound mid-enqueue, since `submit`
+    /// validates shapes up front), both buffers are dropped atomically and
+    /// [`CoreError::CorruptQueue`] reports how many requests were lost —
+    /// the engine is immediately serviceable again, and no later batch is
+    /// silently built with the wrong `n`.
     pub fn flush(&mut self) -> CoreResult<Vec<InferenceResponse>> {
         if self.pending_ids.is_empty() {
+            // Orphan data without ids is equally corrupt: drop it rather
+            // than letting it prepend garbage samples to the next batch.
+            if !self.pending_data.is_empty() {
+                let got = self.pending_data.len();
+                self.pending_data.clear();
+                return Err(CoreError::CorruptQueue {
+                    pending: 0,
+                    expected: 0,
+                    got,
+                });
+            }
             return Ok(Vec::new());
         }
         let n = self.pending_ids.len();
         let [c, h, w] = self.input_shape;
+        let expected = n * c * h * w;
+        if self.pending_data.len() != expected {
+            let got = self.pending_data.len();
+            self.pending_ids.clear();
+            self.pending_data.clear();
+            return Err(CoreError::CorruptQueue {
+                pending: n,
+                expected,
+                got,
+            });
+        }
         let images = Tensor::from_vec(std::mem::take(&mut self.pending_data), &[n, c, h, w])
-            .expect("queued request data matches the validated input shape");
+            .expect("pending_data length was checked against the batch shape");
         let ids = std::mem::take(&mut self.pending_ids);
         self.run_batch(&images, &ids)
     }
@@ -528,6 +588,16 @@ impl Engine {
     /// Number of requests waiting in the micro-batch queue.
     pub fn pending(&self) -> usize {
         self.pending_ids.len()
+    }
+
+    /// Number of queued requests that trigger an automatic flush.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// The per-sample input shape `[c, h, w]` the edge scorer expects.
+    pub fn input_shape(&self) -> [usize; 3] {
+        self.input_shape
     }
 
     /// Cumulative serving statistics.
@@ -792,5 +862,117 @@ mod tests {
         let mut engine = engine(4);
         assert!(engine.flush().unwrap().is_empty());
         assert_eq!(engine.stats().batches, 0);
+    }
+
+    /// Regression test for the flush error path: the pre-fix code
+    /// `mem::take`'d `pending_data` *before* the fallible tensor build, so a
+    /// desynchronized queue panicked (or, for a caller recovering from the
+    /// unwind, left `pending_ids` populated against an emptied data buffer —
+    /// every later flush then assembled a batch with the wrong `n` and
+    /// silently mis-answered requests). Post-fix, flush validates before
+    /// taking, drops both buffers atomically, reports a typed error, and the
+    /// engine keeps serving correctly. On pre-fix code this test dies at the
+    /// `from_vec(...).expect(...)` panic.
+    #[test]
+    fn flush_error_path_cannot_desynchronize_the_queue() {
+        let mut engine = engine(8);
+        let mut rng = SeededRng::new(21);
+        let probe = Tensor::randn(&[1, 3, 12, 12], &mut rng);
+        for id in 0..3u64 {
+            let image = Tensor::randn(&[3, 12, 12], &mut rng);
+            assert!(engine
+                .submit(InferenceRequest::new(id, image))
+                .unwrap()
+                .is_none());
+        }
+        // Simulate the desync (ids present, data short) that a panic
+        // unwinding mid-enqueue leaves behind.
+        engine.pending_data.truncate(10);
+        let err = engine.flush().unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::CorruptQueue {
+                pending: 3,
+                expected: 3 * 3 * 12 * 12,
+                got: 10,
+            }
+        );
+        // Both buffers were dropped together: the engine is consistent.
+        assert_eq!(engine.pending(), 0);
+        assert!(engine.pending_data.is_empty());
+        assert!(engine.flush().unwrap().is_empty());
+        assert_eq!(engine.stats().batches, 0, "no corrupt batch was executed");
+        // And it still answers new traffic with the right batch size.
+        let responses = engine.classify_batch(&probe).unwrap();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(engine.stats().requests, 1);
+    }
+
+    #[test]
+    fn flush_drops_orphan_data_without_ids() {
+        let mut engine = engine(8);
+        engine.pending_data.extend_from_slice(&[1.0; 7]);
+        let err = engine.flush().unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::CorruptQueue {
+                pending: 0,
+                expected: 0,
+                got: 7,
+            }
+        );
+        assert!(engine.pending_data.is_empty());
+        assert!(engine.flush().unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejected_submit_leaves_the_queue_untouched() {
+        // A bad request must not poison the next micro-batch: validation
+        // happens before either pending buffer is mutated.
+        let mut engine = engine(8);
+        let mut rng = SeededRng::new(22);
+        let good = Tensor::randn(&[3, 12, 12], &mut rng);
+        engine.submit(InferenceRequest::new(0, good)).unwrap();
+        let data_len = engine.pending_data.len();
+        let bad = Tensor::randn(&[3, 10, 12], &mut rng);
+        assert!(engine.submit(InferenceRequest::new(1, bad)).is_err());
+        assert_eq!(engine.pending(), 1);
+        assert_eq!(engine.pending_data.len(), data_len);
+        // The queued good request still flushes cleanly.
+        let responses = engine.flush().unwrap();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].id, 0);
+    }
+
+    #[test]
+    fn validate_request_matches_submit_acceptance() {
+        let engine = engine(4);
+        let mut rng = SeededRng::new(23);
+        let ok3 = InferenceRequest::new(0, Tensor::randn(&[3, 12, 12], &mut rng));
+        let ok4 = InferenceRequest::new(0, Tensor::randn(&[1, 3, 12, 12], &mut rng));
+        let bad = InferenceRequest::new(0, Tensor::randn(&[2, 3, 12, 12], &mut rng));
+        assert!(engine.validate_request(&ok3).is_ok());
+        assert!(engine.validate_request(&ok4).is_ok());
+        assert!(matches!(
+            engine.validate_request(&bad).unwrap_err(),
+            CoreError::ShapeMismatch { .. }
+        ));
+        assert_eq!(engine.input_shape(), [3, 12, 12]);
+        assert_eq!(engine.max_batch(), 4);
+    }
+
+    #[test]
+    fn throughput_is_finite_for_degenerate_busy_seconds() {
+        let mut stats = EngineStats::zero();
+        stats.requests = 10;
+        assert_eq!(stats.throughput_rps(), 0.0, "zero busy time");
+        stats.busy_seconds = f64::NAN;
+        assert_eq!(stats.throughput_rps(), 0.0, "NaN busy time");
+        stats.busy_seconds = f64::INFINITY;
+        assert_eq!(stats.throughput_rps(), 0.0, "infinite busy time");
+        stats.busy_seconds = -1.0;
+        assert_eq!(stats.throughput_rps(), 0.0, "negative busy time");
+        stats.busy_seconds = 2.0;
+        assert_eq!(stats.throughput_rps(), 5.0);
     }
 }

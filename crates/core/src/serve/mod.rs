@@ -65,6 +65,7 @@ mod engine;
 mod policy;
 mod scorer;
 
+pub(crate) use engine::check_sample_shape;
 pub use engine::{Engine, EngineBuilder, EngineStats, InferenceRequest, InferenceResponse};
 pub use policy::{
     BudgetPolicy, CalibratedPolicy, Route, RoutingContext, RoutingPolicy, ThresholdPolicy,

@@ -1,0 +1,589 @@
+//! The serving front-end: a threaded request loop with deadline-based
+//! micro-batching, bounded admission, and cost-budget overload shedding over
+//! the [`Engine`].
+//!
+//! # Dataflow
+//!
+//! ```text
+//! clients                 batcher thread                    compute
+//! ───────                 ──────────────                    ───────
+//! ServerHandle::submit ─▶ bounded queue ─▶ MicroBatcher ─▶ Engine ─▶ persistent
+//!   │ shape check          (Mutex+Condvar,   (coalesce to    │        worker pool
+//!   │ admission count       backpressure)     deadline or    │        (vendored
+//!   ▼                           │             max_batch,     │         rayon)
+//! Ticket ◀── mpsc channel ◀── shed / answer ◀─ fairness) ◀──┘
+//! ```
+//!
+//! * **Admission** happens on the *client* thread: malformed shapes are
+//!   rejected immediately ([`CoreError::ShapeMismatch`]) and a full queue —
+//!   counting every in-flight request from enqueue to answer — rejects with
+//!   typed backpressure ([`CoreError::Overloaded`]) instead of buffering
+//!   without bound.
+//! * **Coalescing** happens on the single batcher thread, which drains the
+//!   queue in arrival order into the [`MicroBatcher`]: a micro-batch flushes
+//!   when it reaches the engine's `max_batch` *or* when its oldest request
+//!   has waited the configured deadline, whichever comes first. Compute
+//!   itself fans out on the persistent worker pool inside the engine, so one
+//!   loop thread saturates the cores.
+//! * **Shedding**: an optional [`ShedConfig`] meters the *actual* cost of
+//!   answered requests against an [`appeal_hw::CostBudget`] per accounting
+//!   window and sheds excess requests with a fast typed answer
+//!   ([`CoreError::Shed`]) instead of letting tail latency collapse.
+//! * **Fairness**: every answer is attributed to its submitting client;
+//!   [`ServerStats`] carries the per-client ledger and a Jain fairness
+//!   index next to the engine's own [`EngineStats`](crate::serve::EngineStats).
+//!
+//! Determinism: given the same arrival order, the batcher makes identical
+//! coalescing and shedding decisions in *virtual time* (see
+//! [`MicroBatcher`]); the threaded wrapper adds only real-clock deadlines.
+//! Batch *composition* under real time depends on timing, but per-request
+//! answers do not: the engine is per-sample pure, so a request's label,
+//! score and route are byte-identical whatever batch it lands in.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use appealnet_core::prelude::*;
+//! use appealnet_core::server::{Server, ServerConfig};
+//! use appeal_dataset::prelude::*;
+//! use appeal_models::prelude::*;
+//! use std::time::Duration;
+//! # fn main() -> Result<(), CoreError> {
+//! let ctx = ExperimentContext::new(Fidelity::Smoke, 42);
+//! let prepared = PreparedExperiment::prepare(
+//!     DatasetPreset::Cifar10Like,
+//!     ModelFamily::MobileNetLike,
+//!     CloudMode::WhiteBox,
+//!     &ctx,
+//! );
+//! let engine = Engine::builder()
+//!     .appealnet(prepared.models.appealnet)
+//!     .big(prepared.models.big)
+//!     .build()?;
+//! let server = Server::start(
+//!     engine,
+//!     ServerConfig {
+//!         queue_capacity: 256,
+//!         deadline: Duration::from_millis(2),
+//!         shed: None,
+//!     },
+//! )?;
+//! let handle = server.handle();
+//! # let frame = appeal_tensor::Tensor::zeros(&[3, 12, 12]);
+//! let ticket = handle.submit(0, InferenceRequest::new(0, frame))?;
+//! let served = ticket.wait()?;
+//! println!("label {} after {:?} in queue", served.response.label, served.waited);
+//! let (_engine, stats) = server.shutdown();
+//! println!("shed rate {:.1}%", 100.0 * stats.shed_rate());
+//! # Ok(())
+//! # }
+//! ```
+
+mod coalescer;
+pub mod trace;
+
+pub use coalescer::{
+    Admission, ClientResponse, ClientStats, FlushTrigger, MicroBatcher, ServerStats, ShedConfig,
+};
+
+use crate::error::{CoreError, CoreResult};
+use crate::serve::check_sample_shape;
+use crate::serve::{Engine, InferenceRequest, InferenceResponse};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of the threaded serving front-end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Maximum in-flight requests (queued + coalescing), counted from
+    /// admission to answer. Submissions beyond it are rejected with
+    /// [`CoreError::Overloaded`]. Must be positive.
+    pub queue_capacity: usize,
+    /// How long the oldest coalescing request may wait before its partial
+    /// micro-batch is flushed.
+    pub deadline: Duration,
+    /// Optional cost-budget overload shedding (see [`ShedConfig`]).
+    pub shed: Option<ShedConfig>,
+}
+
+impl Default for ServerConfig {
+    /// 256 in-flight requests, a 2 ms coalescing deadline, no shedding.
+    fn default() -> Self {
+        Self {
+            queue_capacity: 256,
+            deadline: Duration::from_millis(2),
+            shed: None,
+        }
+    }
+}
+
+/// One request answered by the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedResponse {
+    /// The engine's answer.
+    pub response: InferenceResponse,
+    /// Time the request spent from admission to flush dispatch.
+    pub waited: Duration,
+}
+
+/// An envelope traveling from a client thread to the batcher.
+struct Envelope {
+    client: u32,
+    arrival_nanos: u64,
+    request: InferenceRequest,
+    tx: Sender<CoreResult<ServedResponse>>,
+}
+
+struct QueueState {
+    queue: VecDeque<Envelope>,
+    shutdown: bool,
+}
+
+/// State shared between client handles and the batcher thread.
+struct Shared {
+    state: Mutex<QueueState>,
+    work: Condvar,
+    capacity: usize,
+    /// Requests admitted but not yet answered/shed/failed.
+    outstanding: AtomicUsize,
+    /// Submissions rejected at the front door for backpressure.
+    rejected: AtomicU64,
+    start: Instant,
+    input_shape: [usize; 3],
+}
+
+impl Shared {
+    fn now_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Marks `n` in-flight requests as settled (answered, shed, or failed).
+    fn settle(&self, n: usize) {
+        self.outstanding.fetch_sub(n, Ordering::AcqRel);
+    }
+}
+
+/// A cloneable client handle: submit requests, receive [`Ticket`]s.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Submits one request on behalf of `client`.
+    ///
+    /// Runs entirely on the caller's thread: the image shape is validated
+    /// eagerly ([`CoreError::ShapeMismatch`]), the bounded admission count
+    /// is taken ([`CoreError::Overloaded`] when full), and the envelope is
+    /// queued for the batcher. The returned [`Ticket`] resolves once the
+    /// request's micro-batch flushes (or the request is shed).
+    pub fn submit(&self, client: u32, request: InferenceRequest) -> CoreResult<Ticket> {
+        check_sample_shape(request.image.shape(), &self.shared.input_shape)?;
+        // Reserve an admission slot before touching the queue so capacity
+        // bounds *everything* in flight, not just what sits in the VecDeque.
+        let mut slots = self.shared.outstanding.load(Ordering::Acquire);
+        loop {
+            if slots >= self.shared.capacity {
+                self.shared.rejected.fetch_add(1, Ordering::AcqRel);
+                return Err(CoreError::Overloaded {
+                    capacity: self.shared.capacity,
+                });
+            }
+            match self.shared.outstanding.compare_exchange_weak(
+                slots,
+                slots + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => slots = actual,
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        let envelope = Envelope {
+            client,
+            arrival_nanos: self.shared.now_nanos(),
+            request,
+            tx,
+        };
+        {
+            let mut st = self.shared.state.lock().expect("server queue poisoned");
+            if st.shutdown {
+                drop(st);
+                self.shared.settle(1);
+                return Err(CoreError::ServerStopped);
+            }
+            st.queue.push_back(envelope);
+        }
+        self.shared.work.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Requests currently in flight (admitted, not yet settled).
+    pub fn in_flight(&self) -> usize {
+        self.shared.outstanding.load(Ordering::Acquire)
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ServerHandle(in_flight={}, capacity={})",
+            self.in_flight(),
+            self.shared.capacity
+        )
+    }
+}
+
+/// The pending answer to one submitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<CoreResult<ServedResponse>>,
+}
+
+impl Ticket {
+    /// Blocks until the request is answered.
+    ///
+    /// Errors with the batcher's typed verdict ([`CoreError::Shed`],
+    /// [`CoreError::CorruptQueue`], …) or [`CoreError::ServerStopped`] if
+    /// the server went away without answering.
+    pub fn wait(self) -> CoreResult<ServedResponse> {
+        self.rx.recv().map_err(|_| CoreError::ServerStopped)?
+    }
+
+    /// Non-blocking variant of [`wait`](Ticket::wait): `None` while the
+    /// answer is still pending.
+    pub fn try_wait(&self) -> Option<CoreResult<ServedResponse>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(CoreError::ServerStopped)),
+        }
+    }
+}
+
+/// The threaded serving front-end. See the [module docs](self) for the
+/// dataflow; construct with [`Server::start`], stop with
+/// [`Server::shutdown`] to recover the engine and final [`ServerStats`].
+pub struct Server {
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<(Engine, ServerStats)>>,
+}
+
+impl Server {
+    /// Spawns the batcher thread around `engine`.
+    ///
+    /// Errors with [`CoreError::InvalidMaxBatch`] for a zero
+    /// `queue_capacity` and [`CoreError::InvalidShedWindow`] for a
+    /// zero-length shed window.
+    pub fn start(engine: Engine, config: ServerConfig) -> CoreResult<Self> {
+        if config.queue_capacity == 0 {
+            return Err(CoreError::InvalidMaxBatch);
+        }
+        let input_shape = engine.input_shape();
+        let batcher = MicroBatcher::new(engine, config.deadline, config.shed)?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            capacity: config.queue_capacity,
+            outstanding: AtomicUsize::new(0),
+            rejected: AtomicU64::new(0),
+            start: Instant::now(),
+            input_shape,
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("appealnet-batcher".into())
+            .spawn(move || batcher_loop(thread_shared, batcher))
+            .expect("failed to spawn the batcher thread");
+        Ok(Self {
+            shared,
+            batcher: Some(handle),
+        })
+    }
+
+    /// A cloneable client handle.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Stops accepting requests, drains everything already admitted, joins
+    /// the batcher, and returns the engine plus final stats (with the
+    /// front-door rejection counter merged in).
+    pub fn shutdown(mut self) -> (Engine, ServerStats) {
+        let (engine, mut stats) = self.stop_batcher().expect("batcher already taken");
+        stats.rejected = self.shared.rejected.load(Ordering::Acquire);
+        (engine, stats)
+    }
+
+    fn stop_batcher(&mut self) -> Option<(Engine, ServerStats)> {
+        let handle = self.batcher.take()?;
+        {
+            let mut st = self.shared.state.lock().expect("server queue poisoned");
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        Some(handle.join().expect("batcher thread panicked"))
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Server(in_flight={}, capacity={}, rejected={})",
+            self.shared.outstanding.load(Ordering::Acquire),
+            self.shared.capacity,
+            self.shared.rejected.load(Ordering::Acquire)
+        )
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // A dropped server still drains admitted work before the engine is
+        // discarded, so tickets resolve instead of hanging.
+        let _ = self.stop_batcher();
+    }
+}
+
+/// Sends one flush's responses to their waiting tickets, in order.
+fn dispatch(
+    shared: &Shared,
+    waiters: &mut Vec<Sender<CoreResult<ServedResponse>>>,
+    responses: Vec<ClientResponse>,
+) {
+    assert_eq!(
+        waiters.len(),
+        responses.len(),
+        "one waiting ticket per flushed request"
+    );
+    for (tx, cr) in waiters.drain(..).zip(responses) {
+        // Free the admission slot before delivering: a client that sees its
+        // answer must also see the slot released.
+        shared.settle(1);
+        // A client that dropped its ticket just forfeits the answer.
+        let _ = tx.send(Ok(ServedResponse {
+            response: cr.response,
+            waited: Duration::from_nanos(cr.waited_nanos),
+        }));
+    }
+}
+
+/// Fails every waiting ticket with `err` (corrupt-queue recovery path).
+fn fail_all(
+    shared: &Shared,
+    waiters: &mut Vec<Sender<CoreResult<ServedResponse>>>,
+    err: &CoreError,
+) {
+    for tx in waiters.drain(..) {
+        shared.settle(1);
+        let _ = tx.send(Err(err.clone()));
+    }
+}
+
+/// The batcher thread: drain the queue in arrival order, coalesce to
+/// deadline or size, answer tickets.
+fn batcher_loop(shared: Arc<Shared>, mut batcher: MicroBatcher) -> (Engine, ServerStats) {
+    // Senders for requests currently coalescing, parallel to the batcher's
+    // pending queue.
+    let mut waiters: Vec<Sender<CoreResult<ServedResponse>>> = Vec::new();
+    loop {
+        // Phase 1: wait for work, a deadline, or shutdown.
+        let (envelopes, shutdown) = {
+            let mut st = shared.state.lock().expect("server queue poisoned");
+            loop {
+                if !st.queue.is_empty() || st.shutdown {
+                    break;
+                }
+                match batcher.next_deadline_nanos() {
+                    Some(deadline) => {
+                        let now = shared.now_nanos();
+                        if now >= deadline {
+                            break;
+                        }
+                        let (guard, _timeout) = shared
+                            .work
+                            .wait_timeout(st, Duration::from_nanos(deadline - now))
+                            .expect("server queue poisoned");
+                        st = guard;
+                    }
+                    None => {
+                        st = shared.work.wait(st).expect("server queue poisoned");
+                    }
+                }
+            }
+            (st.queue.drain(..).collect::<Vec<Envelope>>(), st.shutdown)
+        };
+
+        // Phase 2: offer the drained envelopes in arrival order.
+        for env in envelopes {
+            match batcher.offer(env.arrival_nanos, env.client, env.request) {
+                Ok(Admission::Queued) => waiters.push(env.tx),
+                Ok(Admission::Flushed(responses)) => {
+                    waiters.push(env.tx);
+                    dispatch(&shared, &mut waiters, responses);
+                }
+                Ok(Admission::Shed) => {
+                    shared.settle(1);
+                    let _ = env.tx.send(Err(CoreError::Shed));
+                }
+                Err(err) => {
+                    // The batcher dropped its pending queue (corrupt-queue
+                    // recovery): fail those tickets and this request's too.
+                    fail_all(&shared, &mut waiters, &err);
+                    shared.settle(1);
+                    let _ = env.tx.send(Err(err));
+                }
+            }
+        }
+
+        // Phase 3: deadline-triggered flush.
+        match batcher.poll(shared.now_nanos()) {
+            Ok(Some((_trigger, responses))) => dispatch(&shared, &mut waiters, responses),
+            Ok(None) => {}
+            Err(err) => fail_all(&shared, &mut waiters, &err),
+        }
+
+        // Phase 4: shutdown once the queue is drained.
+        if shutdown {
+            let more = {
+                let st = shared.state.lock().expect("server queue poisoned");
+                !st.queue.is_empty()
+            };
+            if more {
+                // A submit raced the shutdown flag; loop once more to honor
+                // its admitted slot.
+                continue;
+            }
+            match batcher.drain(shared.now_nanos()) {
+                Ok(responses) if responses.is_empty() => {}
+                Ok(responses) => dispatch(&shared, &mut waiters, responses),
+                Err(err) => fail_all(&shared, &mut waiters, &err),
+            }
+            break;
+        }
+    }
+    batcher.into_parts()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::ThresholdPolicy;
+    use crate::two_head::TwoHeadNet;
+    use appeal_models::{ModelFamily, ModelSpec};
+    use appeal_tensor::{SeededRng, Tensor};
+
+    fn engine(max_batch: usize) -> Engine {
+        let mut rng = SeededRng::new(3);
+        let little = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 4).build(&mut rng);
+        let big = ModelSpec::big([3, 12, 12], 4).build(&mut rng);
+        Engine::builder()
+            .appealnet(TwoHeadNet::from_parts(little, &mut rng))
+            .big(big)
+            .policy(ThresholdPolicy::new(0.5).unwrap())
+            .max_batch(max_batch)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn answers_requests_and_reports_stats() {
+        let server = Server::start(
+            engine(4),
+            ServerConfig {
+                queue_capacity: 64,
+                deadline: Duration::from_millis(5),
+                shed: None,
+            },
+        )
+        .unwrap();
+        let handle = server.handle();
+        let mut rng = SeededRng::new(31);
+        let tickets: Vec<Ticket> = (0..6u64)
+            .map(|id| {
+                let image = Tensor::randn(&[3, 12, 12], &mut rng);
+                handle
+                    .submit((id % 2) as u32, InferenceRequest::new(id, image))
+                    .unwrap()
+            })
+            .collect();
+        for (id, ticket) in tickets.into_iter().enumerate() {
+            let served = ticket.wait().unwrap();
+            assert_eq!(served.response.id, id as u64);
+        }
+        assert_eq!(handle.in_flight(), 0);
+        let (returned_engine, stats) = server.shutdown();
+        assert_eq!(stats.answered, 6);
+        assert_eq!(stats.engine.requests, 6);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.clients.len(), 2);
+        assert!((stats.fairness_index() - 1.0).abs() < 1e-12);
+        assert_eq!(returned_engine.pending(), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_shapes_on_the_client_thread() {
+        let server = Server::start(engine(4), ServerConfig::default()).unwrap();
+        let handle = server.handle();
+        let mut rng = SeededRng::new(32);
+        let bad = Tensor::randn(&[3, 11, 12], &mut rng);
+        assert!(matches!(
+            handle.submit(0, InferenceRequest::new(0, bad)).unwrap_err(),
+            CoreError::ShapeMismatch { .. }
+        ));
+        assert_eq!(handle.in_flight(), 0, "rejected requests hold no slot");
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.offered, 0);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_server_stopped() {
+        let server = Server::start(engine(4), ServerConfig::default()).unwrap();
+        let handle = server.handle();
+        let (_, _) = server.shutdown();
+        let mut rng = SeededRng::new(33);
+        let image = Tensor::randn(&[3, 12, 12], &mut rng);
+        assert_eq!(
+            handle
+                .submit(0, InferenceRequest::new(0, image))
+                .unwrap_err(),
+            CoreError::ServerStopped
+        );
+        assert_eq!(handle.in_flight(), 0);
+    }
+
+    #[test]
+    fn drop_drains_admitted_requests() {
+        let server = Server::start(
+            engine(64),
+            ServerConfig {
+                queue_capacity: 8,
+                deadline: Duration::from_secs(600),
+                shed: None,
+            },
+        )
+        .unwrap();
+        let handle = server.handle();
+        let mut rng = SeededRng::new(34);
+        let image = Tensor::randn(&[3, 12, 12], &mut rng);
+        let ticket = handle.submit(0, InferenceRequest::new(7, image)).unwrap();
+        // Dropping the server (no explicit shutdown) must still answer the
+        // admitted request via the drain flush, not strand the ticket.
+        drop(server);
+        let served = ticket.wait().unwrap();
+        assert_eq!(served.response.id, 7);
+    }
+}

@@ -90,10 +90,13 @@ impl CostMeter {
         }
     }
 
-    /// Adds one cost to the running total.
+    /// Adds one cost to the running total. Accumulation saturates (see
+    /// [`InferenceCost::add`]) so a meter that runs for the lifetime of a
+    /// deployment pins at `u64::MAX` FLOPs instead of wrapping back under
+    /// its budget.
     pub fn charge(&mut self, cost: &InferenceCost) {
         self.spent = self.spent.add(cost);
-        self.charges += 1;
+        self.charges = self.charges.saturating_add(1);
     }
 
     /// Total cost charged so far.
@@ -163,6 +166,19 @@ mod tests {
         assert!(b.admits(&cost(50, 5.0, 0.0), &cost(50, 5.0, 99.0)));
         assert!(!b.admits(&cost(50, 5.0, 0.0), &cost(51, 1.0, 0.0)));
         assert!(!b.admits(&cost(50, 5.0, 0.0), &cost(1, 5.1, 0.0)));
+    }
+
+    #[test]
+    fn meter_charge_saturates_instead_of_overflowing() {
+        // A lifetime meter must pin at the ceiling, not wrap to a small
+        // number that a budget would happily admit again.
+        let mut m = CostMeter::new();
+        m.charge(&cost(u64::MAX - 5, 0.0, 0.0));
+        m.charge(&cost(100, 0.0, 0.0));
+        assert_eq!(m.spent().flops, u64::MAX);
+        // A saturated meter keeps rejecting under any bounded flops budget.
+        let b = CostBudget::flops(u64::MAX - 1);
+        assert!(!b.admits(&m.spent(), &cost(0, 0.0, 0.0)));
     }
 
     #[test]

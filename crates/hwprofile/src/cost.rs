@@ -29,10 +29,14 @@ impl InferenceCost {
         }
     }
 
-    /// Adds another cost to this one.
+    /// Adds another cost to this one. The FLOPs component saturates at
+    /// `u64::MAX` instead of overflowing: long-lived meters (a server's
+    /// [`crate::CostMeter`], cumulative engine stats) accumulate costs for
+    /// the lifetime of a deployment, and a counter that wraps would silently
+    /// re-admit work a budget should reject.
     pub fn add(&self, other: &InferenceCost) -> Self {
         Self {
-            flops: self.flops + other.flops,
+            flops: self.flops.saturating_add(other.flops),
             energy_mj: self.energy_mj + other.energy_mj,
             latency_ms: self.latency_ms + other.latency_ms,
         }

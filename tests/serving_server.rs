@@ -1,0 +1,318 @@
+//! Serving front-end guarantees: deadline-coalesced micro-batching must be
+//! byte-identical to direct `Engine` batching at equal batch composition,
+//! overload shedding must be deterministic under a fixed trace, and the
+//! bounded admission queue must reject with typed backpressure.
+
+use appeal_hw::CostBudget;
+use appeal_models::{ModelFamily, ModelSpec};
+use appeal_tensor::{SeededRng, Tensor};
+use appealnet_core::server::trace::{TraceShape, TraceSpec};
+use appealnet_core::server::{Admission, MicroBatcher, Server, ServerConfig, ShedConfig};
+use appealnet_core::{
+    CoreError, Engine, InferenceRequest, InferenceResponse, ThresholdPolicy, TwoHeadNet,
+};
+use std::time::Duration;
+
+const MS: u64 = 1_000_000;
+
+/// Identically-seeded engines: same weights, same policy, chosen max_batch.
+fn engine(max_batch: usize, delta: f64) -> Engine {
+    let mut rng = SeededRng::new(5);
+    let little = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 4).build(&mut rng);
+    let big = ModelSpec::big([3, 12, 12], 4).build(&mut rng);
+    Engine::builder()
+        .appealnet(TwoHeadNet::from_parts(little, &mut rng))
+        .big(big)
+        .policy(ThresholdPolicy::new(delta).unwrap())
+        .max_batch(max_batch)
+        .build()
+        .unwrap()
+}
+
+fn images(n: usize) -> Vec<Tensor> {
+    let mut rng = SeededRng::new(41);
+    (0..n)
+        .map(|_| Tensor::randn(&[3, 12, 12], &mut rng))
+        .collect()
+}
+
+fn assert_bit_identical(a: &InferenceResponse, b: &InferenceResponse) {
+    assert_eq!(a.id, b.id);
+    assert_eq!(a.label, b.label);
+    assert_eq!(a.score.to_bits(), b.score.to_bits(), "request {}", a.id);
+    assert_eq!(a.route, b.route);
+    assert_eq!(a.cost, b.cost);
+}
+
+/// Deadline-triggered flushes and size-triggered flushes must produce
+/// byte-identical responses to direct `Engine` micro-batching when the batch
+/// composition is equal ([4, 4, 4] here).
+#[test]
+fn deadline_and_size_flushes_match_direct_engine_byte_identically() {
+    let inputs = images(12);
+
+    // Path A — direct Engine batching: submit 4, flush, repeat.
+    let mut direct = engine(64, 0.5);
+    let mut direct_responses = Vec::new();
+    for (i, image) in inputs.iter().enumerate() {
+        direct
+            .submit(InferenceRequest::new(i as u64, image.clone()))
+            .unwrap();
+        if (i + 1) % 4 == 0 {
+            direct_responses.extend(direct.flush().unwrap());
+        }
+    }
+
+    // Path B — size-triggered: max_batch 4 flushes automatically.
+    let mut by_size = MicroBatcher::new(engine(4, 0.5), Duration::from_secs(600), None).unwrap();
+    let mut size_responses = Vec::new();
+    for (i, image) in inputs.iter().enumerate() {
+        match by_size
+            .offer(0, 0, InferenceRequest::new(i as u64, image.clone()))
+            .unwrap()
+        {
+            Admission::Flushed(batch) => {
+                size_responses.extend(batch.into_iter().map(|cr| cr.response))
+            }
+            Admission::Queued => {}
+            Admission::Shed => unreachable!("no shed policy configured"),
+        }
+    }
+
+    // Path C — deadline-triggered: max_batch 64 never fills; every group of
+    // 4 is flushed by the 1 ms deadline in virtual time.
+    let mut by_deadline =
+        MicroBatcher::new(engine(64, 0.5), Duration::from_millis(1), None).unwrap();
+    let mut deadline_responses = Vec::new();
+    for (group, chunk) in inputs.chunks(4).enumerate() {
+        let t0 = group as u64 * 10 * MS;
+        for (j, image) in chunk.iter().enumerate() {
+            let id = (group * 4 + j) as u64;
+            assert!(matches!(
+                by_deadline
+                    .offer(t0 + j as u64, 0, InferenceRequest::new(id, image.clone()))
+                    .unwrap(),
+                Admission::Queued
+            ));
+        }
+        assert!(by_deadline.poll(t0 + MS - 1).unwrap().is_none());
+        let (trigger, batch) = by_deadline.poll(t0 + MS).unwrap().unwrap();
+        assert_eq!(
+            trigger,
+            appealnet_core::server::FlushTrigger::Deadline,
+            "group {group} must flush on deadline, not size"
+        );
+        deadline_responses.extend(batch.into_iter().map(|cr| cr.response));
+    }
+
+    assert_eq!(direct_responses.len(), 12);
+    assert_eq!(size_responses.len(), 12);
+    assert_eq!(deadline_responses.len(), 12);
+    for i in 0..12 {
+        assert_bit_identical(&direct_responses[i], &size_responses[i]);
+        assert_bit_identical(&direct_responses[i], &deadline_responses[i]);
+    }
+    // The stats agree too: 3 batches of 4 everywhere.
+    assert_eq!(by_size.stats().size_flushes, 3);
+    assert_eq!(by_deadline.stats().deadline_flushes, 3);
+    assert_eq!(by_size.stats().engine.batches, 3);
+    assert_eq!(by_deadline.stats().engine.batches, 3);
+}
+
+/// Replaying one fixed bursty trace through identically-seeded batchers
+/// must shed exactly the same requests with exactly the same answers.
+#[test]
+fn overload_shedding_is_deterministic_under_a_fixed_trace() {
+    let spec = TraceSpec {
+        shape: TraceShape::Bursty { burst: 8 },
+        requests: 64,
+        mean_gap_nanos: MS / 4,
+        clients: 3,
+        seed: 99,
+    };
+
+    let run = || {
+        // δ = 1.0 forces every answered request to appeal. The 16-request
+        // window is deliberately misaligned with the 8-request bursts, so
+        // each burst's flush charges the meter mid-window and the ≈2.5
+        // offloads of budget must shed the tail of every window.
+        let offload = engine(8, 1.0).offload_cost();
+        let mut mb = MicroBatcher::new(
+            engine(8, 1.0),
+            Duration::from_millis(1),
+            Some(ShedConfig {
+                budget: CostBudget::energy_mj(offload.energy_mj * 2.5),
+                window: 16,
+            }),
+        )
+        .unwrap();
+        let inputs = images(64);
+        let mut shed_ids = Vec::new();
+        let mut answers = Vec::new();
+        for (i, event) in spec.events().into_iter().enumerate() {
+            // Deadlines that came due before this arrival fire first, as
+            // they would in real time.
+            if let Some((_, batch)) = mb.poll(event.at_nanos).unwrap() {
+                answers.extend(batch.into_iter().map(|cr| cr.response));
+            }
+            let request = InferenceRequest::new(i as u64, inputs[i].clone());
+            match mb.offer(event.at_nanos, event.client, request).unwrap() {
+                Admission::Shed => shed_ids.push(i as u64),
+                Admission::Flushed(batch) => {
+                    answers.extend(batch.into_iter().map(|cr| cr.response))
+                }
+                Admission::Queued => {}
+            }
+        }
+        answers.extend(
+            mb.drain(spec.span_nanos() + MS)
+                .unwrap()
+                .into_iter()
+                .map(|cr| cr.response),
+        );
+        (shed_ids, answers, mb.stats())
+    };
+
+    let (shed_a, answers_a, stats_a) = run();
+    let (shed_b, answers_b, stats_b) = run();
+    assert_eq!(shed_a, shed_b, "shed pattern must replay identically");
+    assert_eq!(answers_a.len(), answers_b.len());
+    for (a, b) in answers_a.iter().zip(answers_b.iter()) {
+        assert_bit_identical(a, b);
+    }
+    // `engine.busy_seconds` is wall-clock, so compare the deterministic
+    // counters rather than whole-struct equality.
+    assert_eq!(
+        (
+            stats_a.offered,
+            stats_a.admitted,
+            stats_a.answered,
+            stats_a.shed
+        ),
+        (
+            stats_b.offered,
+            stats_b.admitted,
+            stats_b.answered,
+            stats_b.shed
+        ),
+    );
+    assert_eq!(
+        (
+            stats_a.size_flushes,
+            stats_a.deadline_flushes,
+            stats_a.drain_flushes
+        ),
+        (
+            stats_b.size_flushes,
+            stats_b.deadline_flushes,
+            stats_b.drain_flushes
+        ),
+    );
+    assert_eq!(stats_a.clients, stats_b.clients);
+    assert!(
+        !shed_a.is_empty() && shed_a.len() < 64,
+        "the trace must actually overload the budget without starving it: {} shed",
+        shed_a.len()
+    );
+    assert_eq!(stats_a.answered + stats_a.shed, 64);
+    assert_eq!(stats_a.engine.requests, stats_a.answered);
+    assert_eq!(
+        stats_a.engine.offloaded, stats_a.answered,
+        "δ = 1.0 must appeal every answered request"
+    );
+}
+
+/// The bounded admission queue rejects with typed backpressure once
+/// capacity in-flight requests are outstanding.
+#[test]
+fn full_admission_queue_rejects_with_typed_overload() {
+    let server = Server::start(
+        engine(64, 0.5),
+        ServerConfig {
+            queue_capacity: 3,
+            // Nothing can flush before the deadline, so the first three
+            // admissions stay outstanding deterministically.
+            deadline: Duration::from_secs(600),
+            shed: None,
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+    let inputs = images(4);
+    let tickets: Vec<_> = (0..3)
+        .map(|i| {
+            handle
+                .submit(7, InferenceRequest::new(i as u64, inputs[i].clone()))
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(
+        handle
+            .submit(7, InferenceRequest::new(3, inputs[3].clone()))
+            .unwrap_err(),
+        CoreError::Overloaded { capacity: 3 }
+    );
+    // Shutdown drains the admitted three; their tickets resolve.
+    let (engine_back, stats) = server.shutdown();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        assert_eq!(ticket.wait().unwrap().response.id, i as u64);
+    }
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.answered, 3);
+    assert_eq!(stats.drain_flushes, 1);
+    assert!(stats.rejection_rate() > 0.0);
+    assert_eq!(engine_back.pending(), 0, "no state left behind");
+}
+
+/// The engine is per-sample pure, so whatever micro-batch composition the
+/// threaded server's real-time coalescing produces, each answer must be
+/// bit-identical to a single-request reference evaluation.
+#[test]
+fn threaded_server_answers_match_single_request_reference() {
+    let mut reference = engine(1, 0.5);
+    let inputs = images(10);
+    let expected: Vec<InferenceResponse> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, image)| {
+            reference
+                .submit(InferenceRequest::new(i as u64, image.clone()))
+                .unwrap()
+                .expect("max_batch 1 answers immediately")
+                .remove(0)
+        })
+        .collect();
+
+    let server = Server::start(
+        engine(4, 0.5),
+        ServerConfig {
+            queue_capacity: 32,
+            deadline: Duration::from_millis(2),
+            shed: None,
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, image)| {
+            handle
+                .submit(
+                    (i % 3) as u32,
+                    InferenceRequest::new(i as u64, image.clone()),
+                )
+                .unwrap()
+        })
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let served = ticket.wait().unwrap();
+        assert_bit_identical(&served.response, &expected[i]);
+    }
+    let (_, stats) = server.shutdown();
+    assert_eq!(stats.answered, 10);
+    assert_eq!(stats.shed + stats.rejected, 0);
+    assert_eq!(stats.clients.len(), 3);
+    let ledger_total: u64 = stats.clients.iter().map(|c| c.answered).sum();
+    assert_eq!(ledger_total, 10, "every answer is attributed to a client");
+}
