@@ -1,0 +1,86 @@
+//! Typed errors of the fleet-simulator constructors.
+
+use appeal_hw::HwError;
+use appealnet_core::CoreError;
+use std::fmt;
+
+/// Errors returned when assembling a fleet simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// The fleet must contain at least one edge node.
+    NoNodes,
+    /// A simulation parameter is out of range.
+    InvalidConfig {
+        /// What was wrong, e.g. `"adaptive window must be positive"`.
+        what: &'static str,
+    },
+    /// An error from the serving core (e.g. an invalid routing threshold).
+    Core(CoreError),
+    /// An error from the hardware model (e.g. an invalid link spec).
+    Hw(HwError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::NoNodes => write!(f, "fleet must contain at least one edge node"),
+            FleetError::InvalidConfig { what } => write!(f, "invalid fleet config: {what}"),
+            FleetError::Core(err) => write!(f, "core error: {err}"),
+            FleetError::Hw(err) => write!(f, "hardware model error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Core(err) => Some(err),
+            FleetError::Hw(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for FleetError {
+    fn from(err: CoreError) -> Self {
+        FleetError::Core(err)
+    }
+}
+
+impl From<HwError> for FleetError {
+    fn from(err: HwError) -> Self {
+        FleetError::Hw(err)
+    }
+}
+
+/// Convenience alias for fleet-simulator results.
+pub type FleetResult<T> = Result<T, FleetError>;
+
+/// True iff `value` is a positive number (rejecting NaN).
+pub(crate) fn is_positive(value: f64) -> bool {
+    value > 0.0
+}
+
+/// True iff `value` is a non-negative number (rejecting NaN).
+pub(crate) fn is_non_negative(value: f64) -> bool {
+    value >= 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_wraps_sources() {
+        let core: FleetError = CoreError::InvalidThreshold(2.0).into();
+        assert!(core.to_string().contains("core error"));
+        let hw: FleetError = HwError::ZeroCapacity { field: "capacity" }.into();
+        assert!(hw.to_string().contains("hardware model"));
+        use std::error::Error;
+        assert!(core.source().is_some());
+        assert!(FleetError::NoNodes.source().is_none());
+        assert!(FleetError::InvalidConfig { what: "x" }
+            .to_string()
+            .contains('x'));
+    }
+}

@@ -1,0 +1,74 @@
+//! `appealnet_fleet` — a deterministic two-tier fleet simulator for
+//! AppealNet-style edge/cloud serving.
+//!
+//! The serving crates model one edge device talking to one cloud. This crate
+//! splits the system along the *appeal boundary* and scales it out: `N`
+//! simulated edge nodes (each a little two-head network + [`Scorer`] +
+//! [`RoutingPolicy`] on its own [`DeviceSpec`] clock, with an optional
+//! adaptive offload budget) talk to one cloud tier (the big network behind a
+//! size-or-deadline batching queue on a shared GPU clock) over a stochastic
+//! link model ([`StochasticLink`] + bounded [`LinkQueue`] per node).
+//!
+//! Everything runs in virtual time on seeded randomness — no wall clock, no
+//! threads — so a simulation is a pure function of `(models, config, trace)`
+//! and its rendered metrics are byte-reproducible. That is what makes the
+//! fleet-level questions answerable in CI: end-to-end p50/p99 versus the
+//! skipping rate (Eq. 11), cloud GPU load versus fleet size, SLO violation
+//! rates under bursty traffic, and whether an adaptive per-node offload
+//! budget keeps latency bounded when the link degrades.
+//!
+//! Entry points: [`FleetSim::new`] assembles a fleet from a
+//! [`TwoHeadNet`](appealnet_core::TwoHeadNet) little model, a
+//! [`ClassifierParts`](appeal_models::ClassifierParts) big model, and a
+//! [`FleetConfig`]; [`FleetSim::run`] replays a [`trace::TraceSpec`] and
+//! returns [`FleetMetrics`] (render with [`FleetMetrics::render`], validate
+//! with [`FleetMetrics::check`]).
+//!
+//! [`Scorer`]: appealnet_core::serve::Scorer
+//! [`RoutingPolicy`]: appealnet_core::serve::RoutingPolicy
+//! [`DeviceSpec`]: appeal_hw::DeviceSpec
+//! [`StochasticLink`]: appeal_hw::StochasticLink
+//! [`LinkQueue`]: appeal_hw::LinkQueue
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adaptive;
+pub mod cloud;
+pub mod error;
+pub mod metrics;
+pub mod node;
+pub mod sim;
+
+/// Request-trace generators, re-exported from `appealnet_core::server` so
+/// the load generator and the fleet simulator replay the *same* arrival
+/// processes from one source of truth.
+pub use appealnet_core::server::trace;
+
+pub use adaptive::{AdaptiveBudget, AdaptiveConfig};
+pub use cloud::{CloudBatch, CloudConfig, CloudPush, CloudResponse, CloudTier, PendingAppeal};
+pub use error::{FleetError, FleetResult};
+pub use metrics::{percentile, FleetMetrics, NodeSummary, PhaseMetrics};
+pub use node::{EdgeNode, NodeStats};
+pub use sim::{Degradation, FleetConfig, FleetSim};
+
+/// Converts milliseconds to whole virtual nanoseconds (rounded, floored at
+/// zero). The shared currency between the hardware model's `f64`
+/// milliseconds and the simulator's `u64` clock.
+pub fn ms_to_nanos(ms: f64) -> u64 {
+    (ms * 1e6).round().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_to_nanos_rounds_and_floors() {
+        assert_eq!(ms_to_nanos(1.0), 1_000_000);
+        assert_eq!(ms_to_nanos(0.0000004), 0);
+        assert_eq!(ms_to_nanos(0.0000006), 1);
+        assert_eq!(ms_to_nanos(-5.0), 0);
+        assert_eq!(ms_to_nanos(f64::NAN), 0);
+    }
+}

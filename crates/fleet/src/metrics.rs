@@ -1,0 +1,380 @@
+//! Fleet-level metrics: latency percentiles, skipping/appeal rates, cloud
+//! load in GPU-equivalents, SLO violations, and self-checkable accounting
+//! invariants.
+//!
+//! [`FleetMetrics::render`] produces a stable, fully deterministic text
+//! block — the unit of the byte-reproducibility guarantee: two simulations
+//! with the same seed must render identical bytes.
+
+use std::fmt::Write as _;
+
+/// Per-node roll-up included in [`FleetMetrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSummary {
+    /// Node index.
+    pub id: usize,
+    /// Requests routed to the node.
+    pub requests: u64,
+    /// Requests answered by the little network.
+    pub edge_answered: u64,
+    /// Requests answered by the cloud.
+    pub cloud_answered: u64,
+    /// Appeals shed by a full uplink queue.
+    pub link_fallbacks: u64,
+    /// Appeals denied by the adaptive budget.
+    pub budget_denied: u64,
+    /// Node compute busy time, in milliseconds.
+    pub busy_ms: f64,
+    /// Final adaptive per-window budget, if the node ran one.
+    pub final_budget_ms: Option<f64>,
+    /// Times the adaptive controller tightened.
+    pub tightenings: u64,
+}
+
+/// Metrics over one phase of the trace (pre- or post-degradation), split by
+/// request *arrival* time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseMetrics {
+    /// Requests arriving in the phase.
+    pub requests: u64,
+    /// Of those, answered by the cloud.
+    pub cloud_answered: u64,
+    /// Cloud-answered fraction of the phase's requests.
+    pub appeal_rate: f64,
+    /// Median end-to-end latency, in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency, in milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Everything one simulation run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetMetrics {
+    /// Requests in the trace.
+    pub requests: u64,
+    /// Requests that completed (must equal `requests`).
+    pub completed: u64,
+    /// Answered by the little network (score ≥ δ).
+    pub edge_answered: u64,
+    /// Answered by the cloud.
+    pub cloud_answered: u64,
+    /// Appeals shed by full uplink queues; answered on the edge.
+    pub link_fallbacks: u64,
+    /// Appeals denied by adaptive budgets; answered on the edge.
+    pub budget_denied: u64,
+    /// Transfers accepted across all uplink queues.
+    pub uplink_accepted: u64,
+    /// Transfers rejected across all uplink queues.
+    pub uplink_rejected: u64,
+    /// Median end-to-end latency, in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency, in milliseconds.
+    pub p99_ms: f64,
+    /// Maximum end-to-end latency, in milliseconds.
+    pub max_ms: f64,
+    /// Mean end-to-end latency, in milliseconds.
+    pub mean_ms: f64,
+    /// The latency SLO the run was checked against, in milliseconds.
+    pub slo_ms: f64,
+    /// Completions whose latency exceeded the SLO.
+    pub slo_violations: u64,
+    /// Fraction of requests answered on the edge (the paper's Eq. 11 SR at
+    /// fleet level; budget denials and link fallbacks count as edge).
+    pub skipping_rate: f64,
+    /// Fraction of requests answered by the cloud.
+    pub appeal_rate: f64,
+    /// Virtual span from first arrival to last completion, in milliseconds.
+    pub span_ms: f64,
+    /// Cloud GPU busy time, in milliseconds.
+    pub cloud_busy_ms: f64,
+    /// Cloud busy time over span: how many GPU-equivalents this fleet keeps
+    /// busy.
+    pub cloud_load: f64,
+    /// Batches the cloud flushed.
+    pub cloud_batches: u64,
+    /// Mean appeals per flushed batch.
+    pub mean_batch: f64,
+    /// FNV-1a digest of every answered label in request order: ties the
+    /// byte-reproducibility guarantee to the models' actual answers, not
+    /// just the timing.
+    pub labels_digest: u64,
+    /// Per-node roll-ups, in node order.
+    pub nodes: Vec<NodeSummary>,
+    /// Metrics for arrivals before the degradation point, if one was set.
+    pub pre_degrade: Option<PhaseMetrics>,
+    /// Metrics for arrivals at or after the degradation point.
+    pub post_degrade: Option<PhaseMetrics>,
+}
+
+/// Percentile over a sorted slice, mirroring the loadgen convention
+/// (nearest-rank by rounding).
+pub fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+impl FleetMetrics {
+    /// Renders the run as a stable text block (the byte-reproducibility
+    /// unit).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "requests {} | completed {} | edge {} | cloud {} | fallback {} | denied {}",
+            self.requests,
+            self.completed,
+            self.edge_answered,
+            self.cloud_answered,
+            self.link_fallbacks,
+            self.budget_denied
+        );
+        let _ = writeln!(
+            s,
+            "latency p50 {:.3} ms | p99 {:.3} ms | max {:.3} ms | mean {:.3} ms",
+            self.p50_ms, self.p99_ms, self.max_ms, self.mean_ms
+        );
+        let _ = writeln!(
+            s,
+            "skipping rate {:.1}% | appeal rate {:.1}% | slo {:.1} ms | violations {} ({:.1}%)",
+            100.0 * self.skipping_rate,
+            100.0 * self.appeal_rate,
+            self.slo_ms,
+            self.slo_violations,
+            100.0 * self.slo_violations as f64 / self.completed.max(1) as f64
+        );
+        let _ = writeln!(
+            s,
+            "cloud busy {:.3} ms over {:.3} ms span | load {:.4} GPU-equiv | {} batches | mean batch {:.2}",
+            self.cloud_busy_ms, self.span_ms, self.cloud_load, self.cloud_batches, self.mean_batch
+        );
+        let _ = writeln!(
+            s,
+            "uplink accepted {} | rejected {} | labels digest {:016x}",
+            self.uplink_accepted, self.uplink_rejected, self.labels_digest
+        );
+        if self.nodes.iter().any(|n| n.final_budget_ms.is_some()) {
+            let tightenings: u64 = self.nodes.iter().map(|n| n.tightenings).sum();
+            let budgets: Vec<String> = self
+                .nodes
+                .iter()
+                .filter_map(|n| n.final_budget_ms.map(|b| format!("{b:.1}")))
+                .collect();
+            let _ = writeln!(
+                s,
+                "adaptive: {} tightenings | final window budgets [{}] ms",
+                tightenings,
+                budgets.join(", ")
+            );
+        }
+        for (name, phase) in [
+            ("pre-degrade", &self.pre_degrade),
+            ("post-degrade", &self.post_degrade),
+        ] {
+            if let Some(p) = phase {
+                let _ = writeln!(
+                    s,
+                    "{name}: {} requests | cloud {} | appeal rate {:.1}% | p50 {:.3} ms | p99 {:.3} ms",
+                    p.requests,
+                    p.cloud_answered,
+                    100.0 * p.appeal_rate,
+                    p.p50_ms,
+                    p.p99_ms
+                );
+            }
+        }
+        s
+    }
+
+    /// Accounting invariants that must hold after any run; violations are
+    /// simulator bugs, not workload properties. Returns human-readable
+    /// descriptions of every violated invariant (empty = all good).
+    pub fn check(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut check = |ok: bool, what: String| {
+            if !ok {
+                violations.push(what);
+            }
+        };
+        check(
+            self.completed == self.requests,
+            format!("{} of {} requests completed", self.completed, self.requests),
+        );
+        let routed =
+            self.edge_answered + self.cloud_answered + self.link_fallbacks + self.budget_denied;
+        check(
+            routed == self.completed,
+            format!("route counts sum to {routed}, not {}", self.completed),
+        );
+        let node_requests: u64 = self.nodes.iter().map(|n| n.requests).sum();
+        check(
+            node_requests == self.requests,
+            format!(
+                "per-node requests sum to {node_requests}, not {}",
+                self.requests
+            ),
+        );
+        for n in &self.nodes {
+            let node_routed =
+                n.edge_answered + n.cloud_answered + n.link_fallbacks + n.budget_denied;
+            check(
+                node_routed == n.requests,
+                format!(
+                    "node {} route counts sum to {node_routed}, not {}",
+                    n.id, n.requests
+                ),
+            );
+        }
+        check(
+            self.uplink_accepted == self.cloud_answered,
+            format!(
+                "uplink accepted {} transfers but cloud answered {}",
+                self.uplink_accepted, self.cloud_answered
+            ),
+        );
+        check(
+            self.uplink_rejected == self.link_fallbacks,
+            format!(
+                "uplink rejected {} transfers but {} fallbacks recorded",
+                self.uplink_rejected, self.link_fallbacks
+            ),
+        );
+        check(
+            (self.skipping_rate + self.appeal_rate - 1.0).abs() < 1e-9 || self.completed == 0,
+            format!(
+                "skipping rate {} + appeal rate {} != 1",
+                self.skipping_rate, self.appeal_rate
+            ),
+        );
+        check(
+            self.requests == 0 || self.span_ms > 0.0,
+            "span must be positive".to_string(),
+        );
+        check(
+            self.p99_ms >= self.p50_ms && self.max_ms >= self.p99_ms,
+            format!(
+                "latency percentiles out of order: p50 {} p99 {} max {}",
+                self.p50_ms, self.p99_ms, self.max_ms
+            ),
+        );
+        check(
+            self.slo_violations <= self.completed,
+            format!(
+                "{} SLO violations exceed {} completions",
+                self.slo_violations, self.completed
+            ),
+        );
+        check(
+            self.cloud_load >= 0.0 && self.cloud_busy_ms >= 0.0,
+            "cloud load must be non-negative".to_string(),
+        );
+        if let (Some(pre), Some(post)) = (&self.pre_degrade, &self.post_degrade) {
+            check(
+                pre.requests + post.requests == self.requests,
+                format!(
+                    "phase requests {} + {} != {}",
+                    pre.requests, post.requests, self.requests
+                ),
+            );
+            check(
+                pre.cloud_answered + post.cloud_answered == self.cloud_answered,
+                format!(
+                    "phase cloud counts {} + {} != {}",
+                    pre.cloud_answered, post.cloud_answered, self.cloud_answered
+                ),
+            );
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_matches_loadgen_convention() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 0.5), 3.0);
+        assert_eq!(percentile(&sorted, 1.0), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    fn consistent() -> FleetMetrics {
+        FleetMetrics {
+            requests: 10,
+            completed: 10,
+            edge_answered: 6,
+            cloud_answered: 2,
+            link_fallbacks: 1,
+            budget_denied: 1,
+            uplink_accepted: 2,
+            uplink_rejected: 1,
+            p50_ms: 1.0,
+            p99_ms: 5.0,
+            max_ms: 6.0,
+            mean_ms: 2.0,
+            slo_ms: 10.0,
+            slo_violations: 0,
+            skipping_rate: 0.8,
+            appeal_rate: 0.2,
+            span_ms: 100.0,
+            cloud_busy_ms: 4.0,
+            cloud_load: 0.04,
+            cloud_batches: 1,
+            mean_batch: 2.0,
+            labels_digest: 0xdead_beef,
+            nodes: vec![NodeSummary {
+                id: 0,
+                requests: 10,
+                edge_answered: 6,
+                cloud_answered: 2,
+                link_fallbacks: 1,
+                budget_denied: 1,
+                busy_ms: 1.0,
+                final_budget_ms: None,
+                tightenings: 0,
+            }],
+            pre_degrade: None,
+            post_degrade: None,
+        }
+    }
+
+    #[test]
+    fn consistent_metrics_pass_all_checks() {
+        assert!(consistent().check().is_empty());
+    }
+
+    #[test]
+    fn broken_ledgers_are_reported() {
+        let mut m = consistent();
+        m.cloud_answered = 3; // breaks route sum, node ledger and uplink match
+        let violations = m.check();
+        assert!(violations.len() >= 2, "{violations:?}");
+
+        let mut m = consistent();
+        m.completed = 9;
+        assert!(!m.check().is_empty());
+
+        let mut m = consistent();
+        m.uplink_rejected = 5;
+        assert!(m.check().iter().any(|v| v.contains("rejected")));
+    }
+
+    #[test]
+    fn render_is_deterministic_and_mentions_key_metrics() {
+        let m = consistent();
+        let a = m.render();
+        assert_eq!(a, m.render());
+        assert!(a.contains("skipping rate 80.0%"));
+        assert!(a.contains("GPU-equiv"));
+        assert!(a.contains("labels digest 00000000deadbeef"));
+        assert!(!a.contains("adaptive:"), "no adaptive line without budgets");
+        let mut with_budget = m;
+        with_budget.nodes[0].final_budget_ms = Some(42.0);
+        assert!(with_budget.render().contains("adaptive:"));
+    }
+}

@@ -1,0 +1,680 @@
+//! The deterministic discrete-event simulator: N edge nodes and one cloud
+//! tier advancing a shared virtual clock.
+//!
+//! Every source of time is virtual and every source of randomness is a
+//! [`SeededRng`], so a run is a pure function of `(models, config, trace)`:
+//! the event heap breaks timestamp ties by insertion sequence, link weather
+//! is sampled in event order from one seeded stream, and request images are
+//! pregenerated from the seed and addressed by request index (so the *same*
+//! inputs flow through the system regardless of fleet size). Two runs with
+//! the same seed are byte-identical; see `tests/fleet_determinism.rs`.
+//!
+//! One request's life:
+//!
+//! 1. **Arrival** — the trace event lands on its node (`client % nodes`) and
+//!    queues behind the node's single-server compute FIFO.
+//! 2. **Edge pass** — the little net + predictor head score the input; the
+//!    routing policy (Eq. 1) decides edge vs. cloud. Edge answers complete
+//!    immediately.
+//! 3. **Appeal** — the adaptive budget (if any) may deny the offload; an
+//!    admitted appeal samples a stochastic uplink transfer and enters the
+//!    node's bounded radio queue. A full queue sheds the appeal back to the
+//!    edge answer (link fallback).
+//! 4. **Cloud** — the appeal joins the cloud's size-or-deadline batching
+//!    queue; the flushed batch runs the big network on the GPU clock, and
+//!    each answer rides the (unqueued) downlink back, completing the request
+//!    and feeding the measured round-trip into the node's adaptive budget.
+
+use crate::adaptive::AdaptiveBudget;
+use crate::cloud::{CloudPush, CloudTier, PendingAppeal};
+use crate::error::{is_positive, FleetError, FleetResult};
+use crate::metrics::{percentile, FleetMetrics, NodeSummary, PhaseMetrics};
+use crate::node::EdgeNode;
+use crate::{adaptive::AdaptiveConfig, cloud::CloudConfig, ms_to_nanos};
+use appeal_hw::{DeviceSpec, LinkQueue, StochasticLink, SystemModel};
+use appeal_models::ClassifierParts;
+use appeal_tensor::{SeededRng, Tensor};
+use appealnet_core::serve::{QScorer, RoutingContext, Scorer, ThresholdPolicy};
+use appealnet_core::server::trace::TraceSpec;
+use appealnet_core::{ChunkPolicy, TwoHeadNet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Bytes of one cloud answer (class id + confidence), matching the constant
+/// inside [`SystemModel::offload_cost`].
+const RESULT_BYTES: u64 = 16;
+
+/// A mid-trace link degradation: from `after_nanos` on, transfers stretch
+/// and loss multiplies by `severity`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Degradation {
+    /// Virtual time the degradation sets in, in nanoseconds.
+    pub after_nanos: u64,
+    /// Severity multiplier (1.0 = nominal link; larger = worse).
+    pub severity: f64,
+}
+
+/// Everything a fleet run is parameterized by.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of simulated edge nodes.
+    pub nodes: usize,
+    /// Routing threshold δ of Eq. 1 (score ≥ δ stays on the edge).
+    pub delta: f64,
+    /// Device model of every edge node.
+    pub edge_device: DeviceSpec,
+    /// Cloud-tier parameters (device, batching).
+    pub cloud: CloudConfig,
+    /// The stochastic uplink every node shares the *model* of (each node
+    /// gets its own bounded radio queue of the model's capacity).
+    pub link: StochasticLink,
+    /// Optional mid-trace link degradation.
+    pub degrade: Option<Degradation>,
+    /// Optional per-node adaptive offload budget.
+    pub adaptive: Option<AdaptiveConfig>,
+    /// End-to-end latency SLO to count violations against, in milliseconds.
+    pub slo_ms: f64,
+    /// Sharding policy for the cloud's big-network forward passes.
+    pub chunk: ChunkPolicy,
+    /// Seed for request images and link weather.
+    pub seed: u64,
+}
+
+/// How one request was ultimately answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutcomeRoute {
+    /// Score ≥ δ: the little network's answer was trusted.
+    Edge,
+    /// Wanted the cloud but the adaptive budget denied the offload.
+    BudgetDenied,
+    /// Wanted the cloud but the uplink queue was full.
+    LinkFallback,
+    /// Appealed and answered by the big network.
+    Cloud,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Outcome {
+    completed_nanos: u64,
+    route: OutcomeRoute,
+    /// The answering network's label (little for edge routes, big for cloud).
+    label: usize,
+}
+
+#[derive(Debug, Clone)]
+enum EventKind {
+    Arrival {
+        request: usize,
+        node: usize,
+    },
+    EdgeDone {
+        request: usize,
+        node: usize,
+    },
+    CloudArrival {
+        request: usize,
+        node: usize,
+        decided_nanos: u64,
+    },
+    CloudDeadline,
+    CloudCompletion {
+        request: usize,
+        node: usize,
+        decided_nanos: u64,
+        label: usize,
+    },
+}
+
+struct Event {
+    at_nanos: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_nanos == other.at_nanos && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Ties break by insertion sequence, which pins the event order (and
+        // therefore RNG consumption) independent of heap internals.
+        (self.at_nanos, self.seq).cmp(&(other.at_nanos, other.seq))
+    }
+}
+
+/// Min-heap of events with deterministic tie-breaking.
+struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, at_nanos: u64, kind: EventKind) {
+        self.heap.push(Reverse(Event {
+            at_nanos,
+            seq: self.seq,
+            kind,
+        }));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+}
+
+fn severity_at(degrade: Option<Degradation>, t_nanos: u64) -> f64 {
+    match degrade {
+        Some(d) if t_nanos >= d.after_nanos => d.severity,
+        _ => 1.0,
+    }
+}
+
+/// Flushes the cloud's batching queue and schedules each answer's downlink
+/// completion. The downlink samples transfer weather but does not queue:
+/// the cloud's egress is not the modeled bottleneck.
+fn flush_cloud(
+    cloud: &mut CloudTier,
+    now_nanos: u64,
+    images: &Tensor,
+    link: &StochasticLink,
+    degrade: Option<Degradation>,
+    link_rng: &mut SeededRng,
+    q: &mut EventQueue,
+) {
+    if let Some(batch) = cloud.flush(now_nanos, images) {
+        for resp in &batch.responses {
+            let sev = severity_at(degrade, batch.done_nanos);
+            let down = link.sample_transmit_ms(RESULT_BYTES, sev, link_rng);
+            let prop = link.sample_propagation_ms(sev, link_rng);
+            let at = batch
+                .done_nanos
+                .saturating_add(ms_to_nanos(down.service_ms + prop));
+            q.push(
+                at,
+                EventKind::CloudCompletion {
+                    request: resp.request,
+                    node: resp.node,
+                    decided_nanos: resp.decided_nanos,
+                    label: resp.label,
+                },
+            );
+        }
+    }
+}
+
+/// The assembled fleet: run traces through it with [`FleetSim::run`].
+pub struct FleetSim {
+    config: FleetConfig,
+    nodes: Vec<EdgeNode>,
+    cloud: CloudTier,
+    ctx: RoutingContext,
+    input_shape: [usize; 3],
+    input_bytes: u64,
+}
+
+impl FleetSim {
+    /// Splits the system along the appeal boundary: forks the little
+    /// two-head network onto `config.nodes` edge nodes and puts the big
+    /// network behind the cloud tier's batching queue.
+    pub fn new(little: TwoHeadNet, big: ClassifierParts, config: FleetConfig) -> FleetResult<Self> {
+        if config.nodes == 0 {
+            return Err(FleetError::NoNodes);
+        }
+        if !is_positive(config.slo_ms) {
+            return Err(FleetError::InvalidConfig {
+                what: "slo_ms must be positive",
+            });
+        }
+        if let Some(d) = config.degrade {
+            if !is_positive(d.severity) {
+                return Err(FleetError::InvalidConfig {
+                    what: "degradation severity must be positive",
+                });
+            }
+        }
+        let input_shape = little.spec().input_shape;
+        let input_bytes = (input_shape.iter().product::<usize>() * 4) as u64;
+        let little_flops = little.flops();
+        let big_flops = big.total_flops();
+        let system = SystemModel::new(
+            config.edge_device.clone(),
+            config.cloud.device.clone(),
+            config.link.spec.clone(),
+        );
+        let ctx = RoutingContext {
+            edge_cost: system.edge_only_cost(little_flops),
+            offload_cost: system.offload_cost(little_flops, big_flops, input_bytes),
+        };
+        let policy = ThresholdPolicy::new(config.delta)?;
+        let base = QScorer::new(little);
+        let mut nodes = Vec::with_capacity(config.nodes);
+        for id in 0..config.nodes {
+            let adaptive = config.adaptive.map(AdaptiveBudget::new).transpose()?;
+            let uplink = LinkQueue::new(config.link.queue_capacity)?;
+            nodes.push(EdgeNode::new(
+                id,
+                base.fork(),
+                Box::new(policy),
+                adaptive,
+                &config.edge_device,
+                uplink,
+            ));
+        }
+        let cloud = CloudTier::new(big, config.chunk, config.cloud.clone())?;
+        Ok(Self {
+            config,
+            nodes,
+            cloud,
+            ctx,
+            input_shape,
+            input_bytes,
+        })
+    }
+
+    /// The per-request cost context (Eq. 5 `c1`/`c0`) the nodes route
+    /// against.
+    pub fn routing_context(&self) -> &RoutingContext {
+        &self.ctx
+    }
+
+    /// Replays one trace through the fleet in virtual time and returns its
+    /// metrics. Running consumes node/cloud state; use a fresh `FleetSim`
+    /// per measured run.
+    pub fn run(&mut self, trace: &TraceSpec) -> FleetMetrics {
+        let arrivals = trace.events();
+        let total = arrivals.len();
+        let [c, h, w] = self.input_shape;
+        let mut image_rng = SeededRng::new(self.config.seed);
+        let images = Tensor::randn(&[total.max(1), c, h, w], &mut image_rng);
+        let mut link_rng = SeededRng::new(self.config.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let link = self.config.link.clone();
+        let ctx = self.ctx;
+        let degrade = self.config.degrade;
+        let input_bytes = self.input_bytes;
+
+        let mut q = EventQueue::new();
+        let mut arrival_nanos = vec![0u64; total];
+        let mut outcomes: Vec<Option<Outcome>> = vec![None; total];
+        for (i, ev) in arrivals.iter().enumerate() {
+            arrival_nanos[i] = ev.at_nanos;
+            let node = ev.client as usize % self.nodes.len();
+            q.push(ev.at_nanos, EventKind::Arrival { request: i, node });
+        }
+
+        while let Some(event) = q.pop() {
+            let now = event.at_nanos;
+            match event.kind {
+                EventKind::Arrival { request, node } => {
+                    let done = self.nodes[node].schedule(now);
+                    q.push(done, EventKind::EdgeDone { request, node });
+                }
+                EventKind::EdgeDone { request, node } => {
+                    let image = images.select_rows(&[request]);
+                    let n = &mut self.nodes[node];
+                    let pass = n.scorer.evaluate(&image);
+                    let score = pass.scores[0];
+                    let edge_label = pass.labels[0];
+                    if let Some(a) = n.adaptive.as_mut() {
+                        a.on_request();
+                    }
+                    let route = n.policy.decide(score, &ctx);
+                    if !route.is_cloud() {
+                        n.stats.edge_answered += 1;
+                        outcomes[request] = Some(Outcome {
+                            completed_nanos: now,
+                            route: OutcomeRoute::Edge,
+                            label: edge_label,
+                        });
+                        continue;
+                    }
+                    let admitted = n
+                        .adaptive
+                        .as_ref()
+                        .is_none_or(|a| a.admits(&ctx.offload_cost));
+                    if !admitted {
+                        n.stats.budget_denied += 1;
+                        outcomes[request] = Some(Outcome {
+                            completed_nanos: now,
+                            route: OutcomeRoute::BudgetDenied,
+                            label: edge_label,
+                        });
+                        continue;
+                    }
+                    if let Some(a) = n.adaptive.as_mut() {
+                        a.charge(&ctx.offload_cost);
+                    }
+                    let sev = severity_at(degrade, now);
+                    let up = link.sample_transmit_ms(input_bytes, sev, &mut link_rng);
+                    let service = ms_to_nanos(up.service_ms).max(1);
+                    match n.uplink.offer(now, service) {
+                        None => {
+                            n.stats.link_fallbacks += 1;
+                            outcomes[request] = Some(Outcome {
+                                completed_nanos: now,
+                                route: OutcomeRoute::LinkFallback,
+                                label: edge_label,
+                            });
+                        }
+                        Some(departure) => {
+                            let prop = link.sample_propagation_ms(sev, &mut link_rng);
+                            q.push(
+                                departure.saturating_add(ms_to_nanos(prop)),
+                                EventKind::CloudArrival {
+                                    request,
+                                    node,
+                                    decided_nanos: now,
+                                },
+                            );
+                        }
+                    }
+                }
+                EventKind::CloudArrival {
+                    request,
+                    node,
+                    decided_nanos,
+                } => {
+                    let appeal = PendingAppeal {
+                        request,
+                        node,
+                        decided_nanos,
+                        arrived_nanos: now,
+                    };
+                    match self.cloud.push(now, appeal) {
+                        CloudPush::FlushNow => flush_cloud(
+                            &mut self.cloud,
+                            now,
+                            &images,
+                            &link,
+                            degrade,
+                            &mut link_rng,
+                            &mut q,
+                        ),
+                        CloudPush::ScheduleDeadline(at) => q.push(at, EventKind::CloudDeadline),
+                        CloudPush::Queued => {}
+                    }
+                }
+                EventKind::CloudDeadline => {
+                    if self.cloud.deadline_due(now) {
+                        flush_cloud(
+                            &mut self.cloud,
+                            now,
+                            &images,
+                            &link,
+                            degrade,
+                            &mut link_rng,
+                            &mut q,
+                        );
+                    }
+                }
+                EventKind::CloudCompletion {
+                    request,
+                    node,
+                    decided_nanos,
+                    label,
+                } => {
+                    let n = &mut self.nodes[node];
+                    n.stats.cloud_answered += 1;
+                    if let Some(a) = n.adaptive.as_mut() {
+                        a.observe((now.saturating_sub(decided_nanos)) as f64 / 1e6);
+                    }
+                    outcomes[request] = Some(Outcome {
+                        completed_nanos: now,
+                        route: OutcomeRoute::Cloud,
+                        label,
+                    });
+                }
+            }
+        }
+
+        self.collect_metrics(&arrival_nanos, &outcomes)
+    }
+
+    fn collect_metrics(&self, arrival_nanos: &[u64], outcomes: &[Option<Outcome>]) -> FleetMetrics {
+        let requests = outcomes.len() as u64;
+        let mut completed = 0u64;
+        let (mut edge, mut cloud, mut fallback, mut denied) = (0u64, 0u64, 0u64, 0u64);
+        let mut latencies = Vec::with_capacity(outcomes.len());
+        let mut slo_violations = 0u64;
+        let mut last_completion = 0u64;
+        let degrade_at = self.config.degrade.map(|d| d.after_nanos);
+        let mut pre = (0u64, 0u64, Vec::new()); // requests, cloud, latencies
+        let mut post = (0u64, 0u64, Vec::new());
+        let mut labels_digest: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for (i, slot) in outcomes.iter().enumerate() {
+            let Some(o) = slot else { continue };
+            completed += 1;
+            for byte in (o.label as u64).to_le_bytes() {
+                labels_digest ^= u64::from(byte);
+                labels_digest = labels_digest.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let lat_ms = o.completed_nanos.saturating_sub(arrival_nanos[i]) as f64 / 1e6;
+            latencies.push(lat_ms);
+            if lat_ms > self.config.slo_ms {
+                slo_violations += 1;
+            }
+            last_completion = last_completion.max(o.completed_nanos);
+            let is_cloud = o.route == OutcomeRoute::Cloud;
+            match o.route {
+                OutcomeRoute::Edge => edge += 1,
+                OutcomeRoute::Cloud => cloud += 1,
+                OutcomeRoute::LinkFallback => fallback += 1,
+                OutcomeRoute::BudgetDenied => denied += 1,
+            }
+            if let Some(at) = degrade_at {
+                let phase = if arrival_nanos[i] < at {
+                    &mut pre
+                } else {
+                    &mut post
+                };
+                phase.0 += 1;
+                phase.1 += u64::from(is_cloud);
+                phase.2.push(lat_ms);
+            }
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let mean_ms = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        let span_ms = last_completion as f64 / 1e6;
+        let cloud_busy_ms = self.cloud.busy_nanos() as f64 / 1e6;
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| NodeSummary {
+                id: n.id(),
+                requests: n.stats().requests,
+                edge_answered: n.stats().edge_answered,
+                cloud_answered: n.stats().cloud_answered,
+                link_fallbacks: n.stats().link_fallbacks,
+                budget_denied: n.stats().budget_denied,
+                busy_ms: n.stats().busy_nanos as f64 / 1e6,
+                final_budget_ms: n.adaptive().map(AdaptiveBudget::current_budget_ms),
+                tightenings: n.adaptive().map_or(0, AdaptiveBudget::tightenings),
+            })
+            .collect();
+        let phase_metrics = |(reqs, cloud_n, mut lats): (u64, u64, Vec<f64>)| {
+            lats.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            PhaseMetrics {
+                requests: reqs,
+                cloud_answered: cloud_n,
+                appeal_rate: cloud_n as f64 / reqs.max(1) as f64,
+                p50_ms: percentile(&lats, 0.50),
+                p99_ms: percentile(&lats, 0.99),
+            }
+        };
+        FleetMetrics {
+            requests,
+            completed,
+            edge_answered: edge,
+            cloud_answered: cloud,
+            link_fallbacks: fallback,
+            budget_denied: denied,
+            uplink_accepted: self.nodes.iter().map(EdgeNode::uplink_accepted).sum(),
+            uplink_rejected: self.nodes.iter().map(EdgeNode::uplink_rejected).sum(),
+            p50_ms: percentile(&latencies, 0.50),
+            p99_ms: percentile(&latencies, 0.99),
+            max_ms: percentile(&latencies, 1.0),
+            mean_ms,
+            slo_ms: self.config.slo_ms,
+            slo_violations,
+            skipping_rate: (edge + fallback + denied) as f64 / completed.max(1) as f64,
+            appeal_rate: cloud as f64 / completed.max(1) as f64,
+            span_ms,
+            cloud_busy_ms,
+            cloud_load: if span_ms > 0.0 {
+                cloud_busy_ms / span_ms
+            } else {
+                0.0
+            },
+            cloud_batches: self.cloud.batches(),
+            mean_batch: self.cloud.served() as f64 / self.cloud.batches().max(1) as f64,
+            labels_digest,
+            nodes,
+            pre_degrade: degrade_at.map(|_| phase_metrics(pre)),
+            post_degrade: degrade_at.map(|_| phase_metrics(post)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appeal_models::{ModelFamily, ModelSpec};
+    use appealnet_core::server::trace::TraceShape;
+
+    fn build(config: FleetConfig) -> FleetSim {
+        let mut rng = SeededRng::new(2021);
+        let little = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 4).build(&mut rng);
+        let big = ModelSpec::big([3, 12, 12], 4).build(&mut rng);
+        FleetSim::new(TwoHeadNet::from_parts(little, &mut rng), big, config).unwrap()
+    }
+
+    fn config(nodes: usize, delta: f64) -> FleetConfig {
+        FleetConfig {
+            nodes,
+            delta,
+            edge_device: DeviceSpec::mobile_soc(),
+            cloud: CloudConfig {
+                device: DeviceSpec::cloud_gpu(),
+                max_batch: 8,
+                deadline_ms: 2.0,
+                batch_overhead_ms: 1.0,
+            },
+            link: StochasticLink::wifi(),
+            degrade: None,
+            adaptive: None,
+            slo_ms: 100.0,
+            chunk: ChunkPolicy::sequential(),
+            seed: 7,
+        }
+    }
+
+    fn trace(requests: usize) -> TraceSpec {
+        TraceSpec {
+            shape: TraceShape::Uniform,
+            requests,
+            mean_gap_nanos: 2_000_000,
+            clients: 16,
+            seed: 2021,
+        }
+    }
+
+    #[test]
+    fn every_request_completes_and_ledgers_reconcile() {
+        let mut sim = build(config(4, 0.5));
+        let metrics = sim.run(&trace(96));
+        assert_eq!(metrics.completed, 96);
+        let violations = metrics.check();
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn delta_extremes_route_everything_one_way() {
+        // δ = 0: every score ≥ 0 stays on the edge.
+        let mut all_edge = build(config(4, 0.0));
+        let m = all_edge.run(&trace(48));
+        assert_eq!(m.edge_answered, 48);
+        assert_eq!(m.cloud_answered, 0);
+        assert!((m.skipping_rate - 1.0).abs() < 1e-12);
+        // δ = 1: (untrained q scores sit below 1) everything appeals.
+        let mut all_cloud = build(config(4, 1.0));
+        let m = all_cloud.run(&trace(48));
+        assert_eq!(m.edge_answered, 0);
+        assert!(m.cloud_answered + m.link_fallbacks == 48);
+        assert!(m.cloud_answered > 0, "some appeals must get through");
+        assert!(m.check().is_empty());
+    }
+
+    #[test]
+    fn cloud_latency_exceeds_edge_latency() {
+        let mut sim = build(config(4, 1.0));
+        let cloudy = sim.run(&trace(48));
+        let mut edge_sim = build(config(4, 0.0));
+        let edgy = edge_sim.run(&trace(48));
+        assert!(
+            cloudy.p50_ms > edgy.p50_ms * 5.0,
+            "appeals pay the link: {} vs {}",
+            cloudy.p50_ms,
+            edgy.p50_ms
+        );
+    }
+
+    #[test]
+    fn rejects_empty_fleet_and_bad_slo() {
+        let mut c = config(0, 0.5);
+        let mut rng = SeededRng::new(2021);
+        let little = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 4).build(&mut rng);
+        let big = ModelSpec::big([3, 12, 12], 4).build(&mut rng);
+        let net = TwoHeadNet::from_parts(little, &mut rng);
+        assert!(matches!(
+            FleetSim::new(net.clone(), big.clone(), c.clone()),
+            Err(FleetError::NoNodes)
+        ));
+        c.nodes = 2;
+        c.slo_ms = 0.0;
+        assert!(matches!(
+            FleetSim::new(net, big, c),
+            Err(FleetError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn degradation_slows_the_post_phase() {
+        let mut c = config(4, 1.0);
+        c.link = StochasticLink::lte();
+        c.degrade = Some(Degradation {
+            after_nanos: 48 * 1_000_000, // mid-trace
+            severity: 4.0,
+        });
+        let mut sim = build(c);
+        let m = sim.run(&trace(96));
+        let pre = m.pre_degrade.as_ref().expect("pre phase");
+        let post = m.post_degrade.as_ref().expect("post phase");
+        assert!(pre.requests > 0 && post.requests > 0);
+        assert!(
+            post.p50_ms > pre.p50_ms,
+            "degraded link must slow appeals: {} vs {}",
+            post.p50_ms,
+            pre.p50_ms
+        );
+        assert!(m.check().is_empty());
+    }
+}

@@ -105,7 +105,8 @@ impl SystemModel {
         let result_bytes = 16; // a class id + confidence comfortably fits
         let edge = self.edge_only_cost(little_flops);
         let uplink_energy = self.link.energy_mj(input_bytes + result_bytes);
-        let uplink_latency = self.link.latency_ms(input_bytes) + self.link.latency_ms(result_bytes);
+        // Full appeal round trip: features up, logits back — one full RTT.
+        let uplink_latency = self.link.round_trip_ms(input_bytes, result_bytes);
         InferenceCost {
             flops: little_flops + big_flops,
             energy_mj: edge.energy_mj + uplink_energy + self.cloud.energy_mj(big_flops),

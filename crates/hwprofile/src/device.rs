@@ -1,5 +1,6 @@
 //! Compute device specifications.
 
+use crate::error::{require_positive, HwError, HwResult};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -25,42 +26,55 @@ pub struct DeviceSpec {
 impl DeviceSpec {
     /// Creates a custom device specification.
     ///
-    /// # Panics
-    ///
-    /// Panics if any numeric field is not positive.
+    /// Returns [`HwError`] if any numeric field is not positive (NaN is
+    /// rejected too).
     pub fn new(
         name: impl Into<String>,
         peak_gflops: f64,
         energy_per_flop_pj: f64,
         memory_kb: u64,
-    ) -> Self {
-        assert!(peak_gflops > 0.0, "peak_gflops must be positive");
-        assert!(
-            energy_per_flop_pj > 0.0,
-            "energy_per_flop_pj must be positive"
-        );
-        assert!(memory_kb > 0, "memory_kb must be positive");
-        Self {
+    ) -> HwResult<Self> {
+        require_positive("peak_gflops", peak_gflops)?;
+        require_positive("energy_per_flop_pj", energy_per_flop_pj)?;
+        if memory_kb == 0 {
+            return Err(HwError::ZeroCapacity { field: "memory_kb" });
+        }
+        Ok(Self {
             name: name.into(),
             peak_gflops,
             energy_per_flop_pj,
             memory_kb,
-        }
+        })
     }
 
     /// A resource-starved IoT microcontroller (Cortex-M class).
     pub fn edge_mcu() -> Self {
-        Self::new("edge-mcu", 0.5, 120.0, 512)
+        Self {
+            name: "edge-mcu".into(),
+            peak_gflops: 0.5,
+            energy_per_flop_pj: 120.0,
+            memory_kb: 512,
+        }
     }
 
     /// A mobile system-on-chip (smartphone / robot vacuum class).
     pub fn mobile_soc() -> Self {
-        Self::new("mobile-soc", 20.0, 30.0, 64 * 1024)
+        Self {
+            name: "mobile-soc".into(),
+            peak_gflops: 20.0,
+            energy_per_flop_pj: 30.0,
+            memory_kb: 64 * 1024,
+        }
     }
 
     /// A cloud GPU accelerator.
     pub fn cloud_gpu() -> Self {
-        Self::new("cloud-gpu", 10_000.0, 8.0, 16 * 1024 * 1024)
+        Self {
+            name: "cloud-gpu".into(),
+            peak_gflops: 10_000.0,
+            energy_per_flop_pj: 8.0,
+            memory_kb: 16 * 1024 * 1024,
+        }
     }
 
     /// Time to execute `flops` floating-point operations, in milliseconds.
@@ -126,9 +140,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "peak_gflops must be positive")]
-    fn rejects_nonpositive_throughput() {
-        let _ = DeviceSpec::new("bad", 0.0, 1.0, 1);
+    fn rejects_invalid_fields() {
+        assert_eq!(
+            DeviceSpec::new("bad", 0.0, 1.0, 1),
+            Err(HwError::NonPositive {
+                field: "peak_gflops",
+                value: 0.0,
+            })
+        );
+        assert_eq!(
+            DeviceSpec::new("bad", 1.0, -1.0, 1),
+            Err(HwError::NonPositive {
+                field: "energy_per_flop_pj",
+                value: -1.0,
+            })
+        );
+        assert_eq!(
+            DeviceSpec::new("bad", 1.0, 1.0, 0),
+            Err(HwError::ZeroCapacity { field: "memory_kb" })
+        );
+    }
+
+    #[test]
+    fn presets_pass_their_own_validation() {
+        for preset in [
+            DeviceSpec::edge_mcu(),
+            DeviceSpec::mobile_soc(),
+            DeviceSpec::cloud_gpu(),
+        ] {
+            let rebuilt = DeviceSpec::new(
+                preset.name.clone(),
+                preset.peak_gflops,
+                preset.energy_per_flop_pj,
+                preset.memory_kb,
+            )
+            .expect("preset fields must validate");
+            assert_eq!(rebuilt, preset);
+        }
     }
 
     #[test]

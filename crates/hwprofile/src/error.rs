@@ -1,0 +1,142 @@
+//! The typed error surface of the hardware-model constructors.
+//!
+//! Mirrors the `appealnet_core::CoreError` policy: invalid *user* inputs —
+//! a non-positive bandwidth, a loss probability outside `[0, 1)`, a
+//! zero-depth link queue — are reported as [`HwError`] values instead of
+//! panics, so a serving system assembling device/link specs from
+//! configuration can surface a typed diagnostic rather than aborting.
+//! Internal invariants remain `assert!`s: violating them is a bug in this
+//! crate, not a caller mistake.
+
+use std::fmt;
+
+/// Errors returned by the public device/link/profiler constructors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HwError {
+    /// A spec field that must be strictly positive was zero, negative or NaN.
+    NonPositive {
+        /// The offending field, e.g. `"bandwidth_mbps"`.
+        field: &'static str,
+        /// The supplied value.
+        value: f64,
+    },
+    /// A spec field that must be non-negative was negative or NaN.
+    Negative {
+        /// The offending field, e.g. `"rtt_ms"`.
+        field: &'static str,
+        /// The supplied value.
+        value: f64,
+    },
+    /// A probability field outside `[0, 1)` (or NaN).
+    InvalidProbability {
+        /// The offending field, e.g. `"loss"`.
+        field: &'static str,
+        /// The supplied value.
+        value: f64,
+    },
+    /// A queue or memory capacity that must be positive was zero.
+    ZeroCapacity {
+        /// The offending field, e.g. `"queue_capacity"`.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::NonPositive { field, value } => {
+                write!(f, "{field} must be positive, got {value}")
+            }
+            HwError::Negative { field, value } => {
+                write!(f, "{field} must be non-negative, got {value}")
+            }
+            HwError::InvalidProbability { field, value } => {
+                write!(f, "{field} must be a probability in [0, 1), got {value}")
+            }
+            HwError::ZeroCapacity { field } => {
+                write!(f, "{field} must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+/// Convenience alias for results of the hardware-model constructors.
+pub type HwResult<T> = Result<T, HwError>;
+
+/// Checks that `value` is strictly positive (rejecting NaN).
+pub(crate) fn require_positive(field: &'static str, value: f64) -> HwResult<()> {
+    if value > 0.0 {
+        Ok(())
+    } else {
+        Err(HwError::NonPositive { field, value })
+    }
+}
+
+/// Checks that `value` is non-negative (rejecting NaN).
+pub(crate) fn require_non_negative(field: &'static str, value: f64) -> HwResult<()> {
+    if value >= 0.0 {
+        Ok(())
+    } else {
+        Err(HwError::Negative { field, value })
+    }
+}
+
+/// Checks that `value` is a probability in `[0, 1)` (rejecting NaN).
+pub(crate) fn require_probability(field: &'static str, value: f64) -> HwResult<()> {
+    if (0.0..1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(HwError::InvalidProbability { field, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        assert!(HwError::NonPositive {
+            field: "bandwidth_mbps",
+            value: -1.0,
+        }
+        .to_string()
+        .contains("bandwidth_mbps"));
+        assert!(HwError::Negative {
+            field: "rtt_ms",
+            value: -2.0,
+        }
+        .to_string()
+        .contains("-2"));
+        assert!(HwError::InvalidProbability {
+            field: "loss",
+            value: 1.5,
+        }
+        .to_string()
+        .contains("[0, 1)"));
+        assert!(HwError::ZeroCapacity {
+            field: "queue_capacity",
+        }
+        .to_string()
+        .contains("queue_capacity"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let err: Box<dyn std::error::Error> = Box::new(HwError::ZeroCapacity { field: "x" });
+        assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn validators_reject_nan() {
+        assert!(require_positive("f", f64::NAN).is_err());
+        assert!(require_non_negative("f", f64::NAN).is_err());
+        assert!(require_probability("f", f64::NAN).is_err());
+        assert!(require_positive("f", 0.1).is_ok());
+        assert!(require_non_negative("f", 0.0).is_ok());
+        assert!(require_probability("f", 0.0).is_ok());
+        assert!(require_probability("f", 1.0).is_err());
+    }
+}

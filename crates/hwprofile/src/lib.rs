@@ -33,20 +33,26 @@
 pub mod budget;
 pub mod cost;
 pub mod device;
+pub mod error;
 pub mod link;
 pub mod profiler;
+pub mod stochastic;
 
 pub use budget::{CostBudget, CostMeter};
 pub use cost::{InferenceCost, SystemModel};
 pub use device::DeviceSpec;
+pub use error::{HwError, HwResult};
 pub use link::LinkSpec;
 pub use profiler::{HardwareProfiler, ProfileDecision};
+pub use stochastic::{LinkQueue, StochasticLink, TransferSample};
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::budget::{CostBudget, CostMeter};
     pub use crate::cost::{InferenceCost, SystemModel};
     pub use crate::device::DeviceSpec;
+    pub use crate::error::{HwError, HwResult};
     pub use crate::link::LinkSpec;
     pub use crate::profiler::{HardwareProfiler, ProfileDecision};
+    pub use crate::stochastic::{LinkQueue, StochasticLink, TransferSample};
 }

@@ -1,5 +1,6 @@
 //! Edge-to-cloud communication link specifications.
 
+use crate::error::{require_non_negative, require_positive, HwResult};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -19,44 +20,78 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// Creates a custom link specification.
     ///
-    /// # Panics
-    ///
-    /// Panics if bandwidth or energy is not positive, or RTT is negative.
+    /// Returns [`crate::HwError`] if bandwidth or energy is not positive,
+    /// or RTT is negative (NaN is rejected by all three checks).
     pub fn new(
         name: impl Into<String>,
         bandwidth_mbps: f64,
         energy_per_byte_nj: f64,
         rtt_ms: f64,
-    ) -> Self {
-        assert!(bandwidth_mbps > 0.0, "bandwidth must be positive");
-        assert!(energy_per_byte_nj > 0.0, "energy per byte must be positive");
-        assert!(rtt_ms >= 0.0, "rtt must be non-negative");
-        Self {
+    ) -> HwResult<Self> {
+        require_positive("bandwidth_mbps", bandwidth_mbps)?;
+        require_positive("energy_per_byte_nj", energy_per_byte_nj)?;
+        require_non_negative("rtt_ms", rtt_ms)?;
+        Ok(Self {
             name: name.into(),
             bandwidth_mbps,
             energy_per_byte_nj,
             rtt_ms,
-        }
+        })
     }
 
     /// A home/office Wi-Fi link.
     pub fn wifi() -> Self {
-        Self::new("wifi", 50.0, 90.0, 10.0)
+        Self {
+            name: "wifi".into(),
+            bandwidth_mbps: 50.0,
+            energy_per_byte_nj: 90.0,
+            rtt_ms: 10.0,
+        }
     }
 
     /// A cellular LTE link.
     pub fn lte() -> Self {
-        Self::new("lte", 10.0, 400.0, 50.0)
+        Self {
+            name: "lte".into(),
+            bandwidth_mbps: 10.0,
+            energy_per_byte_nj: 400.0,
+            rtt_ms: 50.0,
+        }
     }
 
     /// A constrained LPWAN-style link (worst case for offloading).
     pub fn lpwan() -> Self {
-        Self::new("lpwan", 0.25, 1500.0, 500.0)
+        Self {
+            name: "lpwan".into(),
+            bandwidth_mbps: 0.25,
+            energy_per_byte_nj: 1500.0,
+            rtt_ms: 500.0,
+        }
     }
 
-    /// Time to transmit `bytes` one way plus half the round trip, in milliseconds.
+    /// Pure serialization time for `bytes` at the link bandwidth, in
+    /// milliseconds — no propagation component.
+    pub fn transmit_ms(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 / (self.bandwidth_mbps * 1e6) * 1e3
+    }
+
+    /// Time to transmit `bytes` one way plus half the round trip, in
+    /// milliseconds.
+    ///
+    /// This charges only *half* the RTT: it models a single one-way message.
+    /// The appeal path (features up, logits back) is two such messages — use
+    /// [`Self::round_trip_ms`] so the response leg is not dropped.
     pub fn latency_ms(&self, bytes: u64) -> f64 {
-        bytes as f64 * 8.0 / (self.bandwidth_mbps * 1e6) * 1e3 + self.rtt_ms / 2.0
+        self.transmit_ms(bytes) + self.rtt_ms / 2.0
+    }
+
+    /// Full appeal-response latency: send `up_bytes` to the cloud and
+    /// receive `down_bytes` back, in milliseconds.
+    ///
+    /// Each direction pays its serialization time plus half the RTT, so the
+    /// pair charges exactly one full RTT of propagation.
+    pub fn round_trip_ms(&self, up_bytes: u64, down_bytes: u64) -> f64 {
+        self.latency_ms(up_bytes) + self.latency_ms(down_bytes)
     }
 
     /// Transmission energy for `bytes`, in millijoules.
@@ -78,6 +113,7 @@ impl fmt::Display for LinkSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::HwError;
 
     #[test]
     fn presets_are_ordered() {
@@ -87,10 +123,41 @@ mod tests {
     }
 
     #[test]
+    fn presets_pass_their_own_validation() {
+        for preset in [LinkSpec::wifi(), LinkSpec::lte(), LinkSpec::lpwan()] {
+            let rebuilt = LinkSpec::new(
+                preset.name.clone(),
+                preset.bandwidth_mbps,
+                preset.energy_per_byte_nj,
+                preset.rtt_ms,
+            )
+            .expect("preset fields must validate");
+            assert_eq!(rebuilt, preset);
+        }
+    }
+
+    #[test]
     fn latency_includes_rtt() {
         let link = LinkSpec::wifi();
         assert!(link.latency_ms(0) >= link.rtt_ms / 2.0);
         assert!(link.latency_ms(1_000_000) > link.latency_ms(1_000));
+    }
+
+    #[test]
+    fn transmit_excludes_propagation() {
+        let link = LinkSpec::wifi();
+        assert!((link.transmit_ms(0)).abs() < 1e-12);
+        assert!((link.latency_ms(4096) - link.transmit_ms(4096) - link.rtt_ms / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_charges_one_full_rtt() {
+        let link = LinkSpec::lte();
+        let rt = link.round_trip_ms(4096, 16);
+        let expected = link.transmit_ms(4096) + link.transmit_ms(16) + link.rtt_ms;
+        assert!((rt - expected).abs() < 1e-12);
+        // The old single-call accounting undercounts by half the RTT.
+        assert!(rt > link.latency_ms(4096 + 16));
     }
 
     #[test]
@@ -106,8 +173,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bandwidth must be positive")]
-    fn rejects_zero_bandwidth() {
-        let _ = LinkSpec::new("bad", 0.0, 1.0, 1.0);
+    fn rejects_invalid_fields() {
+        assert_eq!(
+            LinkSpec::new("bad", 0.0, 1.0, 1.0),
+            Err(HwError::NonPositive {
+                field: "bandwidth_mbps",
+                value: 0.0,
+            })
+        );
+        assert_eq!(
+            LinkSpec::new("bad", 1.0, -1.0, 1.0),
+            Err(HwError::NonPositive {
+                field: "energy_per_byte_nj",
+                value: -1.0,
+            })
+        );
+        assert_eq!(
+            LinkSpec::new("bad", 1.0, 1.0, -1.0),
+            Err(HwError::Negative {
+                field: "rtt_ms",
+                value: -1.0,
+            })
+        );
+        assert!(LinkSpec::new("bad", f64::NAN, 1.0, 1.0).is_err());
     }
 }

@@ -7,6 +7,7 @@
 //! `appealnet-core`).
 
 use crate::device::DeviceSpec;
+use crate::error::{require_positive, HwResult};
 use appeal_models::{ModelCost, ModelSpec};
 use appeal_tensor::SeededRng;
 use serde::{Deserialize, Serialize};
@@ -43,15 +44,13 @@ pub struct HardwareProfiler {
 impl HardwareProfiler {
     /// Creates a profiler for a device with a per-inference latency budget.
     ///
-    /// # Panics
-    ///
-    /// Panics if the latency budget is not positive.
-    pub fn new(device: DeviceSpec, latency_budget_ms: f64) -> Self {
-        assert!(latency_budget_ms > 0.0, "latency budget must be positive");
-        Self {
+    /// Returns [`crate::HwError`] if the latency budget is not positive.
+    pub fn new(device: DeviceSpec, latency_budget_ms: f64) -> HwResult<Self> {
+        require_positive("latency_budget_ms", latency_budget_ms)?;
+        Ok(Self {
             device,
             latency_budget_ms,
-        }
+        })
     }
 
     /// The device being profiled against.
@@ -108,7 +107,7 @@ mod tests {
 
     #[test]
     fn profile_reports_cost_and_latency() {
-        let profiler = HardwareProfiler::new(DeviceSpec::mobile_soc(), 10.0);
+        let profiler = HardwareProfiler::new(DeviceSpec::mobile_soc(), 10.0).unwrap();
         let d = profiler.profile(&ModelSpec::little(
             ModelFamily::MobileNetLike,
             [3, 12, 12],
@@ -121,7 +120,7 @@ mod tests {
 
     #[test]
     fn generous_budget_selects_most_capable_candidate() {
-        let profiler = HardwareProfiler::new(DeviceSpec::cloud_gpu(), 1000.0);
+        let profiler = HardwareProfiler::new(DeviceSpec::cloud_gpu(), 1000.0).unwrap();
         let selected = profiler.select(&pool()).expect("something must fit");
         // With no effective constraint, the big network wins.
         assert_eq!(selected.spec.family, ModelFamily::ResNetLike);
@@ -135,27 +134,34 @@ mod tests {
         let big_params = ModelSpec::big([3, 12, 12], 10)
             .build(&mut rng)
             .param_count() as u64;
-        let tight = DeviceSpec::new("tight-mcu", 0.5, 120.0, (big_params * 4 / 1024).max(1) / 2);
-        let profiler = HardwareProfiler::new(tight, 1e9);
+        let tight =
+            DeviceSpec::new("tight-mcu", 0.5, 120.0, (big_params * 4 / 1024).max(1) / 2).unwrap();
+        let profiler = HardwareProfiler::new(tight, 1e9).unwrap();
         let selected = profiler.select(&pool()).expect("a little model must fit");
         assert!(selected.spec.family.is_little());
     }
 
     #[test]
     fn impossible_latency_budget_selects_nothing() {
-        let profiler = HardwareProfiler::new(DeviceSpec::edge_mcu(), 1e-6);
+        let profiler = HardwareProfiler::new(DeviceSpec::edge_mcu(), 1e-6).unwrap();
         assert!(profiler.select(&pool()).is_none());
     }
 
     #[test]
     fn profile_pool_covers_all_candidates() {
-        let profiler = HardwareProfiler::new(DeviceSpec::mobile_soc(), 10.0);
+        let profiler = HardwareProfiler::new(DeviceSpec::mobile_soc(), 10.0).unwrap();
         assert_eq!(profiler.profile_pool(&pool()).len(), pool().len());
     }
 
     #[test]
-    #[should_panic(expected = "latency budget must be positive")]
     fn rejects_zero_budget() {
-        let _ = HardwareProfiler::new(DeviceSpec::mobile_soc(), 0.0);
+        let err = HardwareProfiler::new(DeviceSpec::mobile_soc(), 0.0).unwrap_err();
+        assert_eq!(
+            err,
+            crate::HwError::NonPositive {
+                field: "latency_budget_ms",
+                value: 0.0,
+            }
+        );
     }
 }

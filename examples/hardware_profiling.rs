@@ -33,7 +33,8 @@ fn main() -> Result<(), CoreError> {
     ];
 
     for (device, latency_budget_ms) in targets {
-        let profiler = HardwareProfiler::new(device.clone(), latency_budget_ms);
+        let profiler = HardwareProfiler::new(device.clone(), latency_budget_ms)
+            .expect("latency budgets above are positive");
         println!("device: {device}, latency budget: {latency_budget_ms} ms");
         println!(
             "  candidate                              MFLOPs   params(k)  latency(ms)  deployable"
@@ -61,7 +62,8 @@ fn main() -> Result<(), CoreError> {
     // The selected architecture deploys directly into the serving engine —
     // here with untrained weights and an MSP confidence scorer, just to show
     // the wiring from profiler output to a running engine.
-    let profiler = HardwareProfiler::new(DeviceSpec::mobile_soc(), 5.0);
+    let profiler =
+        HardwareProfiler::new(DeviceSpec::mobile_soc(), 5.0).expect("budget is positive");
     let best = profiler.select(&pool).expect("the pool fits a mobile SoC");
     let mut rng = SeededRng::new(2021);
     let little = best.spec.build(&mut rng);

@@ -17,7 +17,7 @@ fn fig3_workflow_profiler_to_deployed_system() {
     // 1. Hardware profiler: pick the most capable little model that fits a
     //    mobile SoC with a 5 ms latency budget.
     let device = DeviceSpec::mobile_soc();
-    let profiler = HardwareProfiler::new(device.clone(), 5.0);
+    let profiler = HardwareProfiler::new(device.clone(), 5.0).expect("budget is positive");
     let preset = DatasetPreset::Cifar10Like;
     let input_shape = {
         let spec = preset.spec(Fidelity::Smoke);
