@@ -1,0 +1,300 @@
+//! Fault-injection driver: replays scripted outages through the
+//! deterministic fleet simulator and reports how the recovery machinery
+//! (circuit breaker, bounded retries, graceful degradation) holds the SLO
+//! and what degraded answers cost in accuracy.
+//!
+//! ```text
+//! cargo run --release -p appeal-bench --bin fault_sim
+//! APPEALNET_FIDELITY=smoke cargo run --release -p appeal-bench --bin fault_sim
+//! ```
+//!
+//! Three experiment sections:
+//!
+//! - **A** — cloud outage duration × breaker on/off: every appeal sent into
+//!   a blackout times out; the breaker-on fleet must trip to fail-local fast
+//!   and end the run with strictly fewer SLO violations than the retry-only
+//!   fleet under a full-trace outage.
+//! - **B** — transient outage recovery: a mid-trace blackout ends and the
+//!   fleet must resume answering from the cloud (retries bridge the gap).
+//! - **C** — chaos mix: link brownout + response drop/corrupt + node crash
+//!   in one run; every ledger must still reconcile exactly.
+//!
+//! Every configuration is simulated twice and the rendered metrics compared
+//! byte-for-byte; any mismatch, accounting violation ([`FleetMetrics::check`])
+//! or missing breaker win makes the binary exit non-zero, so it doubles as a
+//! CI chaos smoke test.
+
+use appeal_bench::{fidelity_from_env, write_report};
+use appeal_dataset::Fidelity;
+use appeal_hw::{DeviceSpec, FaultEvent, FaultPlan, StochasticLink};
+use appeal_models::{ModelFamily, ModelSpec};
+use appeal_tensor::SeededRng;
+use appealnet_core::{ChunkPolicy, TwoHeadNet};
+use appealnet_fleet::trace::{TraceShape, TraceSpec};
+use appealnet_fleet::{
+    BreakerConfig, CloudConfig, FleetConfig, FleetMetrics, FleetSim, RecoveryConfig, RetryConfig,
+};
+
+const INPUT: [usize; 3] = [3, 12, 12];
+const CLASSES: usize = 4;
+const SEED: u64 = 2021;
+const MEAN_GAP_NANOS: u64 = 2_000_000; // 2 ms between arrivals on average
+const NODES: usize = 4;
+const MS: u64 = 1_000_000;
+
+/// Builds a fresh fleet for one run (tiny untrained models; the experiment
+/// measures recovery behaviour, not accuracy).
+fn build(config: FleetConfig) -> FleetSim {
+    let mut rng = SeededRng::new(SEED);
+    let little = ModelSpec::little(ModelFamily::MobileNetLike, INPUT, CLASSES).build(&mut rng);
+    let big = ModelSpec::big(INPUT, CLASSES).build(&mut rng);
+    FleetSim::new(TwoHeadNet::from_parts(little, &mut rng), big, config).expect("valid config")
+}
+
+/// The recovery policy under test. A tight 40 ms per-attempt deadline keeps
+/// failure detection inside even the short outage windows; the breaker (when
+/// on) is the stock appeal-path preset.
+fn recovery(with_breaker: bool) -> RecoveryConfig {
+    RecoveryConfig {
+        appeal_deadline_ms: 40.0,
+        retry: RetryConfig {
+            max_attempts: 3,
+            base_backoff_ms: 5.0,
+            max_backoff_ms: 40.0,
+        },
+        breaker: if with_breaker {
+            Some(BreakerConfig::default_for_appeals())
+        } else {
+            None
+        },
+    }
+}
+
+fn config(faults: FaultPlan, with_breaker: bool) -> FleetConfig {
+    FleetConfig {
+        nodes: NODES,
+        delta: 0.9,
+        edge_device: DeviceSpec::mobile_soc(),
+        cloud: CloudConfig {
+            device: DeviceSpec::cloud_gpu(),
+            max_batch: 8,
+            deadline_ms: 2.0,
+            batch_overhead_ms: 1.0,
+        },
+        link: StochasticLink::wifi(),
+        degrade: None,
+        adaptive: None,
+        recovery: Some(recovery(with_breaker)),
+        faults,
+        slo_ms: 100.0,
+        chunk: ChunkPolicy::sequential(),
+        seed: SEED,
+    }
+}
+
+fn trace(requests: usize) -> TraceSpec {
+    TraceSpec {
+        shape: TraceShape::Uniform,
+        requests,
+        mean_gap_nanos: MEAN_GAP_NANOS,
+        clients: 64,
+        seed: SEED,
+    }
+}
+
+/// Runs one configuration twice and byte-compares the rendered metrics; any
+/// drift or accounting violation lands in `violations`.
+fn simulate(
+    name: &str,
+    config: &FleetConfig,
+    trace: &TraceSpec,
+    violations: &mut Vec<String>,
+) -> (FleetMetrics, String) {
+    let metrics = build(config.clone()).run(trace);
+    let rendered = metrics.render();
+    let second = build(config.clone()).run(trace).render();
+    if rendered != second {
+        violations.push(format!(
+            "[{name}] two same-seed runs rendered different bytes"
+        ));
+    }
+    for v in metrics.check() {
+        violations.push(format!("[{name}] {v}"));
+    }
+    (metrics, rendered)
+}
+
+fn section(text: &mut String, title: &str) {
+    text.push_str(&format!("--- {title} ---\n"));
+}
+
+fn entry(text: &mut String, name: &str, rendered: &str) {
+    text.push_str(&format!("[{name}]\n"));
+    for line in rendered.lines() {
+        text.push_str(&format!("  {line}\n"));
+    }
+}
+
+fn main() {
+    let fidelity = fidelity_from_env();
+    let per_node = match fidelity {
+        Fidelity::Smoke => 24,
+        Fidelity::Paper => 96,
+    };
+    let requests = NODES * per_node;
+    let mut violations = Vec::new();
+    let mut text = format!(
+        "AppealNet fault injection: scripted outages vs the appeal-path recovery machinery\n\
+         fidelity {fidelity:?} | seed {SEED} | {NODES} nodes x {per_node} requests | \
+         delta 0.90 | wifi | appeal deadline 40 ms | 3 attempts | SLO 100 ms\n\n"
+    );
+
+    // A: outage duration × breaker on/off. The blackout starts at t = 10 ms;
+    // "full" outlives the entire run. Failure detection costs one 40 ms
+    // appeal deadline per attempt, so the retry-only fleet burns >= 100 ms
+    // per degraded request while the breaker-on fleet trips after one
+    // failure window and fails local in edge time.
+    section(&mut text, "A: SLO violations vs outage duration x breaker");
+    let mut full_outage = Vec::new();
+    for (dur_name, until_nanos) in [
+        ("60ms", 10 * MS + 60 * MS),
+        ("150ms", 10 * MS + 150 * MS),
+        ("full", u64::MAX),
+    ] {
+        for breaker_on in [false, true] {
+            let plan = FaultPlan::new(
+                SEED,
+                vec![FaultEvent::CloudBlackout {
+                    from_nanos: 10 * MS,
+                    until_nanos,
+                }],
+            )
+            .expect("valid plan");
+            let name = format!(
+                "outage={dur_name} breaker={}",
+                if breaker_on { "on" } else { "off" }
+            );
+            let cfg = config(plan, breaker_on);
+            let (m, rendered) = simulate(&name, &cfg, &trace(requests), &mut violations);
+            entry(&mut text, &name, &rendered);
+            if dur_name == "full" {
+                full_outage.push(m);
+            }
+        }
+    }
+    let (off, on) = (&full_outage[0], &full_outage[1]);
+    text.push_str(&format!(
+        "comparison (full outage): SLO violations {} retry-only -> {} breaker | \
+         degraded {} -> {} | breaker opened {}\n\n",
+        off.slo_violations,
+        on.slo_violations,
+        off.degraded_local,
+        on.degraded_local,
+        on.breaker_opened,
+    ));
+    if on.breaker_opened == 0 {
+        violations.push("[full outage] breaker never opened".into());
+    }
+    if on.slo_violations >= off.slo_violations {
+        violations.push(format!(
+            "[full outage] breaker-on SLO violations {} did not beat retry-only {}",
+            on.slo_violations, off.slo_violations
+        ));
+    }
+    if off.degraded_local == 0 || on.degraded_local == 0 {
+        violations.push("[full outage] no graceful degradation recorded".into());
+    }
+
+    // B: transient outage recovery. The blackout ends mid-trace; retries
+    // scheduled during it land after it, so the cloud must answer again and
+    // the run must record real retry traffic.
+    section(
+        &mut text,
+        "B: recovery after a transient outage (60 ms, breaker on)",
+    );
+    let plan = FaultPlan::new(
+        SEED,
+        vec![FaultEvent::CloudBlackout {
+            from_nanos: 10 * MS,
+            until_nanos: 70 * MS,
+        }],
+    )
+    .expect("valid plan");
+    let (m, rendered) = simulate(
+        "transient outage",
+        &config(plan, true),
+        &trace(requests),
+        &mut violations,
+    );
+    entry(&mut text, "transient outage", &rendered);
+    if m.cloud_answered == 0 {
+        violations.push("[transient] cloud never resumed answering".into());
+    }
+    if m.retries == 0 {
+        violations.push("[transient] no retries were attempted across the outage".into());
+    }
+    text.push('\n');
+
+    // C: chaos mix — a brownout stretching transfers 3x, lossy and
+    // corrupting return paths over the whole run, and node 0 crashed for
+    // 50 ms. The point is the ledger: simulate() reconciles every counter
+    // via FleetMetrics::check and byte-compares the replay.
+    section(
+        &mut text,
+        "C: chaos mix (brownout + drops + corruption + crash)",
+    );
+    let plan = FaultPlan::new(
+        SEED,
+        vec![
+            FaultEvent::LinkBrownout {
+                from_nanos: 20 * MS,
+                until_nanos: 120 * MS,
+                severity: 3.0,
+            },
+            FaultEvent::ResponseDrop {
+                from_nanos: 0,
+                until_nanos: u64::MAX,
+                probability: 0.25,
+            },
+            FaultEvent::ResponseCorrupt {
+                from_nanos: 0,
+                until_nanos: u64::MAX,
+                probability: 0.2,
+            },
+            FaultEvent::NodeCrash {
+                node: 0,
+                at_nanos: 20 * MS,
+                down_nanos: 50 * MS,
+            },
+        ],
+    )
+    .expect("valid plan");
+    let (m, rendered) = simulate(
+        "chaos",
+        &config(plan, true),
+        &trace(requests),
+        &mut violations,
+    );
+    entry(&mut text, "chaos", &rendered);
+    if m.crash_stalls == 0 {
+        violations.push("[chaos] the crashed node stalled no arrivals".into());
+    }
+    if m.response_drops + m.response_corrupt == 0 {
+        violations.push("[chaos] no response-path fault ever fired".into());
+    }
+    text.push('\n');
+
+    if violations.is_empty() {
+        text.push_str("invariants: all accounting, determinism and recovery checks passed\n");
+    } else {
+        text.push_str("invariants: VIOLATED\n");
+        for v in &violations {
+            text.push_str(&format!("  {v}\n"));
+        }
+    }
+    write_report("fault_sim", &text);
+    if !violations.is_empty() {
+        eprintln!("fault_sim detected {} violation(s)", violations.len());
+        std::process::exit(1);
+    }
+}

@@ -25,7 +25,7 @@
 
 use appeal_bench::{fidelity_from_env, write_report};
 use appeal_dataset::Fidelity;
-use appeal_hw::{DeviceSpec, StochasticLink};
+use appeal_hw::{DeviceSpec, FaultPlan, StochasticLink};
 use appeal_models::{ModelFamily, ModelSpec};
 use appeal_tensor::SeededRng;
 use appealnet_core::{ChunkPolicy, TwoHeadNet};
@@ -67,6 +67,8 @@ fn base_config(nodes: usize, delta: f64, link: StochasticLink) -> FleetConfig {
         link,
         degrade: None,
         adaptive: None,
+        recovery: None,
+        faults: FaultPlan::none(),
         slo_ms: 100.0,
         chunk: ChunkPolicy::sequential(),
         seed: SEED,

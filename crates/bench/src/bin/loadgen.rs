@@ -105,7 +105,7 @@ fn replay(name: &'static str, spec: &TraceSpec, delta: f64, config: ServerConfig
     drop(tx);
     let (latencies_ms, shed_seen) = collector.join().expect("collector thread");
     let wall = start.elapsed();
-    let (engine, stats) = server.shutdown();
+    let (engine, stats) = server.shutdown().expect("batcher exits cleanly");
     assert_eq!(engine.pending(), 0, "engine must hand back an empty queue");
 
     let mut sorted = latencies_ms;
@@ -252,6 +252,7 @@ fn main() {
                     budget: CostBudget::energy_mj(offload.energy_mj * 16.0),
                     window: 32,
                 }),
+                ..ServerConfig::default()
             },
         ),
         (
@@ -270,7 +271,7 @@ fn main() {
             ServerConfig {
                 queue_capacity: 256,
                 deadline,
-                shed: None,
+                ..ServerConfig::default()
             },
         ),
     ];

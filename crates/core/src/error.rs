@@ -8,6 +8,7 @@
 
 use crate::scores::ScoreKind;
 use std::fmt;
+use std::time::Duration;
 
 /// Errors returned by the public routing / tuning / serving APIs.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +81,19 @@ pub enum CoreError {
     ServerStopped,
     /// A shed policy's accounting window must cover at least one request.
     InvalidShedWindow,
+    /// The caller's per-request deadline elapsed before the answer arrived.
+    /// The request is still in flight on the server (its admission slot is
+    /// released only when the batcher settles it), but this ticket has
+    /// abandoned the answer.
+    DeadlineExceeded {
+        /// The deadline that elapsed.
+        deadline: Duration,
+    },
+    /// The batcher thread panicked. Its panic fence fails every queued
+    /// request with this error and marks the server dead; already-coalescing
+    /// tickets resolve with it too (via their disconnected channels), so no
+    /// client hangs. The server cannot recover — restart it.
+    BatcherPanicked,
 }
 
 impl fmt::Display for CoreError {
@@ -150,6 +164,19 @@ impl fmt::Display for CoreError {
             CoreError::InvalidShedWindow => {
                 write!(f, "shed policy window must cover at least one request")
             }
+            CoreError::DeadlineExceeded { deadline } => {
+                write!(
+                    f,
+                    "no answer within the per-request deadline of {deadline:?}"
+                )
+            }
+            CoreError::BatcherPanicked => {
+                write!(
+                    f,
+                    "the batcher thread panicked; in-flight requests were failed \
+                     and the server must be restarted"
+                )
+            }
         }
     }
 }
@@ -199,6 +226,12 @@ mod tests {
         assert!(CoreError::Shed.to_string().contains("budget"));
         assert!(CoreError::ServerStopped.to_string().contains("shut down"));
         assert!(CoreError::InvalidShedWindow.to_string().contains("window"));
+        assert!(CoreError::DeadlineExceeded {
+            deadline: Duration::from_millis(7)
+        }
+        .to_string()
+        .contains("7ms"));
+        assert!(CoreError::BatcherPanicked.to_string().contains("panicked"));
     }
 
     #[test]

@@ -147,6 +147,13 @@ pub struct ServerStats {
     pub shed: u64,
     /// Requests rejected at the admission queue (threaded server only).
     pub rejected: u64,
+    /// Requests failed with a typed error by the batcher — corrupt-queue
+    /// recovery or the panic fence (threaded server only).
+    pub failed: u64,
+    /// Tickets whose per-request deadline elapsed before the answer arrived
+    /// (threaded server only). The requests themselves still ran to
+    /// completion; only their callers stopped waiting.
+    pub deadline_expired: u64,
     /// Micro-batches flushed because they reached `max_batch`.
     pub size_flushes: u64,
     /// Micro-batches flushed because the oldest request hit the deadline.
@@ -356,6 +363,8 @@ impl MicroBatcher {
             answered: self.answered,
             shed: self.shed_count,
             rejected: 0,
+            failed: 0,
+            deadline_expired: 0,
             size_flushes: self.size_flushes,
             deadline_flushes: self.deadline_flushes,
             drain_flushes: self.drain_flushes,

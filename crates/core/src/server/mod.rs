@@ -65,7 +65,8 @@
 //!     ServerConfig {
 //!         queue_capacity: 256,
 //!         deadline: Duration::from_millis(2),
-//!         shed: None,
+//!         request_deadline: Some(Duration::from_millis(250)),
+//!         ..ServerConfig::default()
 //!     },
 //! )?;
 //! let handle = server.handle();
@@ -73,7 +74,7 @@
 //! let ticket = handle.submit(0, InferenceRequest::new(0, frame))?;
 //! let served = ticket.wait()?;
 //! println!("label {} after {:?} in queue", served.response.label, served.waited);
-//! let (_engine, stats) = server.shutdown();
+//! let (_engine, stats) = server.shutdown()?;
 //! println!("shed rate {:.1}%", 100.0 * stats.shed_rate());
 //! # Ok(())
 //! # }
@@ -90,11 +91,31 @@ use crate::error::{CoreError, CoreResult};
 use crate::serve::check_sample_shape;
 use crate::serve::{Engine, InferenceRequest, InferenceResponse};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How long the batcher sleeps between liveness re-checks when it has no
+/// coalescing deadline to wake for. Bounds every condvar wait so a missed
+/// notification (or a spurious-wakeup-free platform) can delay shutdown or
+/// new work by at most one tick, never forever.
+const WATCHDOG_TICK: Duration = Duration::from_millis(50);
+
+/// A scripted fault injected into the batcher thread — the serving-layer
+/// analogue of `appeal_hw::FaultPlan`. Chaos tests use it to prove the
+/// panic fence turns a dead batcher into typed [`CoreError::BatcherPanicked`]
+/// answers instead of hung clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerFault {
+    /// Panic the batcher immediately before it offers the `(after + 1)`-th
+    /// request (so `after: 0` kills it on the first request it ever sees).
+    PanicOnOffer {
+        /// How many requests are offered normally before the panic.
+        after: u64,
+    },
+}
 
 /// Configuration of the threaded serving front-end.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,15 +129,25 @@ pub struct ServerConfig {
     pub deadline: Duration,
     /// Optional cost-budget overload shedding (see [`ShedConfig`]).
     pub shed: Option<ShedConfig>,
+    /// Optional per-request answer deadline: [`Ticket::wait`] returns
+    /// [`CoreError::DeadlineExceeded`] if no answer arrives within this
+    /// budget. The request itself keeps running (and its admission slot is
+    /// released when the batcher settles it); only the caller stops waiting.
+    pub request_deadline: Option<Duration>,
+    /// Scripted batcher fault for chaos tests; `None` in production.
+    pub fault: Option<ServerFault>,
 }
 
 impl Default for ServerConfig {
-    /// 256 in-flight requests, a 2 ms coalescing deadline, no shedding.
+    /// 256 in-flight requests, a 2 ms coalescing deadline, no shedding, no
+    /// per-request deadline, no injected faults.
     fn default() -> Self {
         Self {
             queue_capacity: 256,
             deadline: Duration::from_millis(2),
             shed: None,
+            request_deadline: None,
+            fault: None,
         }
     }
 }
@@ -152,6 +183,15 @@ struct Shared {
     outstanding: AtomicUsize,
     /// Submissions rejected at the front door for backpressure.
     rejected: AtomicU64,
+    /// Requests failed with typed errors (corrupt-queue recovery, panic
+    /// fence). Merged into [`ServerStats::failed`] at shutdown.
+    failed: AtomicU64,
+    /// Tickets abandoned by their per-request deadline. Merged into
+    /// [`ServerStats::deadline_expired`] at shutdown.
+    deadline_expired: AtomicU64,
+    /// Set by the panic fence: the batcher died unwinding and the server
+    /// answers everything with [`CoreError::BatcherPanicked`] from now on.
+    panicked: AtomicBool,
     start: Instant,
     input_shape: [usize; 3],
 }
@@ -165,12 +205,49 @@ impl Shared {
     fn settle(&self, n: usize) {
         self.outstanding.fetch_sub(n, Ordering::AcqRel);
     }
+
+    /// Locks the queue, recovering from poisoning: a panicking batcher must
+    /// not wedge client threads — by the time they can observe the poison,
+    /// the panic fence has already failed the queued work, so the state
+    /// behind the lock is consistent.
+    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The typed "server went away" verdict: [`CoreError::BatcherPanicked`]
+    /// after a batcher panic, [`CoreError::ServerStopped`] after an orderly
+    /// shutdown.
+    ///
+    /// A waiter's channel can only disconnect because the batcher exited
+    /// orderly (the shutdown flag was set before it broke out of its loop)
+    /// or because it is unwinding (the fence sets `panicked` as part of the
+    /// same unwind). Between a sender dropping and the fence flagging there
+    /// is a small window; spin it out so the verdict is deterministic
+    /// instead of racing the unwinder.
+    fn stopped_error(&self) -> CoreError {
+        loop {
+            if self.panicked.load(Ordering::Acquire) {
+                return CoreError::BatcherPanicked;
+            }
+            if self.lock_state().shutdown {
+                // The fence stores `panicked` before it sets `shutdown`, so
+                // one recheck after observing the flag settles the verdict.
+                if self.panicked.load(Ordering::Acquire) {
+                    return CoreError::BatcherPanicked;
+                }
+                return CoreError::ServerStopped;
+            }
+            std::thread::yield_now();
+        }
+    }
 }
 
 /// A cloneable client handle: submit requests, receive [`Ticket`]s.
 #[derive(Clone)]
 pub struct ServerHandle {
     shared: Arc<Shared>,
+    /// The configured per-request deadline, stamped onto every ticket.
+    deadline: Option<Duration>,
 }
 
 impl ServerHandle {
@@ -211,16 +288,20 @@ impl ServerHandle {
             tx,
         };
         {
-            let mut st = self.shared.state.lock().expect("server queue poisoned");
+            let mut st = self.shared.lock_state();
             if st.shutdown {
                 drop(st);
                 self.shared.settle(1);
-                return Err(CoreError::ServerStopped);
+                return Err(self.shared.stopped_error());
             }
             st.queue.push_back(envelope);
         }
         self.shared.work.notify_one();
-        Ok(Ticket { rx })
+        Ok(Ticket {
+            rx,
+            deadline: self.deadline,
+            shared: Arc::clone(&self.shared),
+        })
     }
 
     /// Requests currently in flight (admitted, not yet settled).
@@ -241,28 +322,63 @@ impl std::fmt::Debug for ServerHandle {
 }
 
 /// The pending answer to one submitted request.
-#[derive(Debug)]
 pub struct Ticket {
     rx: Receiver<CoreResult<ServedResponse>>,
+    /// The server-wide per-request deadline, if one is configured.
+    deadline: Option<Duration>,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Ticket(deadline={:?})", self.deadline)
+    }
 }
 
 impl Ticket {
-    /// Blocks until the request is answered.
+    /// Blocks until the request is answered — or, when the server has a
+    /// `request_deadline`, until that deadline elapses.
     ///
     /// Errors with the batcher's typed verdict ([`CoreError::Shed`],
-    /// [`CoreError::CorruptQueue`], …) or [`CoreError::ServerStopped`] if
-    /// the server went away without answering.
+    /// [`CoreError::CorruptQueue`], …), [`CoreError::DeadlineExceeded`] on
+    /// deadline expiry, [`CoreError::BatcherPanicked`] if the batcher died,
+    /// or [`CoreError::ServerStopped`] if the server shut down without
+    /// answering.
     pub fn wait(self) -> CoreResult<ServedResponse> {
-        self.rx.recv().map_err(|_| CoreError::ServerStopped)?
+        match self.deadline {
+            Some(deadline) => self.wait_deadline(deadline),
+            None => match self.rx.recv() {
+                Ok(result) => result,
+                Err(_) => Err(self.shared.stopped_error()),
+            },
+        }
+    }
+
+    /// Blocks until the request is answered or `deadline` elapses, whichever
+    /// comes first (overriding any server-wide `request_deadline`).
+    ///
+    /// On expiry the answer is abandoned with
+    /// [`CoreError::DeadlineExceeded`]; the request itself keeps running and
+    /// its admission slot frees when the batcher settles it.
+    pub fn wait_deadline(self, deadline: Duration) -> CoreResult<ServedResponse> {
+        match self.rx.recv_timeout(deadline) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.shared.deadline_expired.fetch_add(1, Ordering::AcqRel);
+                Err(CoreError::DeadlineExceeded { deadline })
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(self.shared.stopped_error()),
+        }
     }
 
     /// Non-blocking variant of [`wait`](Ticket::wait): `None` while the
-    /// answer is still pending.
+    /// answer is still pending. Never reports a deadline; polling callers
+    /// own their own clocks.
     pub fn try_wait(&self) -> Option<CoreResult<ServedResponse>> {
         match self.rx.try_recv() {
             Ok(result) => Some(result),
             Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(CoreError::ServerStopped)),
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(self.shared.stopped_error())),
         }
     }
 }
@@ -273,6 +389,7 @@ impl Ticket {
 pub struct Server {
     shared: Arc<Shared>,
     batcher: Option<JoinHandle<(Engine, ServerStats)>>,
+    request_deadline: Option<Duration>,
 }
 
 impl Server {
@@ -296,17 +413,22 @@ impl Server {
             capacity: config.queue_capacity,
             outstanding: AtomicUsize::new(0),
             rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
             start: Instant::now(),
             input_shape,
         });
         let thread_shared = Arc::clone(&shared);
+        let fault = config.fault;
         let handle = std::thread::Builder::new()
             .name("appealnet-batcher".into())
-            .spawn(move || batcher_loop(thread_shared, batcher))
+            .spawn(move || batcher_loop(thread_shared, batcher, fault))
             .expect("failed to spawn the batcher thread");
         Ok(Self {
             shared,
             batcher: Some(handle),
+            request_deadline: config.request_deadline,
         })
     }
 
@@ -314,26 +436,34 @@ impl Server {
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
             shared: Arc::clone(&self.shared),
+            deadline: self.request_deadline,
         }
     }
 
     /// Stops accepting requests, drains everything already admitted, joins
     /// the batcher, and returns the engine plus final stats (with the
-    /// front-door rejection counter merged in).
-    pub fn shutdown(mut self) -> (Engine, ServerStats) {
-        let (engine, mut stats) = self.stop_batcher().expect("batcher already taken");
+    /// front-door rejection / failure / deadline ledgers merged in).
+    ///
+    /// Errors with [`CoreError::BatcherPanicked`] if the batcher thread died
+    /// unwinding: the engine went down with it, and every in-flight request
+    /// was already failed with that same typed error by the panic fence.
+    pub fn shutdown(mut self) -> CoreResult<(Engine, ServerStats)> {
+        let joined = self.stop_batcher().expect("batcher already taken");
+        let (engine, mut stats) = joined.map_err(|_| CoreError::BatcherPanicked)?;
         stats.rejected = self.shared.rejected.load(Ordering::Acquire);
-        (engine, stats)
+        stats.failed = self.shared.failed.load(Ordering::Acquire);
+        stats.deadline_expired = self.shared.deadline_expired.load(Ordering::Acquire);
+        Ok((engine, stats))
     }
 
-    fn stop_batcher(&mut self) -> Option<(Engine, ServerStats)> {
+    fn stop_batcher(&mut self) -> Option<std::thread::Result<(Engine, ServerStats)>> {
         let handle = self.batcher.take()?;
         {
-            let mut st = self.shared.state.lock().expect("server queue poisoned");
+            let mut st = self.shared.lock_state();
             st.shutdown = true;
         }
         self.shared.work.notify_all();
-        Some(handle.join().expect("batcher thread panicked"))
+        Some(handle.join())
     }
 }
 
@@ -388,46 +518,99 @@ fn fail_all(
 ) {
     for tx in waiters.drain(..) {
         shared.settle(1);
+        shared.failed.fetch_add(1, Ordering::AcqRel);
         let _ = tx.send(Err(err.clone()));
+    }
+}
+
+/// Arms the batcher thread against its own panics. If `batcher_loop` unwinds
+/// with the fence still armed, the fence (dropping *before* the loop's
+/// locals, so the `panicked` flag is visible by the time any waiter's
+/// channel disconnects) marks the server dead, fails every queued envelope
+/// with [`CoreError::BatcherPanicked`], and wakes everyone. Coalescing
+/// waiters resolve right after, when their senders drop with the loop's
+/// stack frame and their tickets read the flag.
+struct PanicFence {
+    shared: Arc<Shared>,
+    armed: bool,
+}
+
+impl Drop for PanicFence {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.shared.panicked.store(true, Ordering::Release);
+        let stranded: Vec<Envelope> = {
+            let mut st = self.shared.lock_state();
+            st.shutdown = true;
+            st.queue.drain(..).collect()
+        };
+        for env in stranded {
+            self.shared.settle(1);
+            self.shared.failed.fetch_add(1, Ordering::AcqRel);
+            let _ = env.tx.send(Err(CoreError::BatcherPanicked));
+        }
+        self.shared.work.notify_all();
     }
 }
 
 /// The batcher thread: drain the queue in arrival order, coalesce to
 /// deadline or size, answer tickets.
-fn batcher_loop(shared: Arc<Shared>, mut batcher: MicroBatcher) -> (Engine, ServerStats) {
+fn batcher_loop(
+    shared: Arc<Shared>,
+    mut batcher: MicroBatcher,
+    fault: Option<ServerFault>,
+) -> (Engine, ServerStats) {
     // Senders for requests currently coalescing, parallel to the batcher's
-    // pending queue.
+    // pending queue. Declared BEFORE the fence so an unwind drops the fence
+    // first (reverse declaration order): the `panicked` flag is set before
+    // these senders disconnect their tickets.
     let mut waiters: Vec<Sender<CoreResult<ServedResponse>>> = Vec::new();
+    let mut fence = PanicFence {
+        shared: Arc::clone(&shared),
+        armed: true,
+    };
+    let mut offered: u64 = 0;
     loop {
-        // Phase 1: wait for work, a deadline, or shutdown.
+        // Phase 1: wait for work, a deadline, or shutdown. Every wait is
+        // bounded — by the coalescing deadline when a batch is pending, by
+        // the watchdog tick otherwise — and the condition is re-checked on
+        // each wakeup, so spurious wakeups and missed notifications both
+        // degrade to at most one extra iteration.
         let (envelopes, shutdown) = {
-            let mut st = shared.state.lock().expect("server queue poisoned");
+            let mut st = shared.lock_state();
             loop {
                 if !st.queue.is_empty() || st.shutdown {
                     break;
                 }
-                match batcher.next_deadline_nanos() {
+                let sleep = match batcher.next_deadline_nanos() {
                     Some(deadline) => {
                         let now = shared.now_nanos();
                         if now >= deadline {
                             break;
                         }
-                        let (guard, _timeout) = shared
-                            .work
-                            .wait_timeout(st, Duration::from_nanos(deadline - now))
-                            .expect("server queue poisoned");
-                        st = guard;
+                        Duration::from_nanos(deadline - now)
                     }
-                    None => {
-                        st = shared.work.wait(st).expect("server queue poisoned");
-                    }
-                }
+                    None => WATCHDOG_TICK,
+                };
+                let (guard, _timeout) = shared
+                    .work
+                    .wait_timeout(st, sleep)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
             }
             (st.queue.drain(..).collect::<Vec<Envelope>>(), st.shutdown)
         };
 
         // Phase 2: offer the drained envelopes in arrival order.
         for env in envelopes {
+            if let Some(ServerFault::PanicOnOffer { after }) = fault {
+                if offered >= after {
+                    panic!("injected batcher fault: PanicOnOffer after {after} requests");
+                }
+            }
+            offered += 1;
             match batcher.offer(env.arrival_nanos, env.client, env.request) {
                 Ok(Admission::Queued) => waiters.push(env.tx),
                 Ok(Admission::Flushed(responses)) => {
@@ -443,6 +626,7 @@ fn batcher_loop(shared: Arc<Shared>, mut batcher: MicroBatcher) -> (Engine, Serv
                     // recovery): fail those tickets and this request's too.
                     fail_all(&shared, &mut waiters, &err);
                     shared.settle(1);
+                    shared.failed.fetch_add(1, Ordering::AcqRel);
                     let _ = env.tx.send(Err(err));
                 }
             }
@@ -458,7 +642,7 @@ fn batcher_loop(shared: Arc<Shared>, mut batcher: MicroBatcher) -> (Engine, Serv
         // Phase 4: shutdown once the queue is drained.
         if shutdown {
             let more = {
-                let st = shared.state.lock().expect("server queue poisoned");
+                let st = shared.lock_state();
                 !st.queue.is_empty()
             };
             if more {
@@ -474,6 +658,7 @@ fn batcher_loop(shared: Arc<Shared>, mut batcher: MicroBatcher) -> (Engine, Serv
             break;
         }
     }
+    fence.armed = false;
     batcher.into_parts()
 }
 
@@ -505,7 +690,7 @@ mod tests {
             ServerConfig {
                 queue_capacity: 64,
                 deadline: Duration::from_millis(5),
-                shed: None,
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -524,7 +709,7 @@ mod tests {
             assert_eq!(served.response.id, id as u64);
         }
         assert_eq!(handle.in_flight(), 0);
-        let (returned_engine, stats) = server.shutdown();
+        let (returned_engine, stats) = server.shutdown().unwrap();
         assert_eq!(stats.answered, 6);
         assert_eq!(stats.engine.requests, 6);
         assert_eq!(stats.shed, 0);
@@ -545,7 +730,7 @@ mod tests {
             CoreError::ShapeMismatch { .. }
         ));
         assert_eq!(handle.in_flight(), 0, "rejected requests hold no slot");
-        let (_, stats) = server.shutdown();
+        let (_, stats) = server.shutdown().unwrap();
         assert_eq!(stats.offered, 0);
     }
 
@@ -553,7 +738,7 @@ mod tests {
     fn submit_after_shutdown_is_server_stopped() {
         let server = Server::start(engine(4), ServerConfig::default()).unwrap();
         let handle = server.handle();
-        let (_, _) = server.shutdown();
+        let (_, _) = server.shutdown().unwrap();
         let mut rng = SeededRng::new(33);
         let image = Tensor::randn(&[3, 12, 12], &mut rng);
         assert_eq!(
@@ -572,7 +757,7 @@ mod tests {
             ServerConfig {
                 queue_capacity: 8,
                 deadline: Duration::from_secs(600),
-                shed: None,
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -585,5 +770,69 @@ mod tests {
         drop(server);
         let served = ticket.wait().unwrap();
         assert_eq!(served.response.id, 7);
+    }
+
+    #[test]
+    fn per_request_deadline_is_a_typed_timeout() {
+        // A 600 s coalescing deadline and a huge max_batch guarantee the
+        // answer cannot arrive before the 1 ms request deadline does.
+        let server = Server::start(
+            engine(64),
+            ServerConfig {
+                queue_capacity: 8,
+                deadline: Duration::from_secs(600),
+                request_deadline: Some(Duration::from_millis(1)),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = server.handle();
+        let mut rng = SeededRng::new(35);
+        let image = Tensor::randn(&[3, 12, 12], &mut rng);
+        let ticket = handle.submit(0, InferenceRequest::new(0, image)).unwrap();
+        assert_eq!(
+            ticket.wait().unwrap_err(),
+            CoreError::DeadlineExceeded {
+                deadline: Duration::from_millis(1)
+            }
+        );
+        // The abandoned request still drains and settles at shutdown.
+        let (_, stats) = server.shutdown().unwrap();
+        assert_eq!(stats.answered, 1);
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn panicked_batcher_fails_tickets_with_a_typed_error() {
+        let server = Server::start(
+            engine(64),
+            ServerConfig {
+                queue_capacity: 8,
+                deadline: Duration::from_secs(600),
+                fault: Some(ServerFault::PanicOnOffer { after: 0 }),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = server.handle();
+        let mut rng = SeededRng::new(36);
+        let image = Tensor::randn(&[3, 12, 12], &mut rng);
+        let ticket = handle.submit(0, InferenceRequest::new(0, image)).unwrap();
+        // The fence must resolve the ticket with the typed verdict well
+        // within this bound — a hang here is the regression being guarded.
+        assert_eq!(
+            ticket.wait_deadline(Duration::from_secs(30)).unwrap_err(),
+            CoreError::BatcherPanicked
+        );
+        // Later submissions see the dead batcher, not a silent queue.
+        let image = Tensor::randn(&[3, 12, 12], &mut rng);
+        assert_eq!(
+            handle
+                .submit(0, InferenceRequest::new(1, image))
+                .unwrap_err(),
+            CoreError::BatcherPanicked
+        );
+        assert_eq!(server.shutdown().unwrap_err(), CoreError::BatcherPanicked);
     }
 }

@@ -1,0 +1,393 @@
+//! Per-node circuit breaker for the appeal path.
+//!
+//! The [`AdaptiveBudget`](crate::AdaptiveBudget) answers "how much offload
+//! can I afford this window?" — a *cost* question. The breaker answers a
+//! different one: "is the appeal path *working at all*?". Each edge node
+//! feeds both controllers from the same measured appeal stream: round-trips
+//! go to `AdaptiveBudget::observe` and to [`CircuitBreaker::on_success`];
+//! typed failures (link down, appeal deadline, corrupted response) go to
+//! [`CircuitBreaker::on_failure`]. When the rolling failure fraction —
+//! counting over-RTT successes as failures — crosses the threshold, the
+//! breaker trips and the node stops appealing entirely, degrading to
+//! edge-only answers until a timed half-open probe shows the path healthy
+//! again.
+//!
+//! State machine (virtual time, no wall clock):
+//!
+//! ```text
+//!            failure fraction ≥ threshold over a full window
+//!   Closed ────────────────────────────────────────────────▶ Open
+//!     ▲                                                       │
+//!     │ `probes` consecutive probe successes                  │ `open_ms`
+//!     │                                                       ▼
+//!   HalfOpen ◀────────────────────────────────────────────────┘
+//!     │
+//!     └── any probe failure ▶ Open (timer restarts)
+//! ```
+
+use crate::error::{is_positive, FleetError, FleetResult};
+use crate::ms_to_nanos;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Parameters of the per-node appeal circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Rolling outcome-window size; the breaker only trips once it has seen
+    /// this many appeal outcomes.
+    pub window: usize,
+    /// Failure fraction over the window at which the breaker opens, in
+    /// `(0, 1]`.
+    pub failure_threshold: f64,
+    /// Successful appeals slower than this round-trip count as failures, in
+    /// milliseconds.
+    pub slow_ms: f64,
+    /// How long the breaker stays open before probing, in virtual
+    /// milliseconds.
+    pub open_ms: f64,
+    /// Consecutive half-open probe successes required to close.
+    pub probes: u32,
+}
+
+impl BreakerConfig {
+    /// A breaker tuned for the simulator's LTE-class appeal path: trips when
+    /// half of the last 16 appeals fail or crawl, backs off 200 ms, and
+    /// needs 3 clean probes to close.
+    pub fn default_for_appeals() -> Self {
+        Self {
+            window: 16,
+            failure_threshold: 0.5,
+            slow_ms: 250.0,
+            open_ms: 200.0,
+            probes: 3,
+        }
+    }
+
+    fn validate(&self) -> FleetResult<()> {
+        if self.window == 0 {
+            return Err(FleetError::InvalidConfig {
+                what: "breaker window must be positive",
+            });
+        }
+        if !(self.failure_threshold > 0.0 && self.failure_threshold <= 1.0) {
+            return Err(FleetError::InvalidConfig {
+                what: "breaker failure_threshold must be in (0, 1]",
+            });
+        }
+        if !is_positive(self.slow_ms) {
+            return Err(FleetError::InvalidConfig {
+                what: "breaker slow_ms must be positive",
+            });
+        }
+        if !is_positive(self.open_ms) {
+            return Err(FleetError::InvalidConfig {
+                what: "breaker open_ms must be positive",
+            });
+        }
+        if self.probes == 0 {
+            return Err(FleetError::InvalidConfig {
+                what: "breaker probes must be positive",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The breaker's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Appeals flow normally; outcomes fill the rolling window.
+    Closed,
+    /// Appeals are refused until the open timer expires.
+    Open,
+    /// A limited number of probe appeals test whether the path recovered.
+    HalfOpen,
+}
+
+/// Per-node circuit breaker over appeal outcomes, driven entirely by the
+/// simulator's virtual clock.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// Rolling window of outcomes in `Closed`; `true` records a failure.
+    window: VecDeque<bool>,
+    /// Virtual time at which an `Open` breaker starts probing.
+    probe_at_nanos: u64,
+    /// Probes admitted but not yet resolved while `HalfOpen`.
+    probes_in_flight: u32,
+    /// Consecutive probe successes while `HalfOpen`.
+    probe_successes: u32,
+    opened: u64,
+    half_opened: u64,
+    closed: u64,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker, validating the configuration.
+    pub fn new(config: BreakerConfig) -> FleetResult<Self> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            state: BreakerState::Closed,
+            window: VecDeque::with_capacity(config.window),
+            probe_at_nanos: 0,
+            probes_in_flight: 0,
+            probe_successes: 0,
+            opened: 0,
+            half_opened: 0,
+            closed: 0,
+        })
+    }
+
+    /// The current state, advancing `Open → HalfOpen` if the open timer has
+    /// expired by `now_nanos`.
+    pub fn state(&mut self, now_nanos: u64) -> BreakerState {
+        if self.state == BreakerState::Open && now_nanos >= self.probe_at_nanos {
+            self.state = BreakerState::HalfOpen;
+            self.probes_in_flight = 0;
+            self.probe_successes = 0;
+            self.half_opened += 1;
+        }
+        self.state
+    }
+
+    /// Whether one more appeal may be sent at `now_nanos`. Closed: always.
+    /// Open: never (until the timer flips the state half-open). Half-open:
+    /// only while fewer than `probes` probes are unresolved.
+    pub fn allows(&mut self, now_nanos: u64) -> bool {
+        match self.state(now_nanos) {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probes_in_flight < self.config.probes {
+                    self.probes_in_flight += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a completed appeal round-trip. A success slower than
+    /// `slow_ms` counts as a failure — a path that technically delivers but
+    /// blows the latency target is still a path to stop trusting.
+    pub fn on_success(&mut self, now_nanos: u64, round_trip_ms: f64) {
+        self.resolve(now_nanos, round_trip_ms > self.config.slow_ms);
+    }
+
+    /// Records a failed appeal (link down, deadline expired, response
+    /// corrupted).
+    pub fn on_failure(&mut self, now_nanos: u64) {
+        self.resolve(now_nanos, true);
+    }
+
+    fn resolve(&mut self, now_nanos: u64, failed: bool) {
+        match self.state(now_nanos) {
+            BreakerState::Closed => {
+                if self.window.len() == self.config.window {
+                    self.window.pop_front();
+                }
+                self.window.push_back(failed);
+                if self.window.len() == self.config.window {
+                    let failures = self.window.iter().filter(|&&f| f).count();
+                    if failures as f64 / self.config.window as f64 >= self.config.failure_threshold
+                    {
+                        self.trip(now_nanos);
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+                if failed {
+                    self.trip(now_nanos);
+                } else {
+                    self.probe_successes += 1;
+                    if self.probe_successes >= self.config.probes {
+                        self.state = BreakerState::Closed;
+                        self.window.clear();
+                        self.closed += 1;
+                    }
+                }
+            }
+            // A straggler response from before the trip; the open timer is
+            // already running and the outcome carries no new signal.
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now_nanos: u64) {
+        self.state = BreakerState::Open;
+        self.probe_at_nanos = now_nanos.saturating_add(ms_to_nanos(self.config.open_ms));
+        self.window.clear();
+        self.probes_in_flight = 0;
+        self.probe_successes = 0;
+        self.opened += 1;
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn opened(&self) -> u64 {
+        self.opened
+    }
+
+    /// How many times the breaker has entered half-open probing.
+    pub fn half_opened(&self) -> u64 {
+        self.half_opened
+    }
+
+    /// How many times the breaker has closed again after probing.
+    pub fn closed(&self) -> u64 {
+        self.closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            failure_threshold: 0.5,
+            slow_ms: 100.0,
+            open_ms: 10.0,
+            probes: 2,
+        }
+    }
+
+    #[test]
+    fn trips_on_failure_fraction_and_recovers_via_probes() {
+        let mut b = CircuitBreaker::new(config()).unwrap();
+        assert_eq!(b.state(0), BreakerState::Closed);
+        b.on_success(0, 5.0);
+        b.on_success(0, 5.0);
+        b.on_failure(0);
+        assert_eq!(b.state(0), BreakerState::Closed, "window not yet decisive");
+        b.on_failure(0);
+        assert_eq!(b.state(0), BreakerState::Open, "2/4 failures trips at 0.5");
+        assert_eq!(b.opened(), 1);
+        assert!(!b.allows(1_000));
+
+        // 10 ms later the timer admits probes, capped at `probes` in flight.
+        let probe_time = crate::ms_to_nanos(10.0);
+        assert!(b.allows(probe_time));
+        assert_eq!(b.state(probe_time), BreakerState::HalfOpen);
+        assert!(b.allows(probe_time));
+        assert!(!b.allows(probe_time), "third concurrent probe refused");
+
+        b.on_success(probe_time, 5.0);
+        assert_eq!(b.state(probe_time), BreakerState::HalfOpen);
+        b.on_success(probe_time, 5.0);
+        assert_eq!(b.state(probe_time), BreakerState::Closed);
+        assert_eq!((b.half_opened(), b.closed()), (1, 1));
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut b = CircuitBreaker::new(config()).unwrap();
+        for _ in 0..4 {
+            b.on_failure(0);
+        }
+        let t = crate::ms_to_nanos(10.0);
+        assert!(b.allows(t));
+        b.on_failure(t);
+        assert_eq!(b.state(t), BreakerState::Open);
+        assert_eq!(b.opened(), 2);
+        // The timer restarted from the probe failure, not the first trip.
+        assert!(!b.allows(t + 1));
+        assert!(b.allows(t + crate::ms_to_nanos(10.0)));
+    }
+
+    #[test]
+    fn slow_successes_count_as_failures() {
+        let mut b = CircuitBreaker::new(config()).unwrap();
+        for _ in 0..4 {
+            b.on_success(0, 500.0); // delivered, but 5x over slow_ms
+        }
+        assert_eq!(b.state(0), BreakerState::Open);
+    }
+
+    #[test]
+    fn healthy_stream_never_trips() {
+        let mut b = CircuitBreaker::new(config()).unwrap();
+        for i in 0..100 {
+            assert!(b.allows(i));
+            b.on_success(i, 5.0);
+        }
+        assert_eq!(b.opened(), 0);
+        assert_eq!(b.state(100), BreakerState::Closed);
+    }
+
+    #[test]
+    fn straggler_outcomes_while_open_are_ignored() {
+        let mut b = CircuitBreaker::new(config()).unwrap();
+        for _ in 0..4 {
+            b.on_failure(0);
+        }
+        assert_eq!(b.state(0), BreakerState::Open);
+        b.on_success(1, 5.0); // in-flight appeal from before the trip
+        assert_eq!(b.state(1), BreakerState::Open);
+        assert_eq!(b.opened(), 1);
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        for (bad, what) in [
+            (
+                BreakerConfig {
+                    window: 0,
+                    ..config()
+                },
+                "window",
+            ),
+            (
+                BreakerConfig {
+                    failure_threshold: 0.0,
+                    ..config()
+                },
+                "failure_threshold",
+            ),
+            (
+                BreakerConfig {
+                    failure_threshold: 1.5,
+                    ..config()
+                },
+                "failure_threshold",
+            ),
+            (
+                BreakerConfig {
+                    slow_ms: 0.0,
+                    ..config()
+                },
+                "slow_ms",
+            ),
+            (
+                BreakerConfig {
+                    open_ms: f64::NAN,
+                    ..config()
+                },
+                "open_ms",
+            ),
+            (
+                BreakerConfig {
+                    probes: 0,
+                    ..config()
+                },
+                "probes",
+            ),
+        ] {
+            match CircuitBreaker::new(bad) {
+                Err(FleetError::InvalidConfig { what: msg }) => {
+                    assert!(msg.contains(what), "{msg} should mention {what}")
+                }
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(CircuitBreaker::new(BreakerConfig::default_for_appeals()).is_ok());
+    }
+}

@@ -43,6 +43,9 @@ pub struct PendingAppeal {
     pub decided_nanos: u64,
     /// Virtual time the appeal reached the cloud.
     pub arrived_nanos: u64,
+    /// Transmission attempt this appeal rode in on (1 = first send); echoed
+    /// back so the edge can match answers against its retry state.
+    pub attempt: u32,
 }
 
 /// What the simulator should do after offering an appeal to the cloud.
@@ -65,6 +68,8 @@ pub struct CloudResponse {
     pub node: usize,
     /// When the node committed to offloading.
     pub decided_nanos: u64,
+    /// Transmission attempt the appeal rode in on.
+    pub attempt: u32,
     /// The big network's label.
     pub label: usize,
 }
@@ -183,6 +188,7 @@ impl CloudTier {
                 request: a.request,
                 node: a.node,
                 decided_nanos: a.decided_nanos,
+                attempt: a.attempt,
                 label,
             })
             .collect();
@@ -210,6 +216,18 @@ impl CloudTier {
     /// Appeals currently waiting for a flush.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// What the big network *would* have answered for the given request
+    /// rows — the counterfactual behind the degraded-answer accuracy ledger.
+    /// Pure accounting: touches no clock, queue, or counter, so calling it
+    /// cannot perturb a run's timing or its byte-reproducibility.
+    pub fn counterfactual_labels(&mut self, images: &Tensor, rows: &[usize]) -> Vec<usize> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let batch = images.select_rows(rows);
+        parallel::classifier_logits(&mut self.big, &batch, rows.len(), &self.chunk).argmax_rows()
     }
 }
 
@@ -241,6 +259,7 @@ mod tests {
             node: 0,
             decided_nanos: arrived,
             arrived_nanos: arrived,
+            attempt: 1,
         }
     }
 

@@ -34,10 +34,12 @@
 #![forbid(unsafe_code)]
 
 pub mod adaptive;
+pub mod breaker;
 pub mod cloud;
 pub mod error;
 pub mod metrics;
 pub mod node;
+pub mod recovery;
 pub mod sim;
 
 /// Request-trace generators, re-exported from `appealnet_core::server` so
@@ -46,10 +48,12 @@ pub mod sim;
 pub use appealnet_core::server::trace;
 
 pub use adaptive::{AdaptiveBudget, AdaptiveConfig};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cloud::{CloudBatch, CloudConfig, CloudPush, CloudResponse, CloudTier, PendingAppeal};
 pub use error::{FleetError, FleetResult};
 pub use metrics::{percentile, FleetMetrics, NodeSummary, PhaseMetrics};
 pub use node::{EdgeNode, NodeStats};
+pub use recovery::{RecoveryConfig, RetryConfig};
 pub use sim::{Degradation, FleetConfig, FleetSim};
 
 /// Converts milliseconds to whole virtual nanoseconds (rounded, floored at

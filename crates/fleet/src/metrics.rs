@@ -23,6 +23,13 @@ pub struct NodeSummary {
     pub link_fallbacks: u64,
     /// Appeals denied by the adaptive budget.
     pub budget_denied: u64,
+    /// Requests degraded to the little net's answer (breaker open or retry
+    /// budget exhausted).
+    pub degraded_local: u64,
+    /// Appeal sends refused by the node's breaker.
+    pub breaker_denied: u64,
+    /// Appeal retransmissions scheduled.
+    pub retries: u64,
     /// Node compute busy time, in milliseconds.
     pub busy_ms: f64,
     /// Final adaptive per-window budget, if the node ran one.
@@ -62,6 +69,45 @@ pub struct FleetMetrics {
     pub link_fallbacks: u64,
     /// Appeals denied by adaptive budgets; answered on the edge.
     pub budget_denied: u64,
+    /// Requests that wanted the cloud but accepted the little net's answer
+    /// after the recovery ladder ran out (breaker open or retries spent).
+    pub degraded_local: u64,
+    /// Appeal sends refused by open (or probe-saturated) breakers.
+    pub breaker_denied: u64,
+    /// Appeal retransmissions scheduled after failed attempts.
+    pub retries: u64,
+    /// Appeal attempts whose answer missed the per-attempt deadline.
+    pub appeal_timeouts: u64,
+    /// Appeal attempts refused by the link itself (`HwError::LinkDown`).
+    pub link_down: u64,
+    /// Retry attempts shed by full uplink queues (first-attempt sheds count
+    /// as `link_fallbacks`).
+    pub appeal_queue_full: u64,
+    /// Appeals that reached a blacked-out cloud and vanished.
+    pub blackout_drops: u64,
+    /// Cloud answers dropped on the way back by scripted faults.
+    pub response_drops: u64,
+    /// Cloud answers delivered corrupted by scripted faults.
+    pub response_corrupt: u64,
+    /// Cloud answers that arrived after their request had already resolved.
+    pub late_responses: u64,
+    /// Arrivals stalled on a crashed node.
+    pub crash_stalls: u64,
+    /// Times any node's breaker tripped open.
+    pub breaker_opened: u64,
+    /// Times any node's breaker entered half-open probing.
+    pub breaker_half_opened: u64,
+    /// Times any node's breaker closed again after probing.
+    pub breaker_closed: u64,
+    /// Of the degraded answers, the fraction where the little net agreed
+    /// with what the big net *would* have answered (the counterfactual
+    /// accuracy of graceful degradation). `None` when nothing degraded.
+    pub degraded_agreement: Option<f64>,
+    /// Whether the run had a recovery policy installed (controls the
+    /// recovery/fault render lines so legacy runs render byte-identically).
+    pub recovery_enabled: bool,
+    /// Whether the run scripted any fault plan.
+    pub faults_scripted: bool,
     /// Transfers accepted across all uplink queues.
     pub uplink_accepted: u64,
     /// Transfers rejected across all uplink queues.
@@ -131,6 +177,36 @@ impl FleetMetrics {
             self.link_fallbacks,
             self.budget_denied
         );
+        if self.recovery_enabled {
+            let agreement = match self.degraded_agreement {
+                Some(a) => format!("{:.1}%", 100.0 * a),
+                None => "n/a".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "recovery: degraded {} (breaker denied {}, retries {}) | degraded agreement {}",
+                self.degraded_local, self.breaker_denied, self.retries, agreement
+            );
+            let _ = writeln!(
+                s,
+                "breaker: opened {} | half-open {} | closed {}",
+                self.breaker_opened, self.breaker_half_opened, self.breaker_closed
+            );
+        }
+        if self.faults_scripted {
+            let _ = writeln!(
+                s,
+                "faults: timeouts {} | link down {} | queue full {} | blackout drops {} | response drops {} | corrupt {} | late {} | crash stalls {}",
+                self.appeal_timeouts,
+                self.link_down,
+                self.appeal_queue_full,
+                self.blackout_drops,
+                self.response_drops,
+                self.response_corrupt,
+                self.late_responses,
+                self.crash_stalls
+            );
+        }
         let _ = writeln!(
             s,
             "latency p50 {:.3} ms | p99 {:.3} ms | max {:.3} ms | mean {:.3} ms",
@@ -202,8 +278,11 @@ impl FleetMetrics {
             self.completed == self.requests,
             format!("{} of {} requests completed", self.completed, self.requests),
         );
-        let routed =
-            self.edge_answered + self.cloud_answered + self.link_fallbacks + self.budget_denied;
+        let routed = self.edge_answered
+            + self.cloud_answered
+            + self.link_fallbacks
+            + self.budget_denied
+            + self.degraded_local;
         check(
             routed == self.completed,
             format!("route counts sum to {routed}, not {}", self.completed),
@@ -217,8 +296,11 @@ impl FleetMetrics {
             ),
         );
         for n in &self.nodes {
-            let node_routed =
-                n.edge_answered + n.cloud_answered + n.link_fallbacks + n.budget_denied;
+            let node_routed = n.edge_answered
+                + n.cloud_answered
+                + n.link_fallbacks
+                + n.budget_denied
+                + n.degraded_local;
             check(
                 node_routed == n.requests,
                 format!(
@@ -227,19 +309,52 @@ impl FleetMetrics {
                 ),
             );
         }
+        // Every accepted uplink transfer ends exactly one way: answered, or
+        // eaten by a scripted cloud-side fault, or delivered too late.
+        let accepted_accounted = self.cloud_answered
+            + self.blackout_drops
+            + self.response_drops
+            + self.response_corrupt
+            + self.late_responses;
         check(
-            self.uplink_accepted == self.cloud_answered,
+            self.uplink_accepted == accepted_accounted,
             format!(
-                "uplink accepted {} transfers but cloud answered {}",
-                self.uplink_accepted, self.cloud_answered
+                "uplink accepted {} transfers but {accepted_accounted} accounted for",
+                self.uplink_accepted
             ),
         );
         check(
-            self.uplink_rejected == self.link_fallbacks,
+            self.uplink_rejected == self.link_fallbacks + self.appeal_queue_full,
             format!(
-                "uplink rejected {} transfers but {} fallbacks recorded",
-                self.uplink_rejected, self.link_fallbacks
+                "uplink rejected {} transfers but {} fallbacks + {} retry sheds recorded",
+                self.uplink_rejected, self.link_fallbacks, self.appeal_queue_full
             ),
+        );
+        // Degradation ladder: every edge-observed attempt failure either
+        // bought a retry or degraded the request, and every breaker denial
+        // degraded it outright.
+        let attempt_failures =
+            self.appeal_timeouts + self.link_down + self.appeal_queue_full + self.response_corrupt;
+        check(
+            self.degraded_local
+                == self.breaker_denied + attempt_failures - self.retries.min(attempt_failures)
+                && self.retries <= attempt_failures,
+            format!(
+                "degraded {} != breaker denied {} + failures {attempt_failures} - retries {}",
+                self.degraded_local, self.breaker_denied, self.retries
+            ),
+        );
+        check(
+            self.breaker_closed <= self.breaker_half_opened
+                && self.breaker_half_opened <= self.breaker_opened,
+            format!(
+                "breaker transitions out of order: opened {} half-open {} closed {}",
+                self.breaker_opened, self.breaker_half_opened, self.breaker_closed
+            ),
+        );
+        check(
+            self.degraded_agreement.is_some() == (self.degraded_local > 0),
+            "degraded agreement must be present iff something degraded".to_string(),
         );
         check(
             (self.skipping_rate + self.appeal_rate - 1.0).abs() < 1e-9 || self.completed == 0,
@@ -311,6 +426,23 @@ mod tests {
             cloud_answered: 2,
             link_fallbacks: 1,
             budget_denied: 1,
+            degraded_local: 0,
+            breaker_denied: 0,
+            retries: 0,
+            appeal_timeouts: 0,
+            link_down: 0,
+            appeal_queue_full: 0,
+            blackout_drops: 0,
+            response_drops: 0,
+            response_corrupt: 0,
+            late_responses: 0,
+            crash_stalls: 0,
+            breaker_opened: 0,
+            breaker_half_opened: 0,
+            breaker_closed: 0,
+            degraded_agreement: None,
+            recovery_enabled: false,
+            faults_scripted: false,
             uplink_accepted: 2,
             uplink_rejected: 1,
             p50_ms: 1.0,
@@ -334,6 +466,9 @@ mod tests {
                 cloud_answered: 2,
                 link_fallbacks: 1,
                 budget_denied: 1,
+                degraded_local: 0,
+                breaker_denied: 0,
+                retries: 0,
                 busy_ms: 1.0,
                 final_budget_ms: None,
                 tightenings: 0,

@@ -3,6 +3,7 @@
 //! optional [`AdaptiveBudget`], and a bounded uplink queue.
 
 use crate::adaptive::AdaptiveBudget;
+use crate::breaker::CircuitBreaker;
 use crate::ms_to_nanos;
 use appeal_hw::{DeviceSpec, LinkQueue};
 use appealnet_core::serve::{RoutingPolicy, Scorer};
@@ -21,6 +22,32 @@ pub struct NodeStats {
     pub link_fallbacks: u64,
     /// Appeals denied by the adaptive budget; answered on the edge.
     pub budget_denied: u64,
+    /// Requests that wanted the cloud but degraded to the little net's
+    /// answer (breaker open or retry budget exhausted).
+    pub degraded_local: u64,
+    /// Appeal sends refused by an open (or probe-saturated) breaker.
+    pub breaker_denied: u64,
+    /// Appeal retransmissions scheduled after a failed attempt.
+    pub retries: u64,
+    /// Appeal attempts whose answer missed the per-attempt deadline.
+    pub appeal_timeouts: u64,
+    /// Appeal attempts refused by the link itself (loss 1.0 or retransmit
+    /// budget exhausted → `HwError::LinkDown`).
+    pub link_down: u64,
+    /// *Retry* attempts shed by a full uplink queue (first-attempt sheds
+    /// stay `link_fallbacks`).
+    pub appeal_queue_full: u64,
+    /// Appeals that reached a blacked-out cloud and vanished.
+    pub blackout_drops: u64,
+    /// Cloud answers dropped on the way back by a scripted fault.
+    pub response_drops: u64,
+    /// Cloud answers delivered corrupted by a scripted fault.
+    pub response_corrupt: u64,
+    /// Cloud answers that arrived after their request had already resolved
+    /// (timed out and degraded, or answered by another attempt).
+    pub late_responses: u64,
+    /// Arrivals stalled because the node was crashed at the time.
+    pub crash_stalls: u64,
     /// Virtual nanoseconds this node's compute was busy.
     pub busy_nanos: u64,
 }
@@ -36,6 +63,7 @@ pub struct EdgeNode {
     pub(crate) scorer: Box<dyn Scorer>,
     pub(crate) policy: Box<dyn RoutingPolicy>,
     pub(crate) adaptive: Option<AdaptiveBudget>,
+    pub(crate) breaker: Option<CircuitBreaker>,
     pub(crate) uplink: LinkQueue,
     pub(crate) stats: NodeStats,
     service_nanos: u64,
@@ -60,11 +88,23 @@ impl EdgeNode {
             scorer,
             policy,
             adaptive,
+            breaker: None,
             uplink,
             stats: NodeStats::default(),
             service_nanos,
             busy_until_nanos: 0,
         }
+    }
+
+    /// Installs a circuit breaker on this node's appeal path.
+    pub fn with_breaker(mut self, breaker: CircuitBreaker) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// The appeal circuit breaker, if one is installed.
+    pub fn breaker(&self) -> Option<&CircuitBreaker> {
+        self.breaker.as_ref()
     }
 
     /// This node's index in the fleet.

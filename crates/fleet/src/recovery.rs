@@ -1,0 +1,209 @@
+//! Appeal recovery policy: bounded retries with decorrelated-jitter backoff,
+//! a per-appeal deadline, and the degradation ladder's last rung.
+//!
+//! The ladder, from cheapest to most drastic (see `docs/ROBUSTNESS.md`):
+//!
+//! 1. **Retry** — an appeal that times out, loses its link, or comes back
+//!    corrupted is retried after a decorrelated-jitter backoff, at most
+//!    [`RetryConfig::max_attempts`] times in total.
+//! 2. **Degrade** — once the retry budget is exhausted, or while the node's
+//!    [`CircuitBreaker`](crate::CircuitBreaker) is open, the node accepts
+//!    the little net's answer and ledgers it as `DegradedLocal`. The appeal
+//!    mechanism *is* the fallback: the edge already computed a full answer
+//!    to score, so degradation costs no extra compute — only the accuracy
+//!    delta the fault experiment measures.
+//!
+//! Nothing here errors a request: with a [`RecoveryConfig`] installed, every
+//! request resolves to a label, faulted cloud or not.
+
+use crate::breaker::BreakerConfig;
+use crate::error::{is_positive, FleetError, FleetResult};
+use appeal_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// Bounded-retry parameters for a single appeal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryConfig {
+    /// Total transmission attempts per appeal (first send included), so
+    /// `max_attempts = 1` means "never retry". Must be positive.
+    pub max_attempts: u32,
+    /// First backoff and the lower bound of every jittered draw, in
+    /// milliseconds.
+    pub base_backoff_ms: f64,
+    /// Backoff cap, in milliseconds; must be at least the base.
+    pub max_backoff_ms: f64,
+}
+
+impl RetryConfig {
+    fn validate(&self) -> FleetResult<()> {
+        if self.max_attempts == 0 {
+            return Err(FleetError::InvalidConfig {
+                what: "retry max_attempts must be positive",
+            });
+        }
+        if !is_positive(self.base_backoff_ms) {
+            return Err(FleetError::InvalidConfig {
+                what: "retry base_backoff_ms must be positive",
+            });
+        }
+        if !(self.max_backoff_ms >= self.base_backoff_ms) {
+            return Err(FleetError::InvalidConfig {
+                what: "retry max_backoff_ms must be at least base_backoff_ms",
+            });
+        }
+        Ok(())
+    }
+
+    /// Draws the next backoff with decorrelated jitter:
+    /// `min(cap, uniform(base, 3 * prev))`, seeded from `prev_ms = 0` for
+    /// the first retry (which then waits exactly the base). Decorrelated
+    /// jitter spreads concurrent retriers apart instead of letting plain
+    /// exponential backoff re-synchronise their retry storms.
+    pub fn backoff_ms(&self, prev_ms: f64, rng: &mut SeededRng) -> f64 {
+        if prev_ms <= 0.0 {
+            return self.base_backoff_ms;
+        }
+        let high = 3.0 * prev_ms;
+        let drawn =
+            f64::from(rng.uniform(0.0, 1.0)) * (high - self.base_backoff_ms) + self.base_backoff_ms;
+        drawn.min(self.max_backoff_ms)
+    }
+}
+
+/// The full recovery policy installed per fleet (one breaker instance per
+/// node). `breaker: None` gives the *naive-retry* baseline the fault
+/// experiment compares against: retries and deadlines still apply, but
+/// nothing ever stops the node from appealing into a dead cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// How long a node waits for an appeal's answer before treating the
+    /// attempt as failed, in milliseconds. Must be positive.
+    pub appeal_deadline_ms: f64,
+    /// The bounded-retry schedule.
+    pub retry: RetryConfig,
+    /// Per-node circuit breaker; `None` disables breaking entirely.
+    pub breaker: Option<BreakerConfig>,
+}
+
+impl RecoveryConfig {
+    /// A policy matched to [`BreakerConfig::default_for_appeals`]: 250 ms
+    /// appeal deadline, up to 3 attempts backing off 10–160 ms.
+    pub fn default_for_appeals() -> Self {
+        Self {
+            appeal_deadline_ms: 250.0,
+            retry: RetryConfig {
+                max_attempts: 3,
+                base_backoff_ms: 10.0,
+                max_backoff_ms: 160.0,
+            },
+            breaker: Some(BreakerConfig::default_for_appeals()),
+        }
+    }
+
+    /// Validates the policy (and the embedded breaker config, if any).
+    pub fn validate(&self) -> FleetResult<()> {
+        if !is_positive(self.appeal_deadline_ms) {
+            return Err(FleetError::InvalidConfig {
+                what: "recovery appeal_deadline_ms must be positive",
+            });
+        }
+        self.retry.validate()?;
+        if let Some(breaker) = self.breaker {
+            // Breaker validation lives with CircuitBreaker::new; build one
+            // to reuse it.
+            crate::CircuitBreaker::new(breaker)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn retry() -> RetryConfig {
+        RetryConfig {
+            max_attempts: 3,
+            base_backoff_ms: 10.0,
+            max_backoff_ms: 80.0,
+        }
+    }
+
+    #[test]
+    fn first_backoff_is_the_base_then_jittered_and_capped() {
+        let cfg = retry();
+        let mut rng = SeededRng::new(7);
+        let first = cfg.backoff_ms(0.0, &mut rng);
+        assert_eq!(first, 10.0);
+        let mut prev = first;
+        for _ in 0..64 {
+            let next = cfg.backoff_ms(prev, &mut rng);
+            assert!(
+                (cfg.base_backoff_ms..=cfg.max_backoff_ms).contains(&next),
+                "backoff {next} out of [base, cap]"
+            );
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let cfg = retry();
+        let draw = |seed| {
+            let mut rng = SeededRng::new(seed);
+            let mut prev = 0.0;
+            (0..8)
+                .map(|_| {
+                    prev = cfg.backoff_ms(prev, &mut rng);
+                    prev
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn validation_rejects_bad_policies() {
+        assert!(RecoveryConfig {
+            appeal_deadline_ms: 0.0,
+            ..RecoveryConfig::default_for_appeals()
+        }
+        .validate()
+        .is_err());
+        assert!(RecoveryConfig {
+            retry: RetryConfig {
+                max_attempts: 0,
+                ..retry()
+            },
+            ..RecoveryConfig::default_for_appeals()
+        }
+        .validate()
+        .is_err());
+        assert!(RecoveryConfig {
+            retry: RetryConfig {
+                max_backoff_ms: 1.0,
+                ..retry()
+            },
+            ..RecoveryConfig::default_for_appeals()
+        }
+        .validate()
+        .is_err());
+        assert!(RecoveryConfig {
+            retry: RetryConfig {
+                base_backoff_ms: f64::NAN,
+                ..retry()
+            },
+            ..RecoveryConfig::default_for_appeals()
+        }
+        .validate()
+        .is_err());
+        let mut with_bad_breaker = RecoveryConfig::default_for_appeals();
+        with_bad_breaker.breaker = Some(BreakerConfig {
+            window: 0,
+            ..BreakerConfig::default_for_appeals()
+        });
+        assert!(with_bad_breaker.validate().is_err());
+        assert!(RecoveryConfig::default_for_appeals().validate().is_ok());
+    }
+}

@@ -26,12 +26,14 @@
 //!    and feeding the measured round-trip into the node's adaptive budget.
 
 use crate::adaptive::AdaptiveBudget;
+use crate::breaker::CircuitBreaker;
 use crate::cloud::{CloudPush, CloudTier, PendingAppeal};
 use crate::error::{is_positive, FleetError, FleetResult};
 use crate::metrics::{percentile, FleetMetrics, NodeSummary, PhaseMetrics};
 use crate::node::EdgeNode;
+use crate::recovery::RecoveryConfig;
 use crate::{adaptive::AdaptiveConfig, cloud::CloudConfig, ms_to_nanos};
-use appeal_hw::{DeviceSpec, LinkQueue, StochasticLink, SystemModel};
+use appeal_hw::{DeviceSpec, FaultEvent, FaultPlan, LinkQueue, StochasticLink, SystemModel};
 use appeal_models::ClassifierParts;
 use appeal_tensor::{SeededRng, Tensor};
 use appealnet_core::serve::{QScorer, RoutingContext, Scorer, ThresholdPolicy};
@@ -72,6 +74,12 @@ pub struct FleetConfig {
     pub degrade: Option<Degradation>,
     /// Optional per-node adaptive offload budget.
     pub adaptive: Option<AdaptiveConfig>,
+    /// Optional appeal recovery policy (per-attempt deadline, bounded
+    /// retries, per-node circuit breaker). Required whenever `faults`
+    /// scripts cloud-facing events, or those events would strand requests.
+    pub recovery: Option<RecoveryConfig>,
+    /// Scripted fault plan ([`FaultPlan::none`] for a healthy run).
+    pub faults: FaultPlan,
     /// End-to-end latency SLO to count violations against, in milliseconds.
     pub slo_ms: f64,
     /// Sharding policy for the cloud's big-network forward passes.
@@ -91,6 +99,9 @@ enum OutcomeRoute {
     LinkFallback,
     /// Appealed and answered by the big network.
     Cloud,
+    /// Wanted the cloud but gracefully degraded to the little net's answer
+    /// (breaker open or retry budget exhausted).
+    DegradedLocal,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -115,14 +126,38 @@ enum EventKind {
         request: usize,
         node: usize,
         decided_nanos: u64,
+        attempt: u32,
     },
     CloudDeadline,
     CloudCompletion {
         request: usize,
         node: usize,
         decided_nanos: u64,
+        attempt: u32,
         label: usize,
     },
+    /// A failed attempt's backoff expired: try the appeal again.
+    AppealRetry {
+        request: usize,
+        node: usize,
+    },
+    /// An in-flight attempt's per-attempt deadline: if the request is still
+    /// unresolved on that attempt, the attempt failed.
+    AppealDeadline {
+        request: usize,
+        node: usize,
+        attempt: u32,
+    },
+}
+
+/// Per-request retry state while an appeal is unresolved (recovery runs
+/// only).
+#[derive(Debug, Clone, Copy)]
+struct AppealCtx {
+    edge_label: usize,
+    decided_nanos: u64,
+    attempt: u32,
+    prev_backoff_ms: f64,
 }
 
 struct Event {
@@ -187,19 +222,29 @@ fn severity_at(degrade: Option<Degradation>, t_nanos: u64) -> f64 {
 
 /// Flushes the cloud's batching queue and schedules each answer's downlink
 /// completion. The downlink samples transfer weather but does not queue:
-/// the cloud's egress is not the modeled bottleneck.
+/// the cloud's egress is not the modeled bottleneck. Scripted response
+/// drops eat the answer here — the edge only learns via its appeal
+/// deadline.
+#[allow(clippy::too_many_arguments)]
 fn flush_cloud(
     cloud: &mut CloudTier,
+    nodes: &mut [EdgeNode],
     now_nanos: u64,
     images: &Tensor,
     link: &StochasticLink,
     degrade: Option<Degradation>,
+    faults: &FaultPlan,
     link_rng: &mut SeededRng,
     q: &mut EventQueue,
 ) {
     if let Some(batch) = cloud.flush(now_nanos, images) {
         for resp in &batch.responses {
-            let sev = severity_at(degrade, batch.done_nanos);
+            if faults.drops_response(batch.done_nanos, resp.request, resp.attempt) {
+                nodes[resp.node].stats.response_drops += 1;
+                continue;
+            }
+            let sev =
+                severity_at(degrade, batch.done_nanos) * faults.link_severity(batch.done_nanos);
             let down = link.sample_transmit_ms(RESULT_BYTES, sev, link_rng);
             let prop = link.sample_propagation_ms(sev, link_rng);
             let at = batch
@@ -211,10 +256,118 @@ fn flush_cloud(
                     request: resp.request,
                     node: resp.node,
                     decided_nanos: resp.decided_nanos,
+                    attempt: resp.attempt,
                     label: resp.label,
                 },
             );
         }
+    }
+}
+
+/// Schedules one appeal transmission attempt for `request` on node `n`,
+/// following the recovery path: a fallible uplink sample
+/// ([`StochasticLink::try_transmit_ms`]), the bounded radio queue, and a
+/// per-attempt deadline. Failures feed the breaker and fall through to
+/// [`retry_or_degrade`].
+#[allow(clippy::too_many_arguments)]
+fn send_appeal(
+    n: &mut EdgeNode,
+    request: usize,
+    node: usize,
+    ctx: &mut AppealCtx,
+    now: u64,
+    sev: f64,
+    input_bytes: u64,
+    link: &StochasticLink,
+    recovery: &RecoveryConfig,
+    link_rng: &mut SeededRng,
+    q: &mut EventQueue,
+    outcomes: &mut [Option<Outcome>],
+) {
+    match link.try_transmit_ms(input_bytes, sev, link_rng) {
+        Err(_) => {
+            n.stats.link_down += 1;
+            if let Some(b) = n.breaker.as_mut() {
+                b.on_failure(now);
+            }
+            retry_or_degrade(n, request, node, ctx, now, recovery, link_rng, q, outcomes);
+        }
+        Ok(up) => {
+            let service = ms_to_nanos(up.service_ms).max(1);
+            match n.uplink.offer(now, service) {
+                None if ctx.attempt == 1 => {
+                    // First-attempt sheds keep the legacy link-fallback
+                    // route: local congestion, not path failure.
+                    n.stats.link_fallbacks += 1;
+                    outcomes[request] = Some(Outcome {
+                        completed_nanos: now,
+                        route: OutcomeRoute::LinkFallback,
+                        label: ctx.edge_label,
+                    });
+                }
+                None => {
+                    n.stats.appeal_queue_full += 1;
+                    if let Some(b) = n.breaker.as_mut() {
+                        b.on_failure(now);
+                    }
+                    retry_or_degrade(n, request, node, ctx, now, recovery, link_rng, q, outcomes);
+                }
+                Some(departure) => {
+                    let prop = link.sample_propagation_ms(sev, link_rng);
+                    q.push(
+                        departure.saturating_add(ms_to_nanos(prop)),
+                        EventKind::CloudArrival {
+                            request,
+                            node,
+                            decided_nanos: ctx.decided_nanos,
+                            attempt: ctx.attempt,
+                        },
+                    );
+                    q.push(
+                        now.saturating_add(ms_to_nanos(recovery.appeal_deadline_ms)),
+                        EventKind::AppealDeadline {
+                            request,
+                            node,
+                            attempt: ctx.attempt,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The degradation ladder's decision point after a failed attempt: schedule
+/// a decorrelated-jitter retry while the budget lasts, else accept the
+/// little net's answer as `DegradedLocal`.
+#[allow(clippy::too_many_arguments)]
+fn retry_or_degrade(
+    n: &mut EdgeNode,
+    request: usize,
+    node: usize,
+    ctx: &mut AppealCtx,
+    now: u64,
+    recovery: &RecoveryConfig,
+    link_rng: &mut SeededRng,
+    q: &mut EventQueue,
+    outcomes: &mut [Option<Outcome>],
+) {
+    if ctx.attempt < recovery.retry.max_attempts {
+        ctx.attempt += 1;
+        let backoff = recovery.retry.backoff_ms(ctx.prev_backoff_ms, link_rng);
+        ctx.prev_backoff_ms = backoff;
+        n.stats.retries += 1;
+        q.push(
+            now.saturating_add(ms_to_nanos(backoff).max(1)),
+            EventKind::AppealRetry { request, node },
+        );
+    } else {
+        n.stats.degraded_local += 1;
+        outcomes[request] = Some(Outcome {
+            completed_nanos: now,
+            route: OutcomeRoute::DegradedLocal,
+            label: ctx.edge_label,
+        });
     }
 }
 
@@ -248,6 +401,25 @@ impl FleetSim {
                 });
             }
         }
+        if let Some(recovery) = &config.recovery {
+            recovery.validate()?;
+        }
+        if config.faults.needs_recovery() && config.recovery.is_none() {
+            // Blackouts and response drops/corruption strand appeals; with
+            // no retry/degrade ladder those requests would never complete.
+            return Err(FleetError::InvalidConfig {
+                what: "fault plan scripts cloud-facing faults but no recovery policy is configured",
+            });
+        }
+        for event in config.faults.events() {
+            if let FaultEvent::NodeCrash { node, .. } = *event {
+                if node >= config.nodes {
+                    return Err(FleetError::InvalidConfig {
+                        what: "fault plan crashes a node outside the fleet",
+                    });
+                }
+            }
+        }
         let input_shape = little.spec().input_shape;
         let input_bytes = (input_shape.iter().product::<usize>() * 4) as u64;
         let little_flops = little.flops();
@@ -267,14 +439,18 @@ impl FleetSim {
         for id in 0..config.nodes {
             let adaptive = config.adaptive.map(AdaptiveBudget::new).transpose()?;
             let uplink = LinkQueue::new(config.link.queue_capacity)?;
-            nodes.push(EdgeNode::new(
+            let mut node = EdgeNode::new(
                 id,
                 base.fork(),
                 Box::new(policy),
                 adaptive,
                 &config.edge_device,
                 uplink,
-            ));
+            );
+            if let Some(breaker) = config.recovery.and_then(|r| r.breaker) {
+                node = node.with_breaker(CircuitBreaker::new(breaker)?);
+            }
+            nodes.push(node);
         }
         let cloud = CloudTier::new(big, config.chunk, config.cloud.clone())?;
         Ok(Self {
@@ -306,11 +482,14 @@ impl FleetSim {
         let link = self.config.link.clone();
         let ctx = self.ctx;
         let degrade = self.config.degrade;
+        let recovery = self.config.recovery;
+        let faults = self.config.faults.clone();
         let input_bytes = self.input_bytes;
 
         let mut q = EventQueue::new();
         let mut arrival_nanos = vec![0u64; total];
         let mut outcomes: Vec<Option<Outcome>> = vec![None; total];
+        let mut appeal_state: Vec<Option<AppealCtx>> = vec![None; total];
         for (i, ev) in arrivals.iter().enumerate() {
             arrival_nanos[i] = ev.at_nanos;
             let node = ev.client as usize % self.nodes.len();
@@ -321,7 +500,14 @@ impl FleetSim {
             let now = event.at_nanos;
             match event.kind {
                 EventKind::Arrival { request, node } => {
-                    let done = self.nodes[node].schedule(now);
+                    let mut effective = now;
+                    if let Some(restart) = faults.node_restart_at(node, now) {
+                        // The node's compute is down: the request waits out
+                        // the crash, then queues behind the restart backlog.
+                        self.nodes[node].stats.crash_stalls += 1;
+                        effective = restart;
+                    }
+                    let done = self.nodes[node].schedule(effective);
                     q.push(done, EventKind::EdgeDone { request, node });
                 }
                 EventKind::EdgeDone { request, node } => {
@@ -356,31 +542,81 @@ impl FleetSim {
                         });
                         continue;
                     }
-                    if let Some(a) = n.adaptive.as_mut() {
-                        a.charge(&ctx.offload_cost);
-                    }
-                    let sev = severity_at(degrade, now);
-                    let up = link.sample_transmit_ms(input_bytes, sev, &mut link_rng);
-                    let service = ms_to_nanos(up.service_ms).max(1);
-                    match n.uplink.offer(now, service) {
-                        None => {
-                            n.stats.link_fallbacks += 1;
-                            outcomes[request] = Some(Outcome {
-                                completed_nanos: now,
-                                route: OutcomeRoute::LinkFallback,
-                                label: edge_label,
+                    let sev = severity_at(degrade, now) * faults.link_severity(now);
+                    match recovery {
+                        Some(rec) => {
+                            // Breaker check precedes charging: a refused
+                            // appeal never leaves the node, so it must not
+                            // spend offload budget.
+                            let allowed = self.nodes[node]
+                                .breaker
+                                .as_mut()
+                                .is_none_or(|b| b.allows(now));
+                            let n = &mut self.nodes[node];
+                            if !allowed {
+                                n.stats.breaker_denied += 1;
+                                n.stats.degraded_local += 1;
+                                outcomes[request] = Some(Outcome {
+                                    completed_nanos: now,
+                                    route: OutcomeRoute::DegradedLocal,
+                                    label: edge_label,
+                                });
+                                continue;
+                            }
+                            if let Some(a) = n.adaptive.as_mut() {
+                                a.charge(&ctx.offload_cost);
+                            }
+                            appeal_state[request] = Some(AppealCtx {
+                                edge_label,
+                                decided_nanos: now,
+                                attempt: 1,
+                                prev_backoff_ms: 0.0,
                             });
-                        }
-                        Some(departure) => {
-                            let prop = link.sample_propagation_ms(sev, &mut link_rng);
-                            q.push(
-                                departure.saturating_add(ms_to_nanos(prop)),
-                                EventKind::CloudArrival {
-                                    request,
-                                    node,
-                                    decided_nanos: now,
-                                },
+                            let state = appeal_state[request].as_mut().expect("just set");
+                            send_appeal(
+                                n,
+                                request,
+                                node,
+                                state,
+                                now,
+                                sev,
+                                input_bytes,
+                                &link,
+                                &rec,
+                                &mut link_rng,
+                                &mut q,
+                                &mut outcomes,
                             );
+                        }
+                        None => {
+                            let n = &mut self.nodes[node];
+                            if let Some(a) = n.adaptive.as_mut() {
+                                a.charge(&ctx.offload_cost);
+                            }
+                            let up = link.sample_transmit_ms(input_bytes, sev, &mut link_rng);
+                            let service = ms_to_nanos(up.service_ms).max(1);
+                            match n.uplink.offer(now, service) {
+                                None => {
+                                    n.stats.link_fallbacks += 1;
+                                    outcomes[request] = Some(Outcome {
+                                        completed_nanos: now,
+                                        route: OutcomeRoute::LinkFallback,
+                                        label: edge_label,
+                                    });
+                                }
+                                Some(departure) => {
+                                    let prop = link.sample_propagation_ms(sev, &mut link_rng);
+                                    q.push(
+                                        departure.saturating_add(ms_to_nanos(prop)),
+                                        EventKind::CloudArrival {
+                                            request,
+                                            node,
+                                            decided_nanos: now,
+                                            attempt: 1,
+                                        },
+                                    );
+                                }
+                            }
                         }
                     }
                 }
@@ -388,20 +624,31 @@ impl FleetSim {
                     request,
                     node,
                     decided_nanos,
+                    attempt,
                 } => {
+                    if faults.cloud_down(now) {
+                        // The appeal reached a blacked-out cloud and
+                        // vanished; the edge learns via its attempt
+                        // deadline.
+                        self.nodes[node].stats.blackout_drops += 1;
+                        continue;
+                    }
                     let appeal = PendingAppeal {
                         request,
                         node,
                         decided_nanos,
                         arrived_nanos: now,
+                        attempt,
                     };
                     match self.cloud.push(now, appeal) {
                         CloudPush::FlushNow => flush_cloud(
                             &mut self.cloud,
+                            &mut self.nodes,
                             now,
                             &images,
                             &link,
                             degrade,
+                            &faults,
                             &mut link_rng,
                             &mut q,
                         ),
@@ -413,10 +660,12 @@ impl FleetSim {
                     if self.cloud.deadline_due(now) {
                         flush_cloud(
                             &mut self.cloud,
+                            &mut self.nodes,
                             now,
                             &images,
                             &link,
                             degrade,
+                            &faults,
                             &mut link_rng,
                             &mut q,
                         );
@@ -426,12 +675,46 @@ impl FleetSim {
                     request,
                     node,
                     decided_nanos,
+                    attempt,
                     label,
                 } => {
                     let n = &mut self.nodes[node];
+                    if outcomes[request].is_some() {
+                        // The request already resolved (degraded, or an
+                        // earlier attempt's answer landed): the ledger
+                        // remembers, the request doesn't.
+                        n.stats.late_responses += 1;
+                        continue;
+                    }
+                    if faults.corrupts_response(now, request, attempt) {
+                        n.stats.response_corrupt += 1;
+                        if let Some(b) = n.breaker.as_mut() {
+                            b.on_failure(now);
+                        }
+                        let rec = recovery.expect("corrupting faults require a recovery policy");
+                        let state = appeal_state[request]
+                            .as_mut()
+                            .expect("corrupt response for a tracked appeal");
+                        retry_or_degrade(
+                            n,
+                            request,
+                            node,
+                            state,
+                            now,
+                            &rec,
+                            &mut link_rng,
+                            &mut q,
+                            &mut outcomes,
+                        );
+                        continue;
+                    }
                     n.stats.cloud_answered += 1;
+                    let round_trip_ms = (now.saturating_sub(decided_nanos)) as f64 / 1e6;
                     if let Some(a) = n.adaptive.as_mut() {
-                        a.observe((now.saturating_sub(decided_nanos)) as f64 / 1e6);
+                        a.observe(round_trip_ms);
+                    }
+                    if let Some(b) = n.breaker.as_mut() {
+                        b.on_success(now, round_trip_ms);
                     }
                     outcomes[request] = Some(Outcome {
                         completed_nanos: now,
@@ -439,16 +722,98 @@ impl FleetSim {
                         label,
                     });
                 }
+                EventKind::AppealRetry { request, node } => {
+                    if outcomes[request].is_some() {
+                        // A straggler answer resolved the request during the
+                        // backoff; nothing left to retry.
+                        continue;
+                    }
+                    let rec = recovery.expect("retries only exist under a recovery policy");
+                    let allowed = self.nodes[node]
+                        .breaker
+                        .as_mut()
+                        .is_none_or(|b| b.allows(now));
+                    let n = &mut self.nodes[node];
+                    let state = appeal_state[request]
+                        .as_mut()
+                        .expect("retry for a tracked appeal");
+                    if !allowed {
+                        n.stats.breaker_denied += 1;
+                        n.stats.degraded_local += 1;
+                        outcomes[request] = Some(Outcome {
+                            completed_nanos: now,
+                            route: OutcomeRoute::DegradedLocal,
+                            label: state.edge_label,
+                        });
+                        continue;
+                    }
+                    let sev = severity_at(degrade, now) * faults.link_severity(now);
+                    send_appeal(
+                        n,
+                        request,
+                        node,
+                        state,
+                        now,
+                        sev,
+                        input_bytes,
+                        &link,
+                        &rec,
+                        &mut link_rng,
+                        &mut q,
+                        &mut outcomes,
+                    );
+                }
+                EventKind::AppealDeadline {
+                    request,
+                    node,
+                    attempt,
+                } => {
+                    if outcomes[request].is_some() {
+                        continue;
+                    }
+                    let rec = recovery.expect("deadlines only exist under a recovery policy");
+                    let state = appeal_state[request]
+                        .as_mut()
+                        .expect("deadline for a tracked appeal");
+                    if state.attempt != attempt {
+                        // Stale deadline of an abandoned attempt; the
+                        // current attempt has its own.
+                        continue;
+                    }
+                    let n = &mut self.nodes[node];
+                    n.stats.appeal_timeouts += 1;
+                    if let Some(b) = n.breaker.as_mut() {
+                        b.on_failure(now);
+                    }
+                    retry_or_degrade(
+                        n,
+                        request,
+                        node,
+                        state,
+                        now,
+                        &rec,
+                        &mut link_rng,
+                        &mut q,
+                        &mut outcomes,
+                    );
+                }
             }
         }
 
-        self.collect_metrics(&arrival_nanos, &outcomes)
+        self.collect_metrics(&images, &arrival_nanos, &outcomes)
     }
 
-    fn collect_metrics(&self, arrival_nanos: &[u64], outcomes: &[Option<Outcome>]) -> FleetMetrics {
+    fn collect_metrics(
+        &mut self,
+        images: &Tensor,
+        arrival_nanos: &[u64],
+        outcomes: &[Option<Outcome>],
+    ) -> FleetMetrics {
         let requests = outcomes.len() as u64;
         let mut completed = 0u64;
-        let (mut edge, mut cloud, mut fallback, mut denied) = (0u64, 0u64, 0u64, 0u64);
+        let (mut edge, mut cloud, mut fallback, mut denied, mut degraded) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        let mut degraded_rows: Vec<usize> = Vec::new();
         let mut latencies = Vec::with_capacity(outcomes.len());
         let mut slo_violations = 0u64;
         let mut last_completion = 0u64;
@@ -475,6 +840,10 @@ impl FleetSim {
                 OutcomeRoute::Cloud => cloud += 1,
                 OutcomeRoute::LinkFallback => fallback += 1,
                 OutcomeRoute::BudgetDenied => denied += 1,
+                OutcomeRoute::DegradedLocal => {
+                    degraded += 1;
+                    degraded_rows.push(i);
+                }
             }
             if let Some(at) = degrade_at {
                 let phase = if arrival_nanos[i] < at {
@@ -495,7 +864,20 @@ impl FleetSim {
         };
         let span_ms = last_completion as f64 / 1e6;
         let cloud_busy_ms = self.cloud.busy_nanos() as f64 / 1e6;
-        let nodes = self
+        // What would the big net have said where we settled for the little
+        // net? Pure accounting: no clock or counter moves.
+        let degraded_agreement = if degraded_rows.is_empty() {
+            None
+        } else {
+            let big_labels = self.cloud.counterfactual_labels(images, &degraded_rows);
+            let agree = degraded_rows
+                .iter()
+                .zip(&big_labels)
+                .filter(|&(&row, big)| outcomes[row].map(|o| o.label) == Some(*big))
+                .count();
+            Some(agree as f64 / degraded_rows.len() as f64)
+        };
+        let nodes: Vec<NodeSummary> = self
             .nodes
             .iter()
             .map(|n| NodeSummary {
@@ -505,11 +887,17 @@ impl FleetSim {
                 cloud_answered: n.stats().cloud_answered,
                 link_fallbacks: n.stats().link_fallbacks,
                 budget_denied: n.stats().budget_denied,
+                degraded_local: n.stats().degraded_local,
+                breaker_denied: n.stats().breaker_denied,
+                retries: n.stats().retries,
                 busy_ms: n.stats().busy_nanos as f64 / 1e6,
                 final_budget_ms: n.adaptive().map(AdaptiveBudget::current_budget_ms),
                 tightenings: n.adaptive().map_or(0, AdaptiveBudget::tightenings),
             })
             .collect();
+        let stat_sum = |f: fn(&crate::node::NodeStats) -> u64| -> u64 {
+            self.nodes.iter().map(|n| f(n.stats())).sum()
+        };
         let phase_metrics = |(reqs, cloud_n, mut lats): (u64, u64, Vec<f64>)| {
             lats.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
             PhaseMetrics {
@@ -527,6 +915,38 @@ impl FleetSim {
             cloud_answered: cloud,
             link_fallbacks: fallback,
             budget_denied: denied,
+            degraded_local: degraded,
+            breaker_denied: stat_sum(|s| s.breaker_denied),
+            retries: stat_sum(|s| s.retries),
+            appeal_timeouts: stat_sum(|s| s.appeal_timeouts),
+            link_down: stat_sum(|s| s.link_down),
+            appeal_queue_full: stat_sum(|s| s.appeal_queue_full),
+            blackout_drops: stat_sum(|s| s.blackout_drops),
+            response_drops: stat_sum(|s| s.response_drops),
+            response_corrupt: stat_sum(|s| s.response_corrupt),
+            late_responses: stat_sum(|s| s.late_responses),
+            crash_stalls: stat_sum(|s| s.crash_stalls),
+            breaker_opened: self
+                .nodes
+                .iter()
+                .filter_map(EdgeNode::breaker)
+                .map(CircuitBreaker::opened)
+                .sum(),
+            breaker_half_opened: self
+                .nodes
+                .iter()
+                .filter_map(EdgeNode::breaker)
+                .map(CircuitBreaker::half_opened)
+                .sum(),
+            breaker_closed: self
+                .nodes
+                .iter()
+                .filter_map(EdgeNode::breaker)
+                .map(CircuitBreaker::closed)
+                .sum(),
+            degraded_agreement,
+            recovery_enabled: self.config.recovery.is_some(),
+            faults_scripted: !self.config.faults.is_empty(),
             uplink_accepted: self.nodes.iter().map(EdgeNode::uplink_accepted).sum(),
             uplink_rejected: self.nodes.iter().map(EdgeNode::uplink_rejected).sum(),
             p50_ms: percentile(&latencies, 0.50),
@@ -535,7 +955,7 @@ impl FleetSim {
             mean_ms,
             slo_ms: self.config.slo_ms,
             slo_violations,
-            skipping_rate: (edge + fallback + denied) as f64 / completed.max(1) as f64,
+            skipping_rate: (edge + fallback + denied + degraded) as f64 / completed.max(1) as f64,
             appeal_rate: cloud as f64 / completed.max(1) as f64,
             span_ms,
             cloud_busy_ms,
@@ -581,6 +1001,8 @@ mod tests {
             link: StochasticLink::wifi(),
             degrade: None,
             adaptive: None,
+            recovery: None,
+            faults: FaultPlan::none(),
             slo_ms: 100.0,
             chunk: ChunkPolicy::sequential(),
             seed: 7,
@@ -654,6 +1076,65 @@ mod tests {
             FleetSim::new(net, big, c),
             Err(FleetError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn cloud_facing_faults_require_a_recovery_policy() {
+        let mut c = config(2, 1.0);
+        c.faults = FaultPlan::new(
+            1,
+            vec![FaultEvent::CloudBlackout {
+                from_nanos: 0,
+                until_nanos: 1_000_000,
+            }],
+        )
+        .unwrap();
+        let mut rng = SeededRng::new(2021);
+        let little = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 4).build(&mut rng);
+        let big = ModelSpec::big([3, 12, 12], 4).build(&mut rng);
+        let net = TwoHeadNet::from_parts(little, &mut rng);
+        assert!(matches!(
+            FleetSim::new(net.clone(), big.clone(), c.clone()),
+            Err(FleetError::InvalidConfig { .. })
+        ));
+        // Crashing a node the fleet doesn't have is also rejected.
+        c.faults = FaultPlan::new(
+            1,
+            vec![FaultEvent::NodeCrash {
+                node: 2,
+                at_nanos: 0,
+                down_nanos: 1,
+            }],
+        )
+        .unwrap();
+        assert!(matches!(
+            FleetSim::new(net, big, c),
+            Err(FleetError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn total_blackout_degrades_every_appeal_and_ledgers_reconcile() {
+        let mut c = config(2, 1.0); // δ = 1: everything wants the cloud
+        c.recovery = Some(crate::RecoveryConfig::default_for_appeals());
+        c.faults = FaultPlan::new(
+            5,
+            vec![FaultEvent::CloudBlackout {
+                from_nanos: 0,
+                until_nanos: u64::MAX,
+            }],
+        )
+        .unwrap();
+        let mut sim = build(c);
+        let m = sim.run(&trace(48));
+        assert_eq!(m.completed, 48, "no request may strand in an outage");
+        assert_eq!(m.cloud_answered, 0);
+        assert!(m.degraded_local > 0, "appeals must degrade locally");
+        assert!(m.appeal_timeouts > 0, "the edge learns via its deadline");
+        assert!(m.breaker_opened > 0, "a dead cloud must trip the breaker");
+        assert!(m.degraded_agreement.is_some());
+        let violations = m.check();
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

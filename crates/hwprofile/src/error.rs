@@ -39,6 +39,22 @@ pub enum HwError {
         /// The offending field, e.g. `"queue_capacity"`.
         field: &'static str,
     },
+    /// A transfer could not be delivered: the effective loss probability is
+    /// 1.0 (total blackout) or the per-transfer retransmit budget ran out.
+    /// Surfaced by [`crate::StochasticLink::try_transmit_ms`] so callers can
+    /// run a typed recovery path (retry with backoff, or answer locally)
+    /// instead of pretending an undeliverable transfer arrived.
+    LinkDown {
+        /// Retransmissions charged before the transfer was given up on.
+        retransmits: u32,
+    },
+    /// A fault-plan window is inverted (`until_nanos < from_nanos`).
+    InvalidWindow {
+        /// Window start, in virtual nanoseconds.
+        from_nanos: u64,
+        /// Window end, in virtual nanoseconds.
+        until_nanos: u64,
+    },
 }
 
 impl fmt::Display for HwError {
@@ -55,6 +71,21 @@ impl fmt::Display for HwError {
             }
             HwError::ZeroCapacity { field } => {
                 write!(f, "{field} must be positive")
+            }
+            HwError::LinkDown { retransmits } => {
+                write!(
+                    f,
+                    "link down: transfer undeliverable after {retransmits} retransmission(s)"
+                )
+            }
+            HwError::InvalidWindow {
+                from_nanos,
+                until_nanos,
+            } => {
+                write!(
+                    f,
+                    "fault window is inverted: until {until_nanos} ns precedes from {from_nanos} ns"
+                )
             }
         }
     }
@@ -86,6 +117,16 @@ pub(crate) fn require_non_negative(field: &'static str, value: f64) -> HwResult<
 /// Checks that `value` is a probability in `[0, 1)` (rejecting NaN).
 pub(crate) fn require_probability(field: &'static str, value: f64) -> HwResult<()> {
     if (0.0..1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(HwError::InvalidProbability { field, value })
+    }
+}
+
+/// Checks that `value` is a probability in `[0, 1]` — the closed interval:
+/// loss and drop models where exactly 1.0 means a total blackout.
+pub(crate) fn require_probability_inclusive(field: &'static str, value: f64) -> HwResult<()> {
+    if (0.0..=1.0).contains(&value) {
         Ok(())
     } else {
         Err(HwError::InvalidProbability { field, value })
@@ -138,5 +179,20 @@ mod tests {
         assert!(require_non_negative("f", 0.0).is_ok());
         assert!(require_probability("f", 0.0).is_ok());
         assert!(require_probability("f", 1.0).is_err());
+        assert!(require_probability_inclusive("f", 1.0).is_ok());
+        assert!(require_probability_inclusive("f", 1.0001).is_err());
+        assert!(require_probability_inclusive("f", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn link_down_and_window_display() {
+        assert!(HwError::LinkDown { retransmits: 8 }
+            .to_string()
+            .contains('8'));
+        let w = HwError::InvalidWindow {
+            from_nanos: 10,
+            until_nanos: 5,
+        };
+        assert!(w.to_string().contains("inverted"));
     }
 }

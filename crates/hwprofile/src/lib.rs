@@ -34,6 +34,7 @@ pub mod budget;
 pub mod cost;
 pub mod device;
 pub mod error;
+pub mod faults;
 pub mod link;
 pub mod profiler;
 pub mod stochastic;
@@ -42,9 +43,10 @@ pub use budget::{CostBudget, CostMeter};
 pub use cost::{InferenceCost, SystemModel};
 pub use device::DeviceSpec;
 pub use error::{HwError, HwResult};
+pub use faults::{FaultEvent, FaultPlan};
 pub use link::LinkSpec;
 pub use profiler::{HardwareProfiler, ProfileDecision};
-pub use stochastic::{LinkQueue, StochasticLink, TransferSample};
+pub use stochastic::{LinkQueue, StochasticLink, TransferSample, MAX_RETRANSMITS};
 
 /// Convenience re-exports.
 pub mod prelude {
@@ -52,7 +54,8 @@ pub mod prelude {
     pub use crate::cost::{InferenceCost, SystemModel};
     pub use crate::device::DeviceSpec;
     pub use crate::error::{HwError, HwResult};
+    pub use crate::faults::{FaultEvent, FaultPlan};
     pub use crate::link::LinkSpec;
     pub use crate::profiler::{HardwareProfiler, ProfileDecision};
-    pub use crate::stochastic::{LinkQueue, StochasticLink, TransferSample};
+    pub use crate::stochastic::{LinkQueue, StochasticLink, TransferSample, MAX_RETRANSMITS};
 }

@@ -14,15 +14,20 @@
 //! fleet simulator turns into edge-side fallbacks (the node answers locally
 //! rather than waiting on a saturated uplink).
 
-use crate::error::{require_non_negative, require_probability, HwError, HwResult};
+use crate::error::{
+    require_non_negative, require_probability, require_probability_inclusive, HwError, HwResult,
+};
 use crate::link::LinkSpec;
 use appeal_tensor::SeededRng;
 use serde::{Deserialize, Serialize};
 
-/// Maximum retransmissions charged to a single transfer. Beyond this the
-/// sample is treated as delivered; an unbounded geometric tail would let an
-/// unlucky seed stall the whole simulation.
-const MAX_RETRANSMITS: u32 = 8;
+/// Maximum retransmissions charged to a single transfer — the per-transfer
+/// retransmit budget. [`StochasticLink::try_transmit_ms`] gives up with
+/// [`HwError::LinkDown`] once the budget is spent; the legacy
+/// [`StochasticLink::sample_transmit_ms`] instead treats the capped sample as
+/// delivered. Either way an unbounded geometric tail can never stall a
+/// simulation.
+pub const MAX_RETRANSMITS: u32 = 8;
 
 /// One sampled transfer over a [`StochasticLink`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,8 +64,11 @@ pub struct StochasticLink {
 impl StochasticLink {
     /// Creates a stochastic link model over `spec`.
     ///
-    /// Returns [`HwError`] if `jitter` or `loss` is outside `[0, 1)`,
-    /// `rto_ms` is negative, or `queue_capacity` is zero.
+    /// Returns [`HwError`] if `jitter` is outside `[0, 1)`, `loss` is outside
+    /// `[0, 1]` (`loss = 1.0` is a well-defined total blackout — every
+    /// [`try_transmit_ms`](Self::try_transmit_ms) fails with
+    /// [`HwError::LinkDown`]), `rto_ms` is negative, or `queue_capacity` is
+    /// zero.
     pub fn new(
         spec: LinkSpec,
         jitter: f64,
@@ -69,7 +77,7 @@ impl StochasticLink {
         queue_capacity: usize,
     ) -> HwResult<Self> {
         require_probability("jitter", jitter)?;
-        require_probability("loss", loss)?;
+        require_probability_inclusive("loss", loss)?;
         require_non_negative("rto_ms", rto_ms)?;
         if queue_capacity == 0 {
             return Err(HwError::ZeroCapacity {
@@ -142,6 +150,44 @@ impl StochasticLink {
             service_ms: base * factor + f64::from(retransmits) * self.rto_ms,
             retransmits,
         }
+    }
+
+    /// Fallible variant of [`sample_transmit_ms`](Self::sample_transmit_ms)
+    /// with a hard per-transfer retransmit budget: the transfer either
+    /// delivers within [`MAX_RETRANSMITS`] retransmissions or fails with
+    /// [`HwError::LinkDown`] so the caller can run a typed recovery path.
+    ///
+    /// Two differences from the legacy sampler, both deliberate:
+    ///
+    /// * the effective loss probability saturates at **1.0** (not 0.95), so
+    ///   `loss × severity ≥ 1` is a well-defined total blackout that fails
+    ///   deterministically without consuming loss draws;
+    /// * exhausting the retransmit budget is an *error*, not a delivery —
+    ///   under a near-blackout the old sampler silently pretended the bytes
+    ///   arrived, which is exactly the hazard a recovery layer must see.
+    pub fn try_transmit_ms(
+        &self,
+        bytes: u64,
+        severity: f64,
+        rng: &mut SeededRng,
+    ) -> HwResult<TransferSample> {
+        let base = self.spec.transmit_ms(bytes) * severity;
+        let factor = 1.0 + self.jitter * f64::from(rng.uniform(-1.0, 1.0));
+        let loss = (self.loss * severity).min(1.0);
+        if loss >= 1.0 {
+            return Err(HwError::LinkDown { retransmits: 0 });
+        }
+        let mut retransmits = 0u32;
+        while rng.bernoulli(loss as f32) {
+            retransmits += 1;
+            if retransmits > MAX_RETRANSMITS {
+                return Err(HwError::LinkDown { retransmits });
+            }
+        }
+        Ok(TransferSample {
+            service_ms: base * factor + f64::from(retransmits) * self.rto_ms,
+            retransmits,
+        })
     }
 
     /// Samples the one-way propagation delay (half the RTT, jittered and
@@ -295,6 +341,59 @@ mod tests {
         for _ in 0..128 {
             let s = link.sample_transmit_ms(1024, 1.9, &mut rng);
             assert!(s.retransmits <= MAX_RETRANSMITS);
+        }
+    }
+
+    #[test]
+    fn try_transmit_total_blackout_is_typed_and_deterministic() {
+        // loss = 1.0 is constructible and always LinkDown, never a loop.
+        let link = StochasticLink::new(LinkSpec::wifi(), 0.0, 1.0, 10.0, 4).unwrap();
+        let mut rng = SeededRng::new(2);
+        for _ in 0..32 {
+            assert!(matches!(
+                link.try_transmit_ms(1024, 1.0, &mut rng),
+                Err(HwError::LinkDown { retransmits: 0 })
+            ));
+        }
+        // Severity can also push a lossy link into blackout.
+        let lossy = StochasticLink::new(LinkSpec::lte(), 0.0, 0.5, 10.0, 4).unwrap();
+        assert!(matches!(
+            lossy.try_transmit_ms(1024, 2.0, &mut rng),
+            Err(HwError::LinkDown { .. })
+        ));
+    }
+
+    #[test]
+    fn try_transmit_exhausted_retransmit_budget_is_link_down() {
+        // At 90% loss, runs of MAX_RETRANSMITS + 1 losses are common; the
+        // budget must convert them into typed failures, and delivered
+        // samples must respect the cap.
+        let link = StochasticLink::new(LinkSpec::lte(), 0.0, 0.9, 10.0, 4).unwrap();
+        let mut rng = SeededRng::new(3);
+        let mut failures = 0;
+        for _ in 0..256 {
+            match link.try_transmit_ms(1024, 1.0, &mut rng) {
+                Ok(sample) => assert!(sample.retransmits <= MAX_RETRANSMITS),
+                Err(HwError::LinkDown { retransmits }) => {
+                    assert_eq!(retransmits, MAX_RETRANSMITS + 1);
+                    failures += 1;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(failures > 0, "0.9^9 runs must occur in 256 trials");
+    }
+
+    #[test]
+    fn try_transmit_matches_legacy_sampler_when_reliable() {
+        // Below the cap the two samplers consume the same draws and agree.
+        let link = StochasticLink::wifi();
+        let mut a = SeededRng::new(17);
+        let mut b = SeededRng::new(17);
+        for i in 0..128u64 {
+            let legacy = link.sample_transmit_ms(1024 * (i + 1), 1.0, &mut a);
+            let tried = link.try_transmit_ms(1024 * (i + 1), 1.0, &mut b).unwrap();
+            assert_eq!(legacy, tried);
         }
     }
 

@@ -46,6 +46,7 @@ fn main() -> Result<(), CoreError> {
                 budget: CostBudget::energy_mj(offload.energy_mj * 6.0),
                 window: 16,
             }),
+            ..ServerConfig::default()
         },
     )?;
 
@@ -87,7 +88,7 @@ fn main() -> Result<(), CoreError> {
         println!("  client {client}: {answered} answered, {shed} shed");
     }
 
-    let (engine, stats) = server.shutdown();
+    let (engine, stats) = server.shutdown()?;
     println!(
         "\nserver: {} offered | {} answered | {} shed ({:.0}%) | {} rejected",
         stats.offered,

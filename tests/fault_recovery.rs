@@ -1,0 +1,256 @@
+//! Fault-injection and recovery guards for the fleet simulator.
+//!
+//! These pin the degradation ladder end to end: a full uplink queue falls
+//! back to the edge, an exhausted retry budget degrades to the little net's
+//! answer, a transient cloud outage walks the breaker through
+//! open → half-open → closed, a dead link surfaces as typed `LinkDown`
+//! failures, and a fully faulted run still replays byte-for-byte from its
+//! seed. Every run must keep `FleetMetrics::check` empty — the ledgers are
+//! the contract.
+
+use appeal_hw::{DeviceSpec, FaultEvent, FaultPlan, StochasticLink};
+use appeal_models::{ModelFamily, ModelSpec};
+use appeal_tensor::SeededRng;
+use appealnet_core::parallel::ChunkPolicy;
+use appealnet_core::two_head::TwoHeadNet;
+use appealnet_fleet::trace::{TraceShape, TraceSpec};
+use appealnet_fleet::{
+    BreakerConfig, CloudConfig, FleetConfig, FleetMetrics, FleetSim, RecoveryConfig, RetryConfig,
+};
+
+const MS: u64 = 1_000_000;
+
+fn config(delta: f64, faults: FaultPlan, recovery: Option<RecoveryConfig>) -> FleetConfig {
+    FleetConfig {
+        nodes: 4,
+        delta,
+        edge_device: DeviceSpec::mobile_soc(),
+        cloud: CloudConfig {
+            device: DeviceSpec::cloud_gpu(),
+            max_batch: 8,
+            deadline_ms: 2.0,
+            batch_overhead_ms: 1.0,
+        },
+        link: StochasticLink::wifi(),
+        degrade: None,
+        adaptive: None,
+        recovery,
+        faults,
+        slo_ms: 100.0,
+        chunk: ChunkPolicy::sequential(),
+        seed: 2021,
+    }
+}
+
+fn trace(requests: usize, mean_gap_nanos: u64) -> TraceSpec {
+    TraceSpec {
+        shape: TraceShape::Uniform,
+        requests,
+        mean_gap_nanos,
+        clients: 16,
+        seed: 2021,
+    }
+}
+
+fn run(config: FleetConfig, trace: &TraceSpec) -> FleetMetrics {
+    let mut rng = SeededRng::new(2021);
+    let little = ModelSpec::little(ModelFamily::MobileNetLike, [3, 12, 12], 4).build(&mut rng);
+    let big = ModelSpec::big([3, 12, 12], 4).build(&mut rng);
+    FleetSim::new(TwoHeadNet::from_parts(little, &mut rng), big, config)
+        .expect("valid config")
+        .run(trace)
+}
+
+fn checked(metrics: &FleetMetrics) {
+    let violations = metrics.check();
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+/// A bounded uplink queue sheds first-attempt appeals as edge fallbacks, and
+/// the uplink ledger reconciles exactly against them.
+#[test]
+fn full_uplink_queue_falls_back_to_the_edge() {
+    let mut c = config(
+        1.0,
+        FaultPlan::none(),
+        Some(RecoveryConfig::default_for_appeals()),
+    );
+    c.link.queue_capacity = 1;
+    let spec = TraceSpec {
+        shape: TraceShape::Bursty { burst: 8 },
+        requests: 96,
+        mean_gap_nanos: MS, // 1 ms bursts against multi-ms transfers
+        clients: 16,
+        seed: 2021,
+    };
+    let m = run(c, &spec);
+    checked(&m);
+    assert!(
+        m.link_fallbacks > 0,
+        "a capacity-1 uplink under bursts must shed appeals"
+    );
+    assert_eq!(
+        m.uplink_rejected,
+        m.link_fallbacks + m.appeal_queue_full,
+        "every uplink rejection is a fallback or a failed retry"
+    );
+    assert_eq!(m.completed, 96, "shed appeals still answer on the edge");
+}
+
+/// Under a permanent blackout with no breaker, the retry budget is the only
+/// defense: every cloud-bound request burns its attempts and then degrades
+/// to the little net's answer.
+#[test]
+fn retry_budget_exhaustion_degrades_to_the_little_net() {
+    let plan = FaultPlan::new(
+        2021,
+        vec![FaultEvent::CloudBlackout {
+            from_nanos: 0,
+            until_nanos: u64::MAX,
+        }],
+    )
+    .unwrap();
+    let recovery = RecoveryConfig {
+        appeal_deadline_ms: 20.0,
+        retry: RetryConfig {
+            max_attempts: 3,
+            base_backoff_ms: 2.0,
+            max_backoff_ms: 10.0,
+        },
+        breaker: None,
+    };
+    let m = run(config(0.9, plan, Some(recovery)), &trace(192, 2 * MS));
+    checked(&m);
+    assert_eq!(m.cloud_answered, 0, "a blacked-out cloud answers nothing");
+    assert_eq!(m.completed, 192, "no request may strand");
+    assert!(m.degraded_local > 0, "exhausted retries must degrade");
+    assert_eq!(m.breaker_denied, 0, "no breaker is configured");
+    assert!(
+        m.retries >= m.degraded_local,
+        "every degraded request retried at least once: {} retries, {} degraded",
+        m.retries,
+        m.degraded_local
+    );
+    assert!(m.appeal_timeouts > 0);
+    assert!(
+        m.degraded_agreement.is_some(),
+        "degraded answers must report their counterfactual accuracy"
+    );
+}
+
+/// A transient outage walks the breaker through its whole state machine:
+/// failures trip it open, the open timer admits half-open probes, and probe
+/// successes against the recovered cloud close it again.
+#[test]
+fn breaker_cycles_open_half_open_closed_under_a_transient_outage() {
+    let plan = FaultPlan::new(
+        2021,
+        vec![FaultEvent::CloudBlackout {
+            from_nanos: 10 * MS,
+            until_nanos: 80 * MS,
+        }],
+    )
+    .unwrap();
+    let recovery = RecoveryConfig {
+        appeal_deadline_ms: 20.0,
+        retry: RetryConfig {
+            max_attempts: 2,
+            base_backoff_ms: 2.0,
+            max_backoff_ms: 10.0,
+        },
+        breaker: Some(BreakerConfig {
+            window: 8,
+            failure_threshold: 0.5,
+            slow_ms: 10_000.0, // only real failures count here
+            open_ms: 40.0,
+            probes: 2,
+        }),
+    };
+    let m = run(config(0.9, plan, Some(recovery)), &trace(384, 2 * MS));
+    checked(&m);
+    assert!(m.breaker_opened > 0, "the outage must trip the breaker");
+    assert!(
+        m.breaker_half_opened > 0,
+        "the open timer must admit probes"
+    );
+    assert!(
+        m.breaker_closed > 0,
+        "probes against the recovered cloud must close the breaker"
+    );
+    assert!(
+        m.cloud_answered > 0,
+        "service must resume once the breaker closes"
+    );
+}
+
+/// A dead link (loss = 1.0) is a typed, accounted failure — not a hang: the
+/// recovery path sees `HwError::LinkDown`, spends its retry budget, and
+/// degrades.
+#[test]
+fn dead_link_surfaces_typed_link_down_failures() {
+    let mut c = config(
+        0.9,
+        FaultPlan::none(),
+        Some(RecoveryConfig::default_for_appeals()),
+    );
+    c.link.loss = 1.0;
+    let m = run(c, &trace(96, 2 * MS));
+    checked(&m);
+    assert_eq!(m.cloud_answered, 0, "nothing crosses a fully lossy link");
+    assert!(m.link_down > 0, "attempts must fail as LinkDown, not hang");
+    assert!(m.degraded_local > 0);
+    assert_eq!(m.completed, 96);
+}
+
+/// A run scripted with every fault type at once still replays byte-for-byte
+/// from its seed — fault injection must not leak nondeterminism.
+#[test]
+fn faulted_runs_replay_byte_identically() {
+    let plan = || {
+        FaultPlan::new(
+            2021,
+            vec![
+                FaultEvent::CloudBlackout {
+                    from_nanos: 30 * MS,
+                    until_nanos: 60 * MS,
+                },
+                FaultEvent::LinkBrownout {
+                    from_nanos: 20 * MS,
+                    until_nanos: 120 * MS,
+                    severity: 3.0,
+                },
+                FaultEvent::ResponseDrop {
+                    from_nanos: 0,
+                    until_nanos: u64::MAX,
+                    probability: 0.25,
+                },
+                FaultEvent::ResponseCorrupt {
+                    from_nanos: 0,
+                    until_nanos: u64::MAX,
+                    probability: 0.2,
+                },
+                FaultEvent::NodeCrash {
+                    node: 0,
+                    at_nanos: 20 * MS,
+                    down_nanos: 50 * MS,
+                },
+            ],
+        )
+        .unwrap()
+    };
+    let spec = trace(192, 2 * MS);
+    let recovery = Some(RecoveryConfig::default_for_appeals());
+    let first = run(config(0.9, plan(), recovery), &spec);
+    let second = run(config(0.9, plan(), recovery), &spec);
+    checked(&first);
+    assert!(first.faults_scripted && first.recovery_enabled);
+    assert!(
+        first.crash_stalls > 0,
+        "the crashed node must stall arrivals"
+    );
+    assert_eq!(
+        first.render(),
+        second.render(),
+        "scripted faults must stay byte-reproducible"
+    );
+}

@@ -8,7 +8,7 @@
 //! experiment's headline result: under a degraded link the controller
 //! offloads less than a static fleet.
 
-use appeal_hw::{DeviceSpec, StochasticLink};
+use appeal_hw::{DeviceSpec, FaultPlan, StochasticLink};
 use appeal_models::{ModelFamily, ModelSpec};
 use appeal_tensor::SeededRng;
 use appealnet_core::parallel::ChunkPolicy;
@@ -32,6 +32,8 @@ fn config(seed: u64, chunk: ChunkPolicy) -> FleetConfig {
         link: StochasticLink::lte(),
         degrade: None,
         adaptive: None,
+        recovery: None,
+        faults: FaultPlan::none(),
         slo_ms: 100.0,
         chunk,
         seed,

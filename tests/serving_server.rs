@@ -233,7 +233,7 @@ fn full_admission_queue_rejects_with_typed_overload() {
             // Nothing can flush before the deadline, so the first three
             // admissions stay outstanding deterministically.
             deadline: Duration::from_secs(600),
-            shed: None,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -253,7 +253,7 @@ fn full_admission_queue_rejects_with_typed_overload() {
         CoreError::Overloaded { capacity: 3 }
     );
     // Shutdown drains the admitted three; their tickets resolve.
-    let (engine_back, stats) = server.shutdown();
+    let (engine_back, stats) = server.shutdown().unwrap();
     for (i, ticket) in tickets.into_iter().enumerate() {
         assert_eq!(ticket.wait().unwrap().response.id, i as u64);
     }
@@ -288,7 +288,7 @@ fn threaded_server_answers_match_single_request_reference() {
         ServerConfig {
             queue_capacity: 32,
             deadline: Duration::from_millis(2),
-            shed: None,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -309,7 +309,7 @@ fn threaded_server_answers_match_single_request_reference() {
         let served = ticket.wait().unwrap();
         assert_bit_identical(&served.response, &expected[i]);
     }
-    let (_, stats) = server.shutdown();
+    let (_, stats) = server.shutdown().unwrap();
     assert_eq!(stats.answered, 10);
     assert_eq!(stats.shed + stats.rejected, 0);
     assert_eq!(stats.clients.len(), 3);
