@@ -18,6 +18,11 @@
 //!   fleet must resume answering from the cloud (retries bridge the gap).
 //! - **C** — chaos mix: link brownout + response drop/corrupt + node crash
 //!   in one run; every ledger must still reconcile exactly.
+//! - **D** — cooperative vs independent degradation: the same outages with
+//!   the gossip plane + fleet-stress policy on versus off. Under a full
+//!   blackout the cooperative fleet must end with strictly fewer SLO
+//!   violations *and* less wasted uplink (accepted transfers that never
+//!   produced a cloud answer) than the independent fleet.
 //!
 //! Every configuration is simulated twice and the rendered metrics compared
 //! byte-for-byte; any mismatch, accounting violation ([`FleetMetrics::check`])
@@ -32,7 +37,8 @@ use appeal_tensor::SeededRng;
 use appealnet_core::{ChunkPolicy, TwoHeadNet};
 use appealnet_fleet::trace::{TraceShape, TraceSpec};
 use appealnet_fleet::{
-    BreakerConfig, CloudConfig, FleetConfig, FleetMetrics, FleetSim, RecoveryConfig, RetryConfig,
+    BreakerConfig, CloudConfig, CooperativeConfig, FleetConfig, FleetMetrics, FleetSim,
+    GossipConfig, RecoveryConfig, RetryConfig,
 };
 
 const INPUT: [usize; 3] = [3, 12, 12];
@@ -80,16 +86,29 @@ fn config(faults: FaultPlan, with_breaker: bool) -> FleetConfig {
             max_batch: 8,
             deadline_ms: 2.0,
             batch_overhead_ms: 1.0,
+            shed_backlog_ms: None,
         },
         link: StochasticLink::wifi(),
+        node_links: None,
         degrade: None,
         adaptive: None,
         recovery: Some(recovery(with_breaker)),
+        gossip: GossipConfig::disabled(),
+        cooperative: None,
         faults,
         slo_ms: 100.0,
         chunk: ChunkPolicy::sequential(),
         seed: SEED,
     }
+}
+
+/// The cooperative variant of [`config`]: same recovery ladder plus the
+/// gossip plane and the fleet-stress degradation policy.
+fn cooperative_config(faults: FaultPlan) -> FleetConfig {
+    let mut cfg = config(faults, true);
+    cfg.gossip = GossipConfig::default_for_fleet();
+    cfg.cooperative = Some(CooperativeConfig::default_for_fleet());
+    cfg
 }
 
 fn trace(requests: usize) -> TraceSpec {
@@ -282,6 +301,127 @@ fn main() {
     if m.response_drops + m.response_corrupt == 0 {
         violations.push("[chaos] no response-path fault ever fired".into());
     }
+    text.push('\n');
+
+    // D: cooperative vs independent degradation. Same outage scripts, same
+    // recovery ladder; the cooperative fleet adds the gossip plane and the
+    // fleet-stress policy. "Wasted uplink" = accepted transfers that never
+    // became a cloud answer — exactly the traffic a pre-emptive open or a
+    // stress shed would have kept off the link.
+    section(
+        &mut text,
+        "D: cooperative vs independent degradation (gossip + fleet stress)",
+    );
+    let blackout_full = || {
+        FaultPlan::new(
+            SEED,
+            vec![FaultEvent::CloudBlackout {
+                from_nanos: 10 * MS,
+                until_nanos: u64::MAX,
+            }],
+        )
+        .expect("valid plan")
+    };
+    let brownout = || {
+        FaultPlan::new(
+            SEED,
+            vec![FaultEvent::LinkBrownout {
+                from_nanos: 10 * MS,
+                until_nanos: u64::MAX,
+                severity: 4.0,
+            }],
+        )
+        .expect("valid plan")
+    };
+    let flapping = || {
+        FaultPlan::new(
+            SEED,
+            (0..4)
+                .map(|i| FaultEvent::CloudBlackout {
+                    from_nanos: (10 + 50 * i) * MS,
+                    until_nanos: (40 + 50 * i) * MS,
+                })
+                .collect(),
+        )
+        .expect("valid plan")
+    };
+    let wasted = |m: &FleetMetrics| m.uplink_accepted - m.cloud_answered;
+    let mut blackout_pair = Vec::new();
+    for (scenario, plan) in [
+        ("blackout", blackout_full as fn() -> FaultPlan),
+        ("brownout", brownout),
+        ("flapping", flapping),
+    ] {
+        for cooperative in [false, true] {
+            let name = format!(
+                "{scenario} policy={}",
+                if cooperative {
+                    "cooperative"
+                } else {
+                    "independent"
+                }
+            );
+            let cfg = if cooperative {
+                cooperative_config(plan())
+            } else {
+                config(plan(), true)
+            };
+            let (m, rendered) = simulate(&name, &cfg, &trace(requests), &mut violations);
+            entry(&mut text, &name, &rendered);
+            if scenario == "blackout" {
+                blackout_pair.push(m);
+            }
+        }
+    }
+    let (indep, coop) = (&blackout_pair[0], &blackout_pair[1]);
+    text.push_str(&format!(
+        "comparison (full blackout): SLO violations {} independent -> {} cooperative | \
+         wasted uplink {} -> {} | preemptive opens {} | stress shed {}\n",
+        indep.slo_violations,
+        coop.slo_violations,
+        wasted(indep),
+        wasted(coop),
+        coop.preemptive_opens,
+        coop.stress_shed,
+    ));
+    if coop.slo_violations >= indep.slo_violations {
+        violations.push(format!(
+            "[cooperative blackout] SLO violations {} did not beat independent {}",
+            coop.slo_violations, indep.slo_violations
+        ));
+    }
+    if wasted(coop) >= wasted(indep) {
+        violations.push(format!(
+            "[cooperative blackout] wasted uplink {} did not beat independent {}",
+            wasted(coop),
+            wasted(indep)
+        ));
+    }
+    if coop.gossip_sent == 0 || coop.gossip_applied == 0 {
+        violations.push("[cooperative blackout] gossip never exchanged a digest".into());
+    }
+    // Mixed per-node links: half the fleet on wifi, half on lte, cooperative
+    // policy on. Exercises link heterogeneity end to end; the ledger checks
+    // in simulate() are the assertion.
+    let mut mixed = cooperative_config(blackout_full());
+    mixed.node_links = Some(
+        (0..NODES)
+            .map(|i| {
+                if i % 2 == 0 {
+                    StochasticLink::wifi()
+                } else {
+                    StochasticLink::lte()
+                }
+            })
+            .collect(),
+    );
+    let (_, rendered) = simulate(
+        "blackout mixed-links cooperative",
+        &mixed,
+        &trace(requests),
+        &mut violations,
+    );
+    entry(&mut text, "blackout mixed-links cooperative", &rendered);
     text.push('\n');
 
     if violations.is_empty() {

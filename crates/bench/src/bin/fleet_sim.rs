@@ -31,7 +31,7 @@ use appeal_tensor::SeededRng;
 use appealnet_core::{ChunkPolicy, TwoHeadNet};
 use appealnet_fleet::trace::{TraceShape, TraceSpec};
 use appealnet_fleet::{
-    AdaptiveConfig, CloudConfig, Degradation, FleetConfig, FleetMetrics, FleetSim,
+    AdaptiveConfig, CloudConfig, Degradation, FleetConfig, FleetMetrics, FleetSim, GossipConfig,
 };
 
 const INPUT: [usize; 3] = [3, 12, 12];
@@ -55,6 +55,7 @@ fn cloud() -> CloudConfig {
         max_batch: 8,
         deadline_ms: 2.0,
         batch_overhead_ms: 1.0,
+        shed_backlog_ms: None,
     }
 }
 
@@ -65,9 +66,12 @@ fn base_config(nodes: usize, delta: f64, link: StochasticLink) -> FleetConfig {
         edge_device: DeviceSpec::mobile_soc(),
         cloud: cloud(),
         link,
+        node_links: None,
         degrade: None,
         adaptive: None,
         recovery: None,
+        gossip: GossipConfig::disabled(),
+        cooperative: None,
         faults: FaultPlan::none(),
         slo_ms: 100.0,
         chunk: ChunkPolicy::sequential(),

@@ -24,6 +24,17 @@
 //!     │
 //!     └── any probe failure ▶ Open (timer restarts)
 //! ```
+//!
+//! **Probe identity.** Admission is typed: [`CircuitBreaker::admit`] tells
+//! the caller whether the attempt it just admitted is a half-open *probe* or
+//! a regular closed-state send, and the caller echoes that tag back when the
+//! attempt resolves. Only probe outcomes drive half-open transitions; a
+//! straggler regular attempt (sent before the trip, resolving mid-probe) is
+//! ignored instead of consuming a probe slot or closing the breaker on stale
+//! evidence. Probe accounting reconciles exactly:
+//! `attempts == ok + failed + orphaned + in flight`, where orphaned probes
+//! are those whose window closed under them (the breaker re-tripped or
+//! closed before they resolved).
 
 use crate::error::{is_positive, FleetError, FleetResult};
 use crate::ms_to_nanos;
@@ -45,7 +56,8 @@ pub struct BreakerConfig {
     /// How long the breaker stays open before probing, in virtual
     /// milliseconds.
     pub open_ms: f64,
-    /// Consecutive half-open probe successes required to close.
+    /// Consecutive half-open probe successes required to close; also the cap
+    /// on concurrently in-flight probes.
     pub probes: u32,
 }
 
@@ -104,6 +116,18 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+/// The typed outcome of asking the breaker to admit one appeal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Refused: the breaker is open, or every probe slot is in flight.
+    Denied,
+    /// Admitted as a regular closed-state attempt.
+    Allowed,
+    /// Admitted as a half-open probe; the caller must resolve it with the
+    /// probe-tagged outcome calls so probe accounting reconciles.
+    Probe,
+}
+
 /// Per-node circuit breaker over appeal outcomes, driven entirely by the
 /// simulator's virtual clock.
 #[derive(Debug, Clone)]
@@ -121,6 +145,10 @@ pub struct CircuitBreaker {
     opened: u64,
     half_opened: u64,
     closed: u64,
+    probe_attempts: u64,
+    probe_ok: u64,
+    probe_failed: u64,
+    probe_orphaned: u64,
 }
 
 impl CircuitBreaker {
@@ -137,6 +165,10 @@ impl CircuitBreaker {
             opened: 0,
             half_opened: 0,
             closed: 0,
+            probe_attempts: 0,
+            probe_ok: 0,
+            probe_failed: 0,
+            probe_orphaned: 0,
         })
     }
 
@@ -152,40 +184,78 @@ impl CircuitBreaker {
         self.state
     }
 
-    /// Whether one more appeal may be sent at `now_nanos`. Closed: always.
-    /// Open: never (until the timer flips the state half-open). Half-open:
-    /// only while fewer than `probes` probes are unresolved.
-    pub fn allows(&mut self, now_nanos: u64) -> bool {
+    /// The state as it *would* read at `now_nanos`, without advancing the
+    /// timer — for health digests and policy peeks that must not perturb the
+    /// half-open ledger.
+    pub fn peek_state(&self, now_nanos: u64) -> BreakerState {
+        if self.state == BreakerState::Open && now_nanos >= self.probe_at_nanos {
+            BreakerState::HalfOpen
+        } else {
+            self.state
+        }
+    }
+
+    /// Asks the breaker to admit one appeal attempt at `now_nanos`. Closed:
+    /// always [`Admission::Allowed`]. Open: [`Admission::Denied`] until the
+    /// timer flips the state half-open. Half-open: [`Admission::Probe`]
+    /// while fewer than `probes` probes are unresolved, `Denied` after.
+    pub fn admit(&mut self, now_nanos: u64) -> Admission {
         match self.state(now_nanos) {
-            BreakerState::Closed => true,
-            BreakerState::Open => false,
+            BreakerState::Closed => Admission::Allowed,
+            BreakerState::Open => Admission::Denied,
             BreakerState::HalfOpen => {
                 if self.probes_in_flight < self.config.probes {
                     self.probes_in_flight += 1;
-                    true
+                    self.probe_attempts += 1;
+                    Admission::Probe
                 } else {
-                    false
+                    Admission::Denied
                 }
             }
         }
     }
 
-    /// Records a completed appeal round-trip. A success slower than
-    /// `slow_ms` counts as a failure — a path that technically delivers but
-    /// blows the latency target is still a path to stop trusting.
+    /// Whether one more appeal may be sent at `now_nanos` — [`Self::admit`]
+    /// without the probe tag, for callers that track it separately.
+    pub fn allows(&mut self, now_nanos: u64) -> bool {
+        self.admit(now_nanos) != Admission::Denied
+    }
+
+    /// Whether a round-trip counts as a slow call under this breaker's
+    /// threshold (strict: exactly `slow_ms` is still healthy).
+    pub fn is_slow(&self, round_trip_ms: f64) -> bool {
+        round_trip_ms > self.config.slow_ms
+    }
+
+    /// Records a completed *regular* appeal round-trip. A success slower
+    /// than `slow_ms` counts as a failure — a path that technically delivers
+    /// but blows the latency target is still a path to stop trusting.
     pub fn on_success(&mut self, now_nanos: u64, round_trip_ms: f64) {
-        self.resolve(now_nanos, round_trip_ms > self.config.slow_ms);
+        self.resolve(now_nanos, round_trip_ms > self.config.slow_ms, false);
     }
 
-    /// Records a failed appeal (link down, deadline expired, response
-    /// corrupted).
+    /// Records a failed *regular* appeal (link down, deadline expired,
+    /// response corrupted).
     pub fn on_failure(&mut self, now_nanos: u64) {
-        self.resolve(now_nanos, true);
+        self.resolve(now_nanos, true, false);
     }
 
-    fn resolve(&mut self, now_nanos: u64, failed: bool) {
+    /// Records a completed attempt that was admitted as a half-open probe.
+    pub fn on_probe_success(&mut self, now_nanos: u64, round_trip_ms: f64) {
+        self.resolve(now_nanos, round_trip_ms > self.config.slow_ms, true);
+    }
+
+    /// Records a failed attempt that was admitted as a half-open probe.
+    pub fn on_probe_failure(&mut self, now_nanos: u64) {
+        self.resolve(now_nanos, true, true);
+    }
+
+    fn resolve(&mut self, now_nanos: u64, failed: bool, probe: bool) {
         match self.state(now_nanos) {
             BreakerState::Closed => {
+                // Probe tags carry no meaning here: a probe whose half-open
+                // window already closed under it (orphan-ledgered at the
+                // transition) lands as ordinary closed-state evidence.
                 if self.window.len() == self.config.window {
                     self.window.pop_front();
                 }
@@ -199,20 +269,35 @@ impl CircuitBreaker {
                 }
             }
             BreakerState::HalfOpen => {
+                if !probe {
+                    // A straggler regular attempt from before the trip. It
+                    // holds no probe slot and its evidence predates the open
+                    // window — ignoring it keeps the probe ledger exact and
+                    // stops stale outcomes from closing (or re-tripping) the
+                    // breaker.
+                    return;
+                }
                 self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
                 if failed {
+                    self.probe_failed += 1;
                     self.trip(now_nanos);
                 } else {
+                    self.probe_ok += 1;
                     self.probe_successes += 1;
                     if self.probe_successes >= self.config.probes {
                         self.state = BreakerState::Closed;
                         self.window.clear();
                         self.closed += 1;
+                        // Probes still in flight outlive their window; any
+                        // later outcome lands as closed-state evidence.
+                        self.probe_orphaned += u64::from(self.probes_in_flight);
+                        self.probes_in_flight = 0;
                     }
                 }
             }
             // A straggler response from before the trip; the open timer is
-            // already running and the outcome carries no new signal.
+            // already running and the outcome carries no new signal. Probes
+            // orphaned by a re-trip were ledgered at the trip itself.
             BreakerState::Open => {}
         }
     }
@@ -221,9 +306,29 @@ impl CircuitBreaker {
         self.state = BreakerState::Open;
         self.probe_at_nanos = now_nanos.saturating_add(ms_to_nanos(self.config.open_ms));
         self.window.clear();
+        self.probe_orphaned += u64::from(self.probes_in_flight);
         self.probes_in_flight = 0;
         self.probe_successes = 0;
         self.opened += 1;
+    }
+
+    /// Trips the breaker open *pre-emptively* on fleet evidence rather than
+    /// local outcomes. Only meaningful from `Closed` (an open breaker is
+    /// already protecting the path); returns whether a trip happened.
+    pub fn preemptive_open(&mut self, now_nanos: u64) -> bool {
+        if self.state(now_nanos) != BreakerState::Closed {
+            return false;
+        }
+        self.trip(now_nanos);
+        true
+    }
+
+    /// Pushes the pending half-open probe time back by `extra_nanos` — the
+    /// staggered-probe election's lever. Only meaningful while `Open`.
+    pub fn defer_probe(&mut self, extra_nanos: u64) {
+        if self.state == BreakerState::Open {
+            self.probe_at_nanos = self.probe_at_nanos.saturating_add(extra_nanos);
+        }
     }
 
     /// How many times the breaker has tripped open.
@@ -239,6 +344,33 @@ impl CircuitBreaker {
     /// How many times the breaker has closed again after probing.
     pub fn closed(&self) -> u64 {
         self.closed
+    }
+
+    /// Probe attempts admitted while half-open.
+    pub fn probe_attempts(&self) -> u64 {
+        self.probe_attempts
+    }
+
+    /// Probes that resolved successfully while their half-open window was
+    /// still live.
+    pub fn probe_ok(&self) -> u64 {
+        self.probe_ok
+    }
+
+    /// Probes that resolved as failures and re-tripped the breaker.
+    pub fn probe_failed(&self) -> u64 {
+        self.probe_failed
+    }
+
+    /// Probes whose half-open window ended (re-trip or close) before they
+    /// resolved.
+    pub fn probe_orphaned(&self) -> u64 {
+        self.probe_orphaned
+    }
+
+    /// Probes still unresolved in a live half-open window.
+    pub fn probes_in_flight(&self) -> u64 {
+        u64::from(self.probes_in_flight)
     }
 }
 
@@ -256,6 +388,14 @@ mod tests {
         }
     }
 
+    fn probe_ledger_reconciles(b: &CircuitBreaker) {
+        assert_eq!(
+            b.probe_attempts(),
+            b.probe_ok() + b.probe_failed() + b.probe_orphaned() + b.probes_in_flight(),
+            "probe ledger must reconcile exactly"
+        );
+    }
+
     #[test]
     fn trips_on_failure_fraction_and_recovers_via_probes() {
         let mut b = CircuitBreaker::new(config()).unwrap();
@@ -267,20 +407,26 @@ mod tests {
         b.on_failure(0);
         assert_eq!(b.state(0), BreakerState::Open, "2/4 failures trips at 0.5");
         assert_eq!(b.opened(), 1);
-        assert!(!b.allows(1_000));
+        assert_eq!(b.admit(1_000), Admission::Denied);
 
         // 10 ms later the timer admits probes, capped at `probes` in flight.
         let probe_time = crate::ms_to_nanos(10.0);
-        assert!(b.allows(probe_time));
+        assert_eq!(b.admit(probe_time), Admission::Probe);
         assert_eq!(b.state(probe_time), BreakerState::HalfOpen);
-        assert!(b.allows(probe_time));
-        assert!(!b.allows(probe_time), "third concurrent probe refused");
+        assert_eq!(b.admit(probe_time), Admission::Probe);
+        assert_eq!(
+            b.admit(probe_time),
+            Admission::Denied,
+            "third concurrent probe refused"
+        );
 
-        b.on_success(probe_time, 5.0);
+        b.on_probe_success(probe_time, 5.0);
         assert_eq!(b.state(probe_time), BreakerState::HalfOpen);
-        b.on_success(probe_time, 5.0);
+        b.on_probe_success(probe_time, 5.0);
         assert_eq!(b.state(probe_time), BreakerState::Closed);
         assert_eq!((b.half_opened(), b.closed()), (1, 1));
+        assert_eq!((b.probe_attempts(), b.probe_ok()), (2, 2));
+        probe_ledger_reconciles(&b);
     }
 
     #[test]
@@ -290,13 +436,15 @@ mod tests {
             b.on_failure(0);
         }
         let t = crate::ms_to_nanos(10.0);
-        assert!(b.allows(t));
-        b.on_failure(t);
+        assert_eq!(b.admit(t), Admission::Probe);
+        b.on_probe_failure(t);
         assert_eq!(b.state(t), BreakerState::Open);
         assert_eq!(b.opened(), 2);
+        assert_eq!(b.probe_failed(), 1);
+        probe_ledger_reconciles(&b);
         // The timer restarted from the probe failure, not the first trip.
-        assert!(!b.allows(t + 1));
-        assert!(b.allows(t + crate::ms_to_nanos(10.0)));
+        assert_eq!(b.admit(t + 1), Admission::Denied);
+        assert_eq!(b.admit(t + crate::ms_to_nanos(10.0)), Admission::Probe);
     }
 
     #[test]
@@ -309,10 +457,50 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_exactly_at_slow_threshold_is_a_success() {
+        // The slow-call comparison is strict: `rtt > slow_ms` fails, so a
+        // round-trip landing exactly on the threshold is still healthy.
+        let mut b = CircuitBreaker::new(config()).unwrap();
+        for _ in 0..16 {
+            b.on_success(0, 100.0);
+        }
+        assert_eq!(b.state(0), BreakerState::Closed);
+        assert_eq!(b.opened(), 0);
+        // One ulp over the threshold is a failure.
+        for _ in 0..4 {
+            b.on_success(0, 100.0 + f64::EPSILON * 200.0);
+        }
+        assert_eq!(b.state(0), BreakerState::Open);
+    }
+
+    #[test]
+    fn exhausted_probe_budget_denies_until_a_slot_frees() {
+        // `probes` caps concurrency: with every slot in flight the budget is
+        // zero-length and admission must deny; resolving one probe frees
+        // exactly one slot.
+        let mut b = CircuitBreaker::new(config()).unwrap();
+        for _ in 0..4 {
+            b.on_failure(0);
+        }
+        let t = crate::ms_to_nanos(10.0);
+        assert_eq!(b.admit(t), Admission::Probe);
+        assert_eq!(b.admit(t), Admission::Probe);
+        assert_eq!(b.admit(t), Admission::Denied, "budget exhausted");
+        assert_eq!(
+            b.admit(t + 1),
+            Admission::Denied,
+            "time alone frees nothing"
+        );
+        b.on_probe_success(t + 2, 5.0);
+        assert_eq!(b.admit(t + 2), Admission::Probe, "resolution frees a slot");
+        probe_ledger_reconciles(&b);
+    }
+
+    #[test]
     fn healthy_stream_never_trips() {
         let mut b = CircuitBreaker::new(config()).unwrap();
         for i in 0..100 {
-            assert!(b.allows(i));
+            assert_eq!(b.admit(i), Admission::Allowed);
             b.on_success(i, 5.0);
         }
         assert_eq!(b.opened(), 0);
@@ -329,6 +517,112 @@ mod tests {
         b.on_success(1, 5.0); // in-flight appeal from before the trip
         assert_eq!(b.state(1), BreakerState::Open);
         assert_eq!(b.opened(), 1);
+    }
+
+    #[test]
+    fn straggler_regular_outcomes_in_half_open_hold_no_probe_slot() {
+        // A regular attempt sent before the trip resolves mid-probe: it must
+        // neither close the breaker on stale evidence nor free or consume a
+        // probe slot.
+        let mut b = CircuitBreaker::new(config()).unwrap();
+        for _ in 0..4 {
+            b.on_failure(0);
+        }
+        let t = crate::ms_to_nanos(10.0);
+        assert_eq!(b.admit(t), Admission::Probe);
+        assert_eq!(b.admit(t), Admission::Probe);
+        // Stragglers from before the trip resolve now — both flavors.
+        b.on_success(t, 5.0);
+        b.on_failure(t);
+        assert_eq!(b.state(t), BreakerState::HalfOpen, "stragglers are inert");
+        assert_eq!(b.opened(), 1, "a straggler failure must not re-trip");
+        assert_eq!(b.probes_in_flight(), 2, "slots untouched");
+        // The real probes still decide the outcome.
+        b.on_probe_success(t, 5.0);
+        b.on_probe_success(t, 5.0);
+        assert_eq!(b.state(t), BreakerState::Closed);
+        probe_ledger_reconciles(&b);
+    }
+
+    #[test]
+    fn re_trip_orphans_probes_still_in_flight() {
+        let mut b = CircuitBreaker::new(config()).unwrap();
+        for _ in 0..4 {
+            b.on_failure(0);
+        }
+        let t = crate::ms_to_nanos(10.0);
+        assert_eq!(b.admit(t), Admission::Probe);
+        assert_eq!(b.admit(t), Admission::Probe);
+        b.on_probe_failure(t); // re-trips with one probe still out
+        assert_eq!(b.state(t), BreakerState::Open);
+        assert_eq!(b.probe_orphaned(), 1);
+        // The orphan resolving later (while open) changes nothing.
+        b.on_probe_success(t + 1, 5.0);
+        assert_eq!(b.state(t + 1), BreakerState::Open);
+        assert_eq!(b.probe_ok(), 0);
+        probe_ledger_reconciles(&b);
+    }
+
+    #[test]
+    fn back_to_back_open_timers_admit_exactly_at_the_boundary() {
+        // Virtual-time ties: the open timer admits probes at *exactly*
+        // `probe_at`, and a re-trip at that instant restarts a full open
+        // window from the same timestamp.
+        let mut b = CircuitBreaker::new(config()).unwrap();
+        for _ in 0..4 {
+            b.on_failure(0);
+        }
+        let open = crate::ms_to_nanos(10.0);
+        assert_eq!(b.peek_state(open - 1), BreakerState::Open);
+        assert_eq!(b.peek_state(open), BreakerState::HalfOpen);
+        assert_eq!(b.admit(open), Admission::Probe);
+        b.on_probe_failure(open); // second trip at the same boundary instant
+        assert_eq!(b.opened(), 2);
+        assert_eq!(b.admit(2 * open - 1), Admission::Denied);
+        assert_eq!(b.admit(2 * open), Admission::Probe);
+        assert_eq!(b.half_opened(), 2);
+        probe_ledger_reconciles(&b);
+    }
+
+    #[test]
+    fn preemptive_open_trips_only_from_closed() {
+        let mut b = CircuitBreaker::new(config()).unwrap();
+        assert!(b.preemptive_open(5));
+        assert_eq!(b.state(5), BreakerState::Open);
+        assert_eq!(b.opened(), 1);
+        assert!(!b.preemptive_open(6), "already open");
+        let t = 5 + crate::ms_to_nanos(10.0);
+        assert_eq!(b.admit(t), Admission::Probe);
+        assert!(!b.preemptive_open(t), "half-open is already protecting");
+        assert_eq!(b.opened(), 1);
+    }
+
+    #[test]
+    fn defer_probe_staggers_the_half_open_transition() {
+        let mut b = CircuitBreaker::new(config()).unwrap();
+        assert!(b.preemptive_open(0));
+        let open = crate::ms_to_nanos(10.0);
+        b.defer_probe(crate::ms_to_nanos(5.0));
+        assert_eq!(b.peek_state(open), BreakerState::Open, "probe deferred");
+        let staggered = open + crate::ms_to_nanos(5.0);
+        assert_eq!(b.peek_state(staggered - 1), BreakerState::Open);
+        assert_eq!(b.admit(staggered), Admission::Probe);
+        // Deferring while not open is a no-op.
+        b.defer_probe(crate::ms_to_nanos(100.0));
+        assert_eq!(b.state(staggered), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn peek_state_never_mutates() {
+        let mut b = CircuitBreaker::new(config()).unwrap();
+        for _ in 0..4 {
+            b.on_failure(0);
+        }
+        let t = crate::ms_to_nanos(10.0);
+        assert_eq!(b.peek_state(t), BreakerState::HalfOpen);
+        assert_eq!(b.half_opened(), 0, "peek must not advance the timer");
+        assert_eq!(b.state(t), BreakerState::HalfOpen);
+        assert_eq!(b.half_opened(), 1, "state() does");
     }
 
     #[test]

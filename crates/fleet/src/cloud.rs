@@ -10,7 +10,7 @@
 //! [`ChunkPolicy`] shardings), so the simulated cloud answers with the same
 //! model the serving engine would use.
 
-use crate::error::{is_non_negative, FleetError, FleetResult};
+use crate::error::{is_non_negative, is_positive, FleetError, FleetResult};
 use crate::ms_to_nanos;
 use appeal_hw::DeviceSpec;
 use appeal_models::ClassifierParts;
@@ -29,6 +29,12 @@ pub struct CloudConfig {
     pub deadline_ms: f64,
     /// Fixed per-batch overhead (kernel launch, scheduling), in milliseconds.
     pub batch_overhead_ms: f64,
+    /// Ingress backpressure: shed an arriving appeal outright when the GPU
+    /// backlog already exceeds this, in milliseconds. `None` (the default
+    /// baseline) never sheds. A shed appeal vanishes like a blackout drop —
+    /// the edge learns via its appeal deadline — so configuring this
+    /// requires a recovery policy.
+    pub shed_backlog_ms: Option<f64>,
 }
 
 /// One appeal waiting in the cloud's batching queue.
@@ -57,6 +63,24 @@ pub enum CloudPush {
     ScheduleDeadline(u64),
     /// Queued behind earlier appeals; a deadline check is already scheduled.
     Queued,
+    /// Shed at ingress: the GPU backlog exceeded `shed_backlog_ms`. The
+    /// appeal was *not* queued and will never be answered; the edge's appeal
+    /// deadline discovers the loss.
+    Shed,
+}
+
+/// The backpressure signal the cloud piggybacks on every appeal response,
+/// folded into each node's [`FleetHealthView`](crate::health::FleetHealthView)
+/// at zero message cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloudSignal {
+    /// Appeals in the flushed batch (the batching-queue depth at flush).
+    pub queue_depth: u32,
+    /// How far the GPU clock was behind the flush instant, in milliseconds —
+    /// the same backlog the shed gate reads.
+    pub backlog_ms: f64,
+    /// Cumulative fraction of offered appeals shed at ingress so far.
+    pub shed_rate: f64,
 }
 
 /// One cloud answer on its way back down.
@@ -72,6 +96,8 @@ pub struct CloudResponse {
     pub attempt: u32,
     /// The big network's label.
     pub label: usize,
+    /// The cloud's backpressure signal at the answering flush.
+    pub signal: CloudSignal,
 }
 
 /// A flushed batch: its answers and when the GPU finished computing them.
@@ -95,6 +121,8 @@ pub struct CloudTier {
     busy_nanos: u64,
     batches: u64,
     served: u64,
+    offered: u64,
+    shed: u64,
 }
 
 impl CloudTier {
@@ -118,6 +146,13 @@ impl CloudTier {
                 what: "cloud batch_overhead_ms must be non-negative",
             });
         }
+        if let Some(limit) = config.shed_backlog_ms {
+            if !is_positive(limit) {
+                return Err(FleetError::InvalidConfig {
+                    what: "cloud shed_backlog_ms must be positive",
+                });
+            }
+        }
         let deadline_nanos = ms_to_nanos(config.deadline_ms);
         let flops_per_sample = big.total_flops();
         Ok(Self {
@@ -131,11 +166,22 @@ impl CloudTier {
             busy_nanos: 0,
             batches: 0,
             served: 0,
+            offered: 0,
+            shed: 0,
         })
     }
 
     /// Offers one appeal to the batching queue at virtual time `now_nanos`.
+    /// With `shed_backlog_ms` configured, an appeal arriving while the GPU
+    /// backlog exceeds the limit is shed at ingress instead of queued.
     pub fn push(&mut self, now_nanos: u64, appeal: PendingAppeal) -> CloudPush {
+        self.offered += 1;
+        if let Some(limit) = self.config.shed_backlog_ms {
+            if self.backlog_nanos(now_nanos) > ms_to_nanos(limit) {
+                self.shed += 1;
+                return CloudPush::Shed;
+            }
+        }
         let was_empty = self.pending.is_empty();
         self.pending.push(appeal);
         if self.pending.len() >= self.config.max_batch {
@@ -144,6 +190,21 @@ impl CloudTier {
             CloudPush::ScheduleDeadline(now_nanos.saturating_add(self.deadline_nanos))
         } else {
             CloudPush::Queued
+        }
+    }
+
+    /// How far the GPU clock is behind `now_nanos` — the backlog both the
+    /// shed gate and the piggybacked signal report.
+    fn backlog_nanos(&self, now_nanos: u64) -> u64 {
+        self.gpu_free_nanos.saturating_sub(now_nanos)
+    }
+
+    /// The cumulative fraction of offered appeals shed at ingress.
+    fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
         }
     }
 
@@ -170,6 +231,14 @@ impl CloudTier {
         let labels = parallel::classifier_logits(&mut self.big, &batch, rows.len(), &self.chunk)
             .argmax_rows();
         let n = appeals.len() as u64;
+        // The backpressure signal reads the GPU clock *before* this batch is
+        // scheduled onto it: the backlog an appeal arriving right now would
+        // queue behind.
+        let signal = CloudSignal {
+            queue_depth: appeals.len() as u32,
+            backlog_ms: self.backlog_nanos(now_nanos) as f64 / 1e6,
+            shed_rate: self.shed_rate(),
+        };
         let service_ms = self.config.batch_overhead_ms
             + self
                 .config
@@ -190,6 +259,7 @@ impl CloudTier {
                 decided_nanos: a.decided_nanos,
                 attempt: a.attempt,
                 label,
+                signal,
             })
             .collect();
         Some(CloudBatch {
@@ -216,6 +286,11 @@ impl CloudTier {
     /// Appeals currently waiting for a flush.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Appeals shed at ingress by the backlog gate.
+    pub fn shed(&self) -> u64 {
+        self.shed
     }
 
     /// What the big network *would* have answered for the given request
@@ -248,6 +323,7 @@ mod tests {
                 max_batch,
                 deadline_ms,
                 batch_overhead_ms: 1.0,
+                shed_backlog_ms: None,
             },
         )
         .unwrap()
@@ -337,8 +413,73 @@ mod tests {
                 max_batch: 0,
                 deadline_ms: 5.0,
                 batch_overhead_ms: 1.0,
+                shed_backlog_ms: None,
             },
         );
         assert!(matches!(bad, Err(FleetError::InvalidConfig { .. })));
+        let mut rng = SeededRng::new(9);
+        let big = ModelSpec::big([3, 12, 12], 4).build(&mut rng);
+        let bad_shed = CloudTier::new(
+            big,
+            ChunkPolicy::sequential(),
+            CloudConfig {
+                device: DeviceSpec::cloud_gpu(),
+                max_batch: 8,
+                deadline_ms: 5.0,
+                batch_overhead_ms: 1.0,
+                shed_backlog_ms: Some(0.0),
+            },
+        );
+        assert!(matches!(bad_shed, Err(FleetError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn responses_carry_the_backpressure_signal() {
+        let mut t = tier(2, 5.0);
+        let mut rng = SeededRng::new(3);
+        let images = Tensor::randn(&[4, 3, 12, 12], &mut rng);
+        t.push(0, appeal(0, 0));
+        t.push(0, appeal(1, 0));
+        let first = t.flush(0, &images).unwrap();
+        for r in &first.responses {
+            assert_eq!(r.signal.queue_depth, 2);
+            assert_eq!(r.signal.backlog_ms, 0.0, "idle GPU, no backlog");
+            assert_eq!(r.signal.shed_rate, 0.0);
+        }
+        // A batch flushed while the GPU is still busy reports the backlog an
+        // arriving appeal would queue behind.
+        t.push(1, appeal(2, 1));
+        let second = t.flush(1, &images).unwrap();
+        let expected_ms = (first.done_nanos - 1) as f64 / 1e6;
+        let got = second.responses[0].signal.backlog_ms;
+        assert!((got - expected_ms).abs() < 1e-9, "{got} vs {expected_ms}");
+    }
+
+    #[test]
+    fn backlog_gate_sheds_at_ingress_and_reports_the_rate() {
+        let mut t = tier(1, 5.0);
+        // The gate must sit under the 1 ms batch overhead so one in-flight
+        // batch is enough backlog to trip it.
+        t.config.shed_backlog_ms = Some(0.5);
+        let mut rng = SeededRng::new(3);
+        let images = Tensor::randn(&[4, 3, 12, 12], &mut rng);
+        assert_eq!(t.push(0, appeal(0, 0)), CloudPush::FlushNow);
+        let batch = t.flush(0, &images).unwrap();
+        assert!(batch.done_nanos > ms_to_nanos(0.5), "backlog now over gate");
+        // While the GPU backlog exceeds the gate, pushes shed...
+        assert_eq!(t.push(1, appeal(1, 1)), CloudPush::Shed);
+        assert_eq!(t.shed(), 1);
+        assert_eq!(t.pending_len(), 0, "shed appeals are never queued");
+        // ...and once it drains, pushes queue again.
+        assert_eq!(
+            t.push(batch.done_nanos, appeal(2, batch.done_nanos)),
+            CloudPush::FlushNow
+        );
+        let second = t.flush(batch.done_nanos, &images).unwrap();
+        let rate = second.responses[0].signal.shed_rate;
+        assert!(
+            (rate - 1.0 / 3.0).abs() < 1e-12,
+            "1 of 3 offers shed: {rate}"
+        );
     }
 }

@@ -1,0 +1,440 @@
+//! Fleet health state: per-node digests, the staleness-weighted
+//! [`FleetHealthView`] each node aggregates them into, and the cloud
+//! backpressure signal folded in from appeal responses.
+//!
+//! The health plane answers one question per node: *how stressed is the
+//! fleet right now?* Two signal paths feed it:
+//!
+//! * **Gossip** ([`crate::gossip`]): every round a node packages its own
+//!   appeal-path health into a [`HealthDigest`] (breaker state, the failure
+//!   and slow-call fractions of its last round's attempts, its round-trip
+//!   EWMA) and pushes it — plus everything it has heard — to a few random
+//!   peers. Receivers merge by origin timestamp: newer wins, older is
+//!   dropped as stale and ledgered.
+//! * **Backpressure piggyback** ([`crate::cloud::CloudSignal`]): the cloud
+//!   stamps its batching-queue depth, GPU backlog and ingress shed rate on
+//!   every appeal response, so a node that talks to the cloud at all learns
+//!   its load for free — no extra messages.
+//!
+//! Staleness decay: a digest aged `a` against a horizon `stale` contributes
+//! weight `max(0, 1 − a/stale)` — linear decay to zero, so a node that went
+//! quiet (crashed, partitioned) fades out of everyone's view instead of
+//! pinning it forever.
+
+use crate::cloud::CloudSignal;
+
+/// One node's self-reported appeal-path health at a point in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthDigest {
+    /// The node this digest describes (its fleet index).
+    pub origin: usize,
+    /// Virtual time the digest was taken, in nanoseconds. Merge freshness
+    /// is decided on this, never on arrival time.
+    pub at_nanos: u64,
+    /// Whether the origin's breaker was not Closed (Open or HalfOpen) at
+    /// digest time.
+    pub breaker_open: bool,
+    /// Failed fraction of the origin's appeal attempts over its last gossip
+    /// round (0 when it attempted nothing).
+    pub failure_rate: f64,
+    /// Slow fraction of the origin's *successful* appeals over its last
+    /// round.
+    pub slow_rate: f64,
+    /// EWMA of the origin's measured appeal round-trips, in milliseconds
+    /// (0 until it has observed one).
+    pub rtt_ewma_ms: f64,
+}
+
+/// What one node believes about the rest of the fleet and the cloud:
+/// the freshest [`HealthDigest`] per origin plus EWMAs of the piggybacked
+/// cloud backpressure signal.
+#[derive(Debug, Clone)]
+pub struct FleetHealthView {
+    /// Freshest digest per origin; the owner's own slot stays `None`.
+    entries: Vec<Option<HealthDigest>>,
+    /// EWMA of the cloud's reported GPU backlog, in milliseconds.
+    cloud_backlog_ewma_ms: f64,
+    /// EWMA of the cloud's reported ingress shed rate.
+    cloud_shed_ewma: f64,
+    /// Whether any cloud signal has been folded in yet.
+    cloud_observed: bool,
+}
+
+/// EWMA smoothing for the cloud signal: new observations carry this weight.
+const CLOUD_EWMA_ALPHA: f64 = 0.3;
+
+impl FleetHealthView {
+    /// An empty view over a fleet of `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            entries: vec![None; nodes],
+            cloud_backlog_ewma_ms: 0.0,
+            cloud_shed_ewma: 0.0,
+            cloud_observed: false,
+        }
+    }
+
+    /// Merges one received digest: applied if strictly fresher than what the
+    /// view already holds for that origin (returns `true`), otherwise
+    /// dropped as stale (returns `false`). Digests about unknown origins are
+    /// stale by definition.
+    pub fn merge(&mut self, digest: HealthDigest) -> bool {
+        let Some(slot) = self.entries.get_mut(digest.origin) else {
+            return false;
+        };
+        match slot {
+            Some(existing) if existing.at_nanos >= digest.at_nanos => false,
+            _ => {
+                *slot = Some(digest);
+                true
+            }
+        }
+    }
+
+    /// The freshest digest known for `origin`, if any.
+    pub fn entry(&self, origin: usize) -> Option<&HealthDigest> {
+        self.entries.get(origin).and_then(Option::as_ref)
+    }
+
+    /// Iterates over every known digest (all origins except empty slots).
+    pub fn entries(&self) -> impl Iterator<Item = &HealthDigest> {
+        self.entries.iter().flatten()
+    }
+
+    /// Folds one piggybacked cloud signal into the backlog/shed EWMAs.
+    pub fn observe_cloud(&mut self, signal: &CloudSignal) {
+        if self.cloud_observed {
+            self.cloud_backlog_ewma_ms +=
+                CLOUD_EWMA_ALPHA * (signal.backlog_ms - self.cloud_backlog_ewma_ms);
+            self.cloud_shed_ewma += CLOUD_EWMA_ALPHA * (signal.shed_rate - self.cloud_shed_ewma);
+        } else {
+            self.cloud_backlog_ewma_ms = signal.backlog_ms;
+            self.cloud_shed_ewma = signal.shed_rate;
+            self.cloud_observed = true;
+        }
+    }
+
+    /// The staleness weight of a digest aged from `at_nanos` to `now_nanos`
+    /// against a `stale_nanos` horizon: linear decay from 1 (fresh) to 0 (at
+    /// or beyond the horizon).
+    pub fn staleness_weight(at_nanos: u64, now_nanos: u64, stale_nanos: u64) -> f64 {
+        if stale_nanos == 0 {
+            return 0.0;
+        }
+        let age = now_nanos.saturating_sub(at_nanos);
+        if age >= stale_nanos {
+            0.0
+        } else {
+            1.0 - age as f64 / stale_nanos as f64
+        }
+    }
+
+    /// The staleness-weighted mass of *unhealthy* neighbours as seen at
+    /// `now_nanos`: a neighbour counts when its freshest digest reports an
+    /// open breaker or a failure rate at or above `unhealthy_failure_rate`,
+    /// scaled by its staleness weight. The caller's own slot is empty, so
+    /// only true neighbours contribute.
+    pub fn unhealthy_mass(
+        &self,
+        now_nanos: u64,
+        stale_nanos: u64,
+        unhealthy_failure_rate: f64,
+    ) -> f64 {
+        self.entries()
+            .filter(|d| d.breaker_open || d.failure_rate >= unhealthy_failure_rate)
+            .map(|d| Self::staleness_weight(d.at_nanos, now_nanos, stale_nanos))
+            .sum()
+    }
+
+    /// How many neighbours currently report an open breaker with a fresh
+    /// (non-zero-weight) digest — the electorate of the staggered-probe
+    /// election.
+    pub fn open_neighbours_below(&self, node: usize, now_nanos: u64, stale_nanos: u64) -> usize {
+        self.entries()
+            .filter(|d| {
+                d.breaker_open
+                    && d.origin < node
+                    && Self::staleness_weight(d.at_nanos, now_nanos, stale_nanos) > 0.0
+            })
+            .count()
+    }
+
+    /// Cloud backpressure in `[0, 1]`: the backlog EWMA normalized by
+    /// `backlog_target_ms` or the shed-rate EWMA (whichever screams louder),
+    /// clamped. Zero until a signal has been observed.
+    pub fn cloud_pressure(&self, backlog_target_ms: f64) -> f64 {
+        if !self.cloud_observed || backlog_target_ms <= 0.0 {
+            return 0.0;
+        }
+        let backlog = self.cloud_backlog_ewma_ms / backlog_target_ms;
+        // A shedding cloud is saturated by definition: weight the shed rate
+        // so sustained shedding alone can drive pressure to 1.
+        let shed = 2.0 * self.cloud_shed_ewma;
+        backlog.max(shed).clamp(0.0, 1.0)
+    }
+
+    /// The backlog EWMA, in milliseconds (for reports/tests).
+    pub fn cloud_backlog_ewma_ms(&self) -> f64 {
+        self.cloud_backlog_ewma_ms
+    }
+
+    /// The shed-rate EWMA (for reports/tests).
+    pub fn cloud_shed_ewma(&self) -> f64 {
+        self.cloud_shed_ewma
+    }
+}
+
+/// The per-node health bookkeeping behind the gossip digests: rolling
+/// per-round attempt counters, the round-trip EWMA, the node's aggregated
+/// [`FleetHealthView`], and the cached fleet-stress scalar the cooperative
+/// policy routes against.
+#[derive(Debug, Clone)]
+pub struct NodeHealth {
+    /// What this node believes about everyone else.
+    pub view: FleetHealthView,
+    round_attempts: u64,
+    round_failures: u64,
+    round_successes: u64,
+    round_slow: u64,
+    last_round_successes: u64,
+    rtt_ewma_ms: f64,
+    rtt_observed: bool,
+    stress: f64,
+}
+
+/// EWMA smoothing for a node's own round-trip estimate.
+const RTT_EWMA_ALPHA: f64 = 0.3;
+
+impl NodeHealth {
+    /// Fresh health state for one node of a fleet of `nodes`.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            view: FleetHealthView::new(nodes),
+            round_attempts: 0,
+            round_failures: 0,
+            round_successes: 0,
+            round_slow: 0,
+            last_round_successes: 0,
+            rtt_ewma_ms: 0.0,
+            rtt_observed: false,
+            stress: 0.0,
+        }
+    }
+
+    /// Records one failed appeal attempt (timeout, dead link, shed retry,
+    /// corrupt response).
+    pub fn record_failure(&mut self) {
+        self.round_attempts += 1;
+        self.round_failures += 1;
+    }
+
+    /// Records one successful appeal round-trip.
+    pub fn record_success(&mut self, round_trip_ms: f64, slow: bool) {
+        self.round_attempts += 1;
+        self.round_successes += 1;
+        if slow {
+            self.round_slow += 1;
+        }
+        if self.rtt_observed {
+            self.rtt_ewma_ms += RTT_EWMA_ALPHA * (round_trip_ms - self.rtt_ewma_ms);
+        } else {
+            self.rtt_ewma_ms = round_trip_ms;
+            self.rtt_observed = true;
+        }
+    }
+
+    /// Successful appeals observed in the current round or the one just
+    /// digested — the contrary-evidence guard against pre-emptively opening
+    /// a breaker whose path recently proved healthy.
+    pub fn recent_successes(&self) -> u64 {
+        self.round_successes + self.last_round_successes
+    }
+
+    /// Takes this node's digest for a gossip round at `now_nanos` and resets
+    /// the per-round counters, so each digest's rates cover exactly one
+    /// round.
+    pub fn take_digest(
+        &mut self,
+        origin: usize,
+        now_nanos: u64,
+        breaker_open: bool,
+    ) -> HealthDigest {
+        let failure_rate = if self.round_attempts > 0 {
+            self.round_failures as f64 / self.round_attempts as f64
+        } else {
+            0.0
+        };
+        let slow_rate = if self.round_successes > 0 {
+            self.round_slow as f64 / self.round_successes as f64
+        } else {
+            0.0
+        };
+        self.round_attempts = 0;
+        self.round_failures = 0;
+        self.last_round_successes = self.round_successes;
+        self.round_successes = 0;
+        self.round_slow = 0;
+        HealthDigest {
+            origin,
+            at_nanos: now_nanos,
+            breaker_open,
+            failure_rate,
+            slow_rate,
+            rtt_ewma_ms: self.rtt_ewma_ms,
+        }
+    }
+
+    /// The cached fleet-stress scalar in `[0, 1]`.
+    pub fn stress(&self) -> f64 {
+        self.stress
+    }
+
+    /// Recomputes and caches the stress scalar: the larger of the
+    /// quorum-normalized unhealthy-neighbour mass and the cloud
+    /// backpressure, clamped to `[0, 1]`.
+    pub fn update_stress(
+        &mut self,
+        now_nanos: u64,
+        stale_nanos: u64,
+        unhealthy_failure_rate: f64,
+        quorum: f64,
+        cloud_backlog_target_ms: f64,
+    ) -> f64 {
+        let mass = self
+            .view
+            .unhealthy_mass(now_nanos, stale_nanos, unhealthy_failure_rate);
+        let neighbour = if quorum > 0.0 { mass / quorum } else { 0.0 };
+        let cloud = self.view.cloud_pressure(cloud_backlog_target_ms);
+        self.stress = neighbour.max(cloud).clamp(0.0, 1.0);
+        self.stress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(origin: usize, at: u64, open: bool, failure_rate: f64) -> HealthDigest {
+        HealthDigest {
+            origin,
+            at_nanos: at,
+            breaker_open: open,
+            failure_rate,
+            slow_rate: 0.0,
+            rtt_ewma_ms: 10.0,
+        }
+    }
+
+    #[test]
+    fn merge_applies_fresher_and_drops_stale() {
+        let mut v = FleetHealthView::new(4);
+        assert!(v.merge(digest(1, 100, false, 0.0)));
+        assert!(
+            !v.merge(digest(1, 100, true, 1.0)),
+            "equal timestamp is stale"
+        );
+        assert!(!v.merge(digest(1, 50, true, 1.0)), "older is stale");
+        assert!(v.merge(digest(1, 200, true, 1.0)));
+        assert!(v.entry(1).unwrap().breaker_open);
+        assert!(!v.merge(digest(9, 0, true, 1.0)), "unknown origin is stale");
+    }
+
+    #[test]
+    fn staleness_weight_decays_linearly_to_zero() {
+        let stale = 100;
+        assert_eq!(FleetHealthView::staleness_weight(50, 50, stale), 1.0);
+        assert!((FleetHealthView::staleness_weight(50, 100, stale) - 0.5).abs() < 1e-12);
+        assert_eq!(FleetHealthView::staleness_weight(50, 150, stale), 0.0);
+        assert_eq!(FleetHealthView::staleness_weight(50, 1_000, stale), 0.0);
+        assert_eq!(FleetHealthView::staleness_weight(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn unhealthy_mass_weights_open_and_failing_neighbours() {
+        let mut v = FleetHealthView::new(4);
+        v.merge(digest(1, 100, true, 0.0)); // open, fresh at t=100
+        v.merge(digest(2, 100, false, 0.9)); // failing hard
+        v.merge(digest(3, 100, false, 0.1)); // healthy
+        let mass = v.unhealthy_mass(100, 100, 0.5);
+        assert!(
+            (mass - 2.0).abs() < 1e-12,
+            "two unhealthy at weight 1: {mass}"
+        );
+        // Half the horizon later both have decayed to weight 0.5.
+        let mass = v.unhealthy_mass(150, 100, 0.5);
+        assert!((mass - 1.0).abs() < 1e-12, "{mass}");
+        // Beyond the horizon everyone fades out.
+        assert_eq!(v.unhealthy_mass(500, 100, 0.5), 0.0);
+    }
+
+    #[test]
+    fn cloud_pressure_tracks_backlog_and_shed() {
+        let mut v = FleetHealthView::new(2);
+        assert_eq!(v.cloud_pressure(50.0), 0.0, "no signal yet");
+        v.observe_cloud(&CloudSignal {
+            queue_depth: 4,
+            backlog_ms: 25.0,
+            shed_rate: 0.0,
+        });
+        assert!((v.cloud_pressure(50.0) - 0.5).abs() < 1e-12);
+        // A shedding cloud saturates pressure even with low backlog.
+        for _ in 0..32 {
+            v.observe_cloud(&CloudSignal {
+                queue_depth: 1,
+                backlog_ms: 0.0,
+                shed_rate: 0.9,
+            });
+        }
+        assert_eq!(v.cloud_pressure(50.0), 1.0);
+    }
+
+    #[test]
+    fn digest_rates_cover_one_round_and_reset() {
+        let mut h = NodeHealth::new(4);
+        h.record_failure();
+        h.record_failure();
+        h.record_success(30.0, true);
+        h.record_success(10.0, false);
+        let d = h.take_digest(2, 1_000, false);
+        assert_eq!(d.origin, 2);
+        assert!((d.failure_rate - 0.5).abs() < 1e-12);
+        assert!((d.slow_rate - 0.5).abs() < 1e-12);
+        assert!(d.rtt_ewma_ms > 0.0);
+        // Counters reset: an empty round reports zero rates but keeps the
+        // round-trip EWMA.
+        let d2 = h.take_digest(2, 2_000, false);
+        assert_eq!(d2.failure_rate, 0.0);
+        assert_eq!(d2.slow_rate, 0.0);
+        assert_eq!(d2.rtt_ewma_ms, d.rtt_ewma_ms);
+    }
+
+    #[test]
+    fn stress_takes_the_louder_of_neighbours_and_cloud() {
+        let mut h = NodeHealth::new(4);
+        h.view.merge(digest(1, 100, true, 1.0));
+        // One open neighbour at weight 1 against a quorum of 2 → 0.5.
+        let s = h.update_stress(100, 100, 0.5, 2.0, 50.0);
+        assert!((s - 0.5).abs() < 1e-12);
+        // Cloud screaming louder than the neighbours wins.
+        h.view.observe_cloud(&CloudSignal {
+            queue_depth: 8,
+            backlog_ms: 45.0,
+            shed_rate: 0.0,
+        });
+        let s = h.update_stress(100, 100, 0.5, 2.0, 50.0);
+        assert!((s - 0.9).abs() < 1e-12, "{s}");
+        assert_eq!(h.stress(), s);
+    }
+
+    #[test]
+    fn open_neighbours_below_counts_the_probe_electorate() {
+        let mut v = FleetHealthView::new(4);
+        v.merge(digest(0, 100, true, 1.0));
+        v.merge(digest(1, 100, false, 0.0));
+        v.merge(digest(3, 100, true, 1.0));
+        assert_eq!(v.open_neighbours_below(2, 100, 100,), 1);
+        assert_eq!(v.open_neighbours_below(4, 100, 100), 2);
+        // Stale opens leave the electorate.
+        assert_eq!(v.open_neighbours_below(4, 500, 100), 0);
+    }
+}

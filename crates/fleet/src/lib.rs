@@ -37,6 +37,8 @@ pub mod adaptive;
 pub mod breaker;
 pub mod cloud;
 pub mod error;
+pub mod gossip;
+pub mod health;
 pub mod metrics;
 pub mod node;
 pub mod recovery;
@@ -48,12 +50,16 @@ pub mod sim;
 pub use appealnet_core::server::trace;
 
 pub use adaptive::{AdaptiveBudget, AdaptiveConfig};
-pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
-pub use cloud::{CloudBatch, CloudConfig, CloudPush, CloudResponse, CloudTier, PendingAppeal};
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+pub use cloud::{
+    CloudBatch, CloudConfig, CloudPush, CloudResponse, CloudSignal, CloudTier, PendingAppeal,
+};
 pub use error::{FleetError, FleetResult};
+pub use gossip::{GossipConfig, GossipPlane};
+pub use health::{FleetHealthView, HealthDigest, NodeHealth};
 pub use metrics::{percentile, FleetMetrics, NodeSummary, PhaseMetrics};
 pub use node::{EdgeNode, NodeStats};
-pub use recovery::{RecoveryConfig, RetryConfig};
+pub use recovery::{CooperativeConfig, RecoveryConfig, RetryConfig};
 pub use sim::{Degradation, FleetConfig, FleetSim};
 
 /// Converts milliseconds to whole virtual nanoseconds (rounded, floored at

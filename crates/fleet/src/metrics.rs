@@ -30,6 +30,10 @@ pub struct NodeSummary {
     pub breaker_denied: u64,
     /// Appeal retransmissions scheduled.
     pub retries: u64,
+    /// Appeals shed locally because fleet stress raised the effective δ.
+    pub stress_shed: u64,
+    /// Breaker trips forced pre-emptively by a quorum of unhealthy peers.
+    pub preemptive_opens: u64,
     /// Node compute busy time, in milliseconds.
     pub busy_ms: f64,
     /// Final adaptive per-window budget, if the node ran one.
@@ -76,6 +80,8 @@ pub struct FleetMetrics {
     pub breaker_denied: u64,
     /// Appeal retransmissions scheduled after failed attempts.
     pub retries: u64,
+    /// Appeals shed locally because fleet stress raised the effective δ.
+    pub stress_shed: u64,
     /// Appeal attempts whose answer missed the per-attempt deadline.
     pub appeal_timeouts: u64,
     /// Appeal attempts refused by the link itself (`HwError::LinkDown`).
@@ -99,6 +105,34 @@ pub struct FleetMetrics {
     pub breaker_half_opened: u64,
     /// Times any node's breaker closed again after probing.
     pub breaker_closed: u64,
+    /// Breaker trips forced pre-emptively by a quorum of unhealthy peers.
+    pub preemptive_opens: u64,
+    /// Staggered half-open probe elections run after breaker trips.
+    pub probe_elections: u64,
+    /// Half-open probe attempts admitted across all breakers.
+    pub probe_attempts: u64,
+    /// Probes that resolved successfully.
+    pub probe_ok: u64,
+    /// Probes that resolved as failures (re-tripping the breaker).
+    pub probe_failed: u64,
+    /// Probes orphaned by a state change while still in flight.
+    pub probe_orphaned: u64,
+    /// Probes still unresolved when the run ended.
+    pub probe_unresolved: u64,
+    /// Appeals shed at cloud ingress by the backlog gate.
+    pub cloud_shed: u64,
+    /// Cloud backpressure signals folded into node health views.
+    pub cloud_signals: u64,
+    /// Gossip messages pushed (each lands on exactly one peer).
+    pub gossip_sent: u64,
+    /// Gossip messages received.
+    pub gossip_received: u64,
+    /// Health digests carried inside gossip messages.
+    pub gossip_entries: u64,
+    /// Digests merged into a receiver's view (strictly fresher).
+    pub gossip_applied: u64,
+    /// Digests dropped as stale or already known.
+    pub gossip_stale: u64,
     /// Of the degraded answers, the fraction where the little net agreed
     /// with what the big net *would* have answered (the counterfactual
     /// accuracy of graceful degradation). `None` when nothing degraded.
@@ -108,6 +142,13 @@ pub struct FleetMetrics {
     pub recovery_enabled: bool,
     /// Whether the run scripted any fault plan.
     pub faults_scripted: bool,
+    /// Whether the run exchanged gossip (controls the gossip render line so
+    /// disabled-gossip runs render byte-identically to their ancestors).
+    pub gossip_enabled: bool,
+    /// Whether the cooperative degradation policy was installed.
+    pub cooperative_enabled: bool,
+    /// Whether the cloud ran a backlog shed gate.
+    pub cloud_shed_enabled: bool,
     /// Transfers accepted across all uplink queues.
     pub uplink_accepted: u64,
     /// Transfers rejected across all uplink queues.
@@ -192,6 +233,34 @@ impl FleetMetrics {
                 "breaker: opened {} | half-open {} | closed {}",
                 self.breaker_opened, self.breaker_half_opened, self.breaker_closed
             );
+        }
+        if self.gossip_enabled {
+            let _ = writeln!(
+                s,
+                "gossip: sent {} | received {} | entries {} (applied {}, stale {}) | cloud signals {}",
+                self.gossip_sent,
+                self.gossip_received,
+                self.gossip_entries,
+                self.gossip_applied,
+                self.gossip_stale,
+                self.cloud_signals
+            );
+        }
+        if self.cooperative_enabled {
+            let _ = writeln!(
+                s,
+                "cooperative: stress shed {} | preemptive opens {} | probe elections {} | probes {} (ok {}, failed {}, orphaned {})",
+                self.stress_shed,
+                self.preemptive_opens,
+                self.probe_elections,
+                self.probe_attempts,
+                self.probe_ok,
+                self.probe_failed,
+                self.probe_orphaned
+            );
+        }
+        if self.cloud_shed_enabled {
+            let _ = writeln!(s, "backpressure: cloud shed {}", self.cloud_shed);
         }
         if self.faults_scripted {
             let _ = writeln!(
@@ -287,6 +356,22 @@ impl FleetMetrics {
             routed == self.completed,
             format!("route counts sum to {routed}, not {}", self.completed),
         );
+        let node_stress: u64 = self.nodes.iter().map(|n| n.stress_shed).sum();
+        check(
+            node_stress == self.stress_shed,
+            format!(
+                "per-node stress sheds sum to {node_stress}, not {}",
+                self.stress_shed
+            ),
+        );
+        let node_preemptive: u64 = self.nodes.iter().map(|n| n.preemptive_opens).sum();
+        check(
+            node_preemptive == self.preemptive_opens,
+            format!(
+                "per-node preemptive opens sum to {node_preemptive}, not {}",
+                self.preemptive_opens
+            ),
+        );
         let node_requests: u64 = self.nodes.iter().map(|n| n.requests).sum();
         check(
             node_requests == self.requests,
@@ -309,10 +394,12 @@ impl FleetMetrics {
                 ),
             );
         }
-        // Every accepted uplink transfer ends exactly one way: answered, or
-        // eaten by a scripted cloud-side fault, or delivered too late.
+        // Every accepted uplink transfer ends exactly one way: answered,
+        // eaten by a scripted cloud-side fault, shed at cloud ingress, or
+        // delivered too late.
         let accepted_accounted = self.cloud_answered
             + self.blackout_drops
+            + self.cloud_shed
             + self.response_drops
             + self.response_corrupt
             + self.late_responses;
@@ -337,11 +424,12 @@ impl FleetMetrics {
             self.appeal_timeouts + self.link_down + self.appeal_queue_full + self.response_corrupt;
         check(
             self.degraded_local
-                == self.breaker_denied + attempt_failures - self.retries.min(attempt_failures)
+                == self.breaker_denied + self.stress_shed + attempt_failures
+                    - self.retries.min(attempt_failures)
                 && self.retries <= attempt_failures,
             format!(
-                "degraded {} != breaker denied {} + failures {attempt_failures} - retries {}",
-                self.degraded_local, self.breaker_denied, self.retries
+                "degraded {} != breaker denied {} + stress shed {} + failures {attempt_failures} - retries {}",
+                self.degraded_local, self.breaker_denied, self.stress_shed, self.retries
             ),
         );
         check(
@@ -356,6 +444,68 @@ impl FleetMetrics {
             self.degraded_agreement.is_some() == (self.degraded_local > 0),
             "degraded agreement must be present iff something degraded".to_string(),
         );
+        // Half-open probe ledger: every admitted probe resolves exactly one
+        // way — success, failure, orphaned by a state change, or still in
+        // flight when the run ended.
+        let probes_accounted =
+            self.probe_ok + self.probe_failed + self.probe_orphaned + self.probe_unresolved;
+        check(
+            self.probe_attempts == probes_accounted,
+            format!(
+                "{} probes admitted but {probes_accounted} accounted for (ok {} failed {} orphaned {} unresolved {})",
+                self.probe_attempts,
+                self.probe_ok,
+                self.probe_failed,
+                self.probe_orphaned,
+                self.probe_unresolved
+            ),
+        );
+        // Gossip ledger: every pushed message lands on exactly one peer, and
+        // every carried digest is either applied or dropped as stale.
+        check(
+            self.gossip_sent == self.gossip_received,
+            format!(
+                "gossip sent {} != received {}",
+                self.gossip_sent, self.gossip_received
+            ),
+        );
+        check(
+            self.gossip_entries == self.gossip_applied + self.gossip_stale,
+            format!(
+                "gossip entries {} != applied {} + stale {}",
+                self.gossip_entries, self.gossip_applied, self.gossip_stale
+            ),
+        );
+        check(
+            self.preemptive_opens <= self.breaker_opened,
+            format!(
+                "{} preemptive opens exceed {} breaker trips",
+                self.preemptive_opens, self.breaker_opened
+            ),
+        );
+        if !self.gossip_enabled {
+            check(
+                self.gossip_sent == 0
+                    && self.gossip_received == 0
+                    && self.gossip_entries == 0
+                    && self.gossip_applied == 0
+                    && self.gossip_stale == 0
+                    && self.cloud_signals == 0,
+                "gossip counters must be zero when gossip is disabled".to_string(),
+            );
+        }
+        if !self.cooperative_enabled {
+            check(
+                self.stress_shed == 0 && self.preemptive_opens == 0 && self.probe_elections == 0,
+                "cooperative counters must be zero without the policy".to_string(),
+            );
+        }
+        if !self.cloud_shed_enabled {
+            check(
+                self.cloud_shed == 0,
+                "cloud shed must be zero without a backlog gate".to_string(),
+            );
+        }
         check(
             (self.skipping_rate + self.appeal_rate - 1.0).abs() < 1e-9 || self.completed == 0,
             format!(
@@ -429,6 +579,7 @@ mod tests {
             degraded_local: 0,
             breaker_denied: 0,
             retries: 0,
+            stress_shed: 0,
             appeal_timeouts: 0,
             link_down: 0,
             appeal_queue_full: 0,
@@ -440,9 +591,26 @@ mod tests {
             breaker_opened: 0,
             breaker_half_opened: 0,
             breaker_closed: 0,
+            preemptive_opens: 0,
+            probe_elections: 0,
+            probe_attempts: 0,
+            probe_ok: 0,
+            probe_failed: 0,
+            probe_orphaned: 0,
+            probe_unresolved: 0,
+            cloud_shed: 0,
+            cloud_signals: 0,
+            gossip_sent: 0,
+            gossip_received: 0,
+            gossip_entries: 0,
+            gossip_applied: 0,
+            gossip_stale: 0,
             degraded_agreement: None,
             recovery_enabled: false,
             faults_scripted: false,
+            gossip_enabled: false,
+            cooperative_enabled: false,
+            cloud_shed_enabled: false,
             uplink_accepted: 2,
             uplink_rejected: 1,
             p50_ms: 1.0,
@@ -469,6 +637,8 @@ mod tests {
                 degraded_local: 0,
                 breaker_denied: 0,
                 retries: 0,
+                stress_shed: 0,
+                preemptive_opens: 0,
                 busy_ms: 1.0,
                 final_budget_ms: None,
                 tightenings: 0,
@@ -497,6 +667,65 @@ mod tests {
         let mut m = consistent();
         m.uplink_rejected = 5;
         assert!(m.check().iter().any(|v| v.contains("rejected")));
+    }
+
+    #[test]
+    fn probe_ledger_must_reconcile() {
+        let mut m = consistent();
+        m.probe_attempts = 3;
+        m.probe_ok = 1;
+        m.probe_failed = 1;
+        assert!(m.check().iter().any(|v| v.contains("probes admitted")));
+        m.probe_orphaned = 1;
+        assert!(m.check().is_empty(), "{:?}", m.check());
+    }
+
+    #[test]
+    fn gossip_and_cooperative_counters_need_their_flags() {
+        let mut m = consistent();
+        m.gossip_sent = 2;
+        m.gossip_received = 2;
+        m.gossip_entries = 4;
+        m.gossip_applied = 3;
+        m.gossip_stale = 1;
+        assert!(m.check().iter().any(|v| v.contains("gossip counters")));
+        m.gossip_enabled = true;
+        assert!(m.check().is_empty(), "{:?}", m.check());
+
+        m.gossip_received = 1;
+        assert!(m.check().iter().any(|v| v.contains("gossip sent")));
+        m.gossip_received = 2;
+        m.gossip_stale = 0;
+        assert!(m.check().iter().any(|v| v.contains("gossip entries")));
+
+        let mut m = consistent();
+        m.stress_shed = 1;
+        assert!(m.check().iter().any(|v| v.contains("cooperative counters")));
+        let mut m = consistent();
+        m.cloud_shed = 1;
+        assert!(m.check().iter().any(|v| v.contains("cloud shed")));
+        let mut m = consistent();
+        m.preemptive_opens = 1;
+        m.cooperative_enabled = true;
+        assert!(m.check().iter().any(|v| v.contains("preemptive opens")));
+    }
+
+    #[test]
+    fn new_render_lines_are_gated_on_their_flags() {
+        let m = consistent();
+        let plain = m.render();
+        assert!(!plain.contains("gossip:"));
+        assert!(!plain.contains("cooperative:"));
+        assert!(!plain.contains("backpressure:"));
+
+        let mut on = consistent();
+        on.gossip_enabled = true;
+        on.cooperative_enabled = true;
+        on.cloud_shed_enabled = true;
+        let rendered = on.render();
+        assert!(rendered.contains("gossip: sent 0"));
+        assert!(rendered.contains("cooperative: stress shed 0"));
+        assert!(rendered.contains("backpressure: cloud shed 0"));
     }
 
     #[test]

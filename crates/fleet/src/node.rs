@@ -3,8 +3,10 @@
 //! optional [`AdaptiveBudget`], and a bounded uplink queue.
 
 use crate::adaptive::AdaptiveBudget;
-use crate::breaker::CircuitBreaker;
+use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::health::NodeHealth;
 use crate::ms_to_nanos;
+use crate::recovery::CooperativeConfig;
 use appeal_hw::{DeviceSpec, LinkQueue};
 use appealnet_core::serve::{RoutingPolicy, Scorer};
 
@@ -50,6 +52,29 @@ pub struct NodeStats {
     pub crash_stalls: u64,
     /// Virtual nanoseconds this node's compute was busy.
     pub busy_nanos: u64,
+    /// Cloud-bound requests degraded locally by the cooperative stress
+    /// policy before any send was attempted.
+    pub stress_shed: u64,
+    /// Breaker trips forced by fleet evidence (quorum of unhealthy
+    /// neighbours) rather than local outcomes.
+    pub preemptive_opens: u64,
+    /// Staggered-probe elections held when this node's breaker tripped
+    /// under the cooperative policy.
+    pub probe_elections: u64,
+    /// Appeals shed at the cloud's ingress backlog gate.
+    pub cloud_shed: u64,
+    /// Gossip messages this node pushed to peers.
+    pub gossip_sent: u64,
+    /// Gossip messages this node received.
+    pub gossip_received: u64,
+    /// Health-digest entries this node sent inside its gossip messages.
+    pub gossip_entries: u64,
+    /// Received digest entries that were fresher than known and applied.
+    pub gossip_applied: u64,
+    /// Received digest entries dropped as stale (no fresher than known).
+    pub gossip_stale: u64,
+    /// Cloud backpressure signals folded into this node's health view.
+    pub cloud_signals: u64,
 }
 
 /// One edge node of the simulated fleet.
@@ -66,6 +91,10 @@ pub struct EdgeNode {
     pub(crate) breaker: Option<CircuitBreaker>,
     pub(crate) uplink: LinkQueue,
     pub(crate) stats: NodeStats,
+    pub(crate) health: Option<NodeHealth>,
+    pub(crate) cooperative: Option<CooperativeConfig>,
+    /// Gossip staleness horizon in nanoseconds; 0 while gossip is disabled.
+    pub(crate) stale_nanos: u64,
     service_nanos: u64,
     busy_until_nanos: u64,
 }
@@ -91,6 +120,9 @@ impl EdgeNode {
             breaker: None,
             uplink,
             stats: NodeStats::default(),
+            health: None,
+            cooperative: None,
+            stale_nanos: 0,
             service_nanos,
             busy_until_nanos: 0,
         }
@@ -99,6 +131,20 @@ impl EdgeNode {
     /// Installs a circuit breaker on this node's appeal path.
     pub fn with_breaker(mut self, breaker: CircuitBreaker) -> Self {
         self.breaker = Some(breaker);
+        self
+    }
+
+    /// Installs the gossip health plane (and optionally the cooperative
+    /// policy driving on it) on this node.
+    pub fn with_health(
+        mut self,
+        health: NodeHealth,
+        cooperative: Option<CooperativeConfig>,
+        stale_nanos: u64,
+    ) -> Self {
+        self.health = Some(health);
+        self.cooperative = cooperative;
+        self.stale_nanos = stale_nanos;
         self
     }
 
@@ -132,6 +178,11 @@ impl EdgeNode {
         self.uplink.rejected()
     }
 
+    /// The health plane state, if gossip is enabled.
+    pub fn health(&self) -> Option<&NodeHealth> {
+        self.health.as_ref()
+    }
+
     /// Enqueues one request's edge pass at `arrival_nanos`; returns when the
     /// pass completes on this node's clock.
     pub(crate) fn schedule(&mut self, arrival_nanos: u64) -> u64 {
@@ -141,6 +192,156 @@ impl EdgeNode {
         self.stats.requests += 1;
         self.stats.busy_nanos += self.service_nanos;
         done
+    }
+
+    /// Records one failed appeal attempt into both controllers — the breaker
+    /// (probe-tagged) and the health plane. A trip triggered here runs the
+    /// staggered-probe election.
+    pub(crate) fn record_appeal_failure(&mut self, now_nanos: u64, probe: bool) {
+        if let Some(h) = self.health.as_mut() {
+            h.record_failure();
+        }
+        let tripped = if let Some(b) = self.breaker.as_mut() {
+            let before = b.opened();
+            if probe {
+                b.on_probe_failure(now_nanos);
+            } else {
+                b.on_failure(now_nanos);
+            }
+            b.opened() > before
+        } else {
+            false
+        };
+        if tripped {
+            self.stagger_probe(now_nanos);
+        }
+    }
+
+    /// Records one successful appeal round-trip into both controllers. A
+    /// slow success can still trip the breaker, which also runs the
+    /// election.
+    pub(crate) fn record_appeal_success(
+        &mut self,
+        now_nanos: u64,
+        round_trip_ms: f64,
+        probe: bool,
+    ) {
+        let mut slow = false;
+        let mut tripped = false;
+        if let Some(b) = self.breaker.as_mut() {
+            slow = b.is_slow(round_trip_ms);
+            let before = b.opened();
+            if probe {
+                b.on_probe_success(now_nanos, round_trip_ms);
+            } else {
+                b.on_success(now_nanos, round_trip_ms);
+            }
+            tripped = b.opened() > before;
+        }
+        if let Some(h) = self.health.as_mut() {
+            h.record_success(round_trip_ms, slow);
+        }
+        if tripped {
+            self.stagger_probe(now_nanos);
+        }
+    }
+
+    /// The staggered-probe election, run whenever this node's breaker trips
+    /// under the cooperative policy: defer the half-open probe by one
+    /// stagger per lower-indexed neighbour whose breaker is freshly known
+    /// open, so a recovering cloud meets a trickle of probes, not a herd.
+    fn stagger_probe(&mut self, now_nanos: u64) {
+        let Some(coop) = self.cooperative else { return };
+        let Some(h) = self.health.as_ref() else {
+            return;
+        };
+        let rank = h
+            .view
+            .open_neighbours_below(self.id, now_nanos, self.stale_nanos);
+        self.stats.probe_elections += 1;
+        if rank > 0 && coop.probe_stagger_ms > 0.0 {
+            if let Some(b) = self.breaker.as_mut() {
+                b.defer_probe(ms_to_nanos(coop.probe_stagger_ms).saturating_mul(rank as u64));
+            }
+        }
+    }
+
+    /// Pre-emptive open check, run each gossip round: trips this node's
+    /// breaker on fleet evidence when the staleness-weighted
+    /// unhealthy-neighbour mass reaches quorum — unless the node's own
+    /// recent appeals succeeded (fresh local evidence beats fleet hearsay).
+    pub(crate) fn preemptive_check(&mut self, now_nanos: u64) {
+        let Some(coop) = self.cooperative else { return };
+        let Some(h) = self.health.as_ref() else {
+            return;
+        };
+        if h.recent_successes() > 0 {
+            return;
+        }
+        let mass = h
+            .view
+            .unhealthy_mass(now_nanos, self.stale_nanos, coop.unhealthy_failure_rate);
+        if mass < coop.quorum {
+            return;
+        }
+        let Some(b) = self.breaker.as_mut() else {
+            return;
+        };
+        if b.preemptive_open(now_nanos) {
+            self.stats.preemptive_opens += 1;
+            self.stagger_probe(now_nanos);
+        }
+    }
+
+    /// Recomputes the cached fleet-stress scalar from the current view.
+    pub(crate) fn update_stress(&mut self, now_nanos: u64) {
+        let Some(coop) = self.cooperative else { return };
+        if let Some(h) = self.health.as_mut() {
+            h.update_stress(
+                now_nanos,
+                self.stale_nanos,
+                coop.unhealthy_failure_rate,
+                coop.quorum,
+                coop.cloud_backlog_target_ms,
+            );
+        }
+    }
+
+    /// Whether the cooperative stress policy degrades this cloud-bound
+    /// request locally: under fleet stress the local-answer band widens by
+    /// `delta_relief · stress`, catching borderline scores before they join
+    /// a queue the fleet already knows is drowning.
+    pub(crate) fn stress_sheds(&self, score: f64, delta: f64) -> bool {
+        let Some(coop) = self.cooperative else {
+            return false;
+        };
+        let Some(h) = self.health.as_ref() else {
+            return false;
+        };
+        let relief = coop.delta_relief * h.stress();
+        relief > 0.0 && score >= delta - relief
+    }
+
+    /// Folds a piggybacked cloud backpressure signal into the health view
+    /// and refreshes the cached stress.
+    pub(crate) fn observe_cloud_signal(
+        &mut self,
+        now_nanos: u64,
+        signal: &crate::cloud::CloudSignal,
+    ) {
+        if let Some(h) = self.health.as_mut() {
+            h.view.observe_cloud(signal);
+            self.stats.cloud_signals += 1;
+        }
+        self.update_stress(now_nanos);
+    }
+
+    /// The current breaker state as a health-digest bit (non-mutating), plus
+    /// whether any breaker exists at all.
+    pub(crate) fn breaker_open_for_digest(&self, now_nanos: u64) -> bool {
+        self.breaker
+            .as_ref()
+            .is_some_and(|b| b.peek_state(now_nanos) != BreakerState::Closed)
     }
 }
 

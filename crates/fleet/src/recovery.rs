@@ -17,7 +17,7 @@
 //! request resolves to a label, faulted cloud or not.
 
 use crate::breaker::BreakerConfig;
-use crate::error::{is_positive, FleetError, FleetResult};
+use crate::error::{is_non_negative, is_positive, FleetError, FleetResult};
 use appeal_tensor::SeededRng;
 use serde::{Deserialize, Serialize};
 
@@ -46,7 +46,9 @@ impl RetryConfig {
                 what: "retry base_backoff_ms must be positive",
             });
         }
-        if !(self.max_backoff_ms >= self.base_backoff_ms) {
+        // NaN-safe: base is already known positive, so rejecting non-positive
+        // (or NaN) caps plus anything below the base matches `!(max >= base)`.
+        if !is_positive(self.max_backoff_ms) || self.max_backoff_ms < self.base_backoff_ms {
             return Err(FleetError::InvalidConfig {
                 what: "retry max_backoff_ms must be at least base_backoff_ms",
             });
@@ -112,6 +114,96 @@ impl RecoveryConfig {
             // Breaker validation lives with CircuitBreaker::new; build one
             // to reuse it.
             crate::CircuitBreaker::new(breaker)?;
+        }
+        Ok(())
+    }
+}
+
+/// The cooperative policy layered on top of per-node breakers when the
+/// gossip plane is enabled: act on *fleet* evidence before local evidence
+/// accumulates.
+///
+/// Three levers, all driven by the node's [`FleetHealthView`]
+/// (see `crate::health`):
+///
+/// 1. **Pre-emptive open** — when the staleness-weighted mass of unhealthy
+///    neighbours reaches `quorum` and the node has seen no successful appeal
+///    of its own since the last gossip round, its breaker trips without
+///    burning a local outcome window.
+/// 2. **Stress relief on δ** — the local-answer band widens by
+///    `delta_relief · stress`: borderline appeals degrade to the little
+///    net's answer instead of joining a queue the fleet already knows is
+///    drowning.
+/// 3. **Staggered probes** — when a breaker trips, its half-open probe is
+///    deferred by `probe_stagger_ms` per lower-indexed neighbour whose
+///    breaker is also open, so a recovering cloud meets a trickle of probes
+///    instead of a thundering herd.
+///
+/// [`FleetHealthView`]: crate::health::FleetHealthView
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CooperativeConfig {
+    /// Staleness-weighted unhealthy-neighbour mass at which a node
+    /// pre-emptively opens its own breaker. Must be positive; fractional
+    /// values let a single fresh neighbour carry the quorum.
+    pub quorum: f64,
+    /// Per-round appeal failure fraction at or above which a gossiped
+    /// digest marks its origin unhealthy, in `(0, 1]`.
+    pub unhealthy_failure_rate: f64,
+    /// How far the routing threshold's local-answer band widens at stress 1,
+    /// in score units. Zero disables stress shedding.
+    pub delta_relief: f64,
+    /// Cloud GPU backlog (EWMA of the piggybacked signal) at which cloud
+    /// backpressure saturates to stress 1, in milliseconds.
+    pub cloud_backlog_target_ms: f64,
+    /// Half-open probe deferral per lower-indexed open neighbour, in
+    /// milliseconds. Zero disables staggering (every trip still ledgers an
+    /// election).
+    pub probe_stagger_ms: f64,
+}
+
+impl CooperativeConfig {
+    /// A policy matched to [`GossipConfig::default_for_fleet`] and
+    /// [`BreakerConfig::default_for_appeals`]: one-and-a-half fresh
+    /// neighbours carry the quorum, stress widens the local band by up to
+    /// 0.1, and probes fan out 40 ms apart.
+    ///
+    /// [`GossipConfig::default_for_fleet`]: crate::gossip::GossipConfig::default_for_fleet
+    pub fn default_for_fleet() -> Self {
+        Self {
+            quorum: 1.5,
+            unhealthy_failure_rate: 0.5,
+            delta_relief: 0.1,
+            cloud_backlog_target_ms: 50.0,
+            probe_stagger_ms: 40.0,
+        }
+    }
+
+    /// Validates the policy parameters.
+    pub fn validate(&self) -> FleetResult<()> {
+        if !is_positive(self.quorum) {
+            return Err(FleetError::InvalidConfig {
+                what: "cooperative quorum must be positive",
+            });
+        }
+        if !is_positive(self.unhealthy_failure_rate) || self.unhealthy_failure_rate > 1.0 {
+            return Err(FleetError::InvalidConfig {
+                what: "cooperative unhealthy_failure_rate must be in (0, 1]",
+            });
+        }
+        if !is_non_negative(self.delta_relief) {
+            return Err(FleetError::InvalidConfig {
+                what: "cooperative delta_relief must be non-negative",
+            });
+        }
+        if !is_positive(self.cloud_backlog_target_ms) {
+            return Err(FleetError::InvalidConfig {
+                what: "cooperative cloud_backlog_target_ms must be positive",
+            });
+        }
+        if !is_non_negative(self.probe_stagger_ms) {
+            return Err(FleetError::InvalidConfig {
+                what: "cooperative probe_stagger_ms must be non-negative",
+            });
         }
         Ok(())
     }
@@ -205,5 +297,38 @@ mod tests {
         });
         assert!(with_bad_breaker.validate().is_err());
         assert!(RecoveryConfig::default_for_appeals().validate().is_ok());
+    }
+
+    #[test]
+    fn cooperative_validation_rejects_bad_policies() {
+        assert!(CooperativeConfig::default_for_fleet().validate().is_ok());
+        for bad in [
+            CooperativeConfig {
+                quorum: 0.0,
+                ..CooperativeConfig::default_for_fleet()
+            },
+            CooperativeConfig {
+                unhealthy_failure_rate: 0.0,
+                ..CooperativeConfig::default_for_fleet()
+            },
+            CooperativeConfig {
+                unhealthy_failure_rate: 1.5,
+                ..CooperativeConfig::default_for_fleet()
+            },
+            CooperativeConfig {
+                delta_relief: -0.1,
+                ..CooperativeConfig::default_for_fleet()
+            },
+            CooperativeConfig {
+                cloud_backlog_target_ms: 0.0,
+                ..CooperativeConfig::default_for_fleet()
+            },
+            CooperativeConfig {
+                probe_stagger_ms: f64::NAN,
+                ..CooperativeConfig::default_for_fleet()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
     }
 }

@@ -26,12 +26,14 @@
 //!    and feeding the measured round-trip into the node's adaptive budget.
 
 use crate::adaptive::AdaptiveBudget;
-use crate::breaker::CircuitBreaker;
-use crate::cloud::{CloudPush, CloudTier, PendingAppeal};
+use crate::breaker::{Admission, CircuitBreaker};
+use crate::cloud::{CloudPush, CloudSignal, CloudTier, PendingAppeal};
 use crate::error::{is_positive, FleetError, FleetResult};
+use crate::gossip::{GossipConfig, GossipPlane};
+use crate::health::{FleetHealthView, HealthDigest, NodeHealth};
 use crate::metrics::{percentile, FleetMetrics, NodeSummary, PhaseMetrics};
 use crate::node::EdgeNode;
-use crate::recovery::RecoveryConfig;
+use crate::recovery::{CooperativeConfig, RecoveryConfig};
 use crate::{adaptive::AdaptiveConfig, cloud::CloudConfig, ms_to_nanos};
 use appeal_hw::{DeviceSpec, FaultEvent, FaultPlan, LinkQueue, StochasticLink, SystemModel};
 use appeal_models::ClassifierParts;
@@ -70,6 +72,14 @@ pub struct FleetConfig {
     /// The stochastic uplink every node shares the *model* of (each node
     /// gets its own bounded radio queue of the model's capacity).
     pub link: StochasticLink,
+    /// Optional per-node link heterogeneity: one [`StochasticLink`] per node
+    /// (length must equal `nodes`), e.g. a mixed wifi/lte fleet. `None`
+    /// keeps the homogeneous `link` for everyone — byte-identical to the
+    /// pre-heterogeneity simulator. The routing cost model (Eq. 5) still
+    /// prices offloads from the shared `link`, so heterogeneity shows up in
+    /// *measured* behavior (transfers, loss, health views), not in the
+    /// policy's prior.
+    pub node_links: Option<Vec<StochasticLink>>,
     /// Optional mid-trace link degradation.
     pub degrade: Option<Degradation>,
     /// Optional per-node adaptive offload budget.
@@ -80,6 +90,12 @@ pub struct FleetConfig {
     pub recovery: Option<RecoveryConfig>,
     /// Scripted fault plan ([`FaultPlan::none`] for a healthy run).
     pub faults: FaultPlan,
+    /// The fleet health gossip plane ([`GossipConfig::disabled()`] replays
+    /// the pre-gossip simulator byte-for-byte).
+    pub gossip: GossipConfig,
+    /// Optional cooperative policy over the gossiped health views. Requires
+    /// gossip enabled and a recovery policy with a breaker.
+    pub cooperative: Option<CooperativeConfig>,
     /// End-to-end latency SLO to count violations against, in milliseconds.
     pub slo_ms: f64,
     /// Sharding policy for the cloud's big-network forward passes.
@@ -135,6 +151,7 @@ enum EventKind {
         decided_nanos: u64,
         attempt: u32,
         label: usize,
+        signal: CloudSignal,
     },
     /// A failed attempt's backoff expired: try the appeal again.
     AppealRetry {
@@ -148,6 +165,9 @@ enum EventKind {
         node: usize,
         attempt: u32,
     },
+    /// One fleet-wide gossip round: every node digests its health and pushes
+    /// to its round's peer set. Exists only while gossip is enabled.
+    GossipRound,
 }
 
 /// Per-request retry state while an appeal is unresolved (recovery runs
@@ -158,6 +178,9 @@ struct AppealCtx {
     decided_nanos: u64,
     attempt: u32,
     prev_backoff_ms: f64,
+    /// Whether the *current* attempt was admitted as a half-open breaker
+    /// probe; echoed back so probe outcomes ledger exactly once.
+    is_probe: bool,
 }
 
 struct Event {
@@ -231,7 +254,7 @@ fn flush_cloud(
     nodes: &mut [EdgeNode],
     now_nanos: u64,
     images: &Tensor,
-    link: &StochasticLink,
+    links: &[StochasticLink],
     degrade: Option<Degradation>,
     faults: &FaultPlan,
     link_rng: &mut SeededRng,
@@ -245,6 +268,7 @@ fn flush_cloud(
             }
             let sev =
                 severity_at(degrade, batch.done_nanos) * faults.link_severity(batch.done_nanos);
+            let link = &links[resp.node];
             let down = link.sample_transmit_ms(RESULT_BYTES, sev, link_rng);
             let prop = link.sample_propagation_ms(sev, link_rng);
             let at = batch
@@ -258,6 +282,7 @@ fn flush_cloud(
                     decided_nanos: resp.decided_nanos,
                     attempt: resp.attempt,
                     label: resp.label,
+                    signal: resp.signal,
                 },
             );
         }
@@ -287,9 +312,7 @@ fn send_appeal(
     match link.try_transmit_ms(input_bytes, sev, link_rng) {
         Err(_) => {
             n.stats.link_down += 1;
-            if let Some(b) = n.breaker.as_mut() {
-                b.on_failure(now);
-            }
+            n.record_appeal_failure(now, ctx.is_probe);
             retry_or_degrade(n, request, node, ctx, now, recovery, link_rng, q, outcomes);
         }
         Ok(up) => {
@@ -307,9 +330,7 @@ fn send_appeal(
                 }
                 None => {
                     n.stats.appeal_queue_full += 1;
-                    if let Some(b) = n.breaker.as_mut() {
-                        b.on_failure(now);
-                    }
+                    n.record_appeal_failure(now, ctx.is_probe);
                     retry_or_degrade(n, request, node, ctx, now, recovery, link_rng, q, outcomes);
                 }
                 Some(departure) => {
@@ -411,6 +432,34 @@ impl FleetSim {
                 what: "fault plan scripts cloud-facing faults but no recovery policy is configured",
             });
         }
+        if config.cloud.shed_backlog_ms.is_some() && config.recovery.is_none() {
+            // A shed appeal vanishes exactly like a blackout drop; only the
+            // appeal deadline can rescue the request.
+            return Err(FleetError::InvalidConfig {
+                what: "cloud shed_backlog_ms requires a recovery policy",
+            });
+        }
+        config.gossip.validate()?;
+        if let Some(coop) = &config.cooperative {
+            coop.validate()?;
+            if !config.gossip.enabled {
+                return Err(FleetError::InvalidConfig {
+                    what: "cooperative policy requires gossip to be enabled",
+                });
+            }
+            if config.recovery.and_then(|r| r.breaker).is_none() {
+                return Err(FleetError::InvalidConfig {
+                    what: "cooperative policy requires a recovery policy with a breaker",
+                });
+            }
+        }
+        if let Some(node_links) = &config.node_links {
+            if node_links.len() != config.nodes {
+                return Err(FleetError::InvalidConfig {
+                    what: "node_links length must equal the node count",
+                });
+            }
+        }
         for event in config.faults.events() {
             if let FaultEvent::NodeCrash { node, .. } = *event {
                 if node >= config.nodes {
@@ -438,7 +487,11 @@ impl FleetSim {
         let mut nodes = Vec::with_capacity(config.nodes);
         for id in 0..config.nodes {
             let adaptive = config.adaptive.map(AdaptiveBudget::new).transpose()?;
-            let uplink = LinkQueue::new(config.link.queue_capacity)?;
+            let node_link = config
+                .node_links
+                .as_ref()
+                .map_or(&config.link, |links| &links[id]);
+            let uplink = LinkQueue::new(node_link.queue_capacity)?;
             let mut node = EdgeNode::new(
                 id,
                 base.fork(),
@@ -449,6 +502,13 @@ impl FleetSim {
             );
             if let Some(breaker) = config.recovery.and_then(|r| r.breaker) {
                 node = node.with_breaker(CircuitBreaker::new(breaker)?);
+            }
+            if config.gossip.enabled {
+                node = node.with_health(
+                    NodeHealth::new(config.nodes),
+                    config.cooperative,
+                    config.gossip.stale_nanos(),
+                );
             }
             nodes.push(node);
         }
@@ -479,7 +539,15 @@ impl FleetSim {
         let mut image_rng = SeededRng::new(self.config.seed);
         let images = Tensor::randn(&[total.max(1), c, h, w], &mut image_rng);
         let mut link_rng = SeededRng::new(self.config.seed ^ 0x9E37_79B9_7F4A_7C15);
-        let link = self.config.link.clone();
+        let links: Vec<StochasticLink> = match &self.config.node_links {
+            Some(per_node) => per_node.clone(),
+            None => vec![self.config.link.clone(); self.nodes.len()],
+        };
+        let mut gossip_plane = self
+            .config
+            .gossip
+            .enabled
+            .then(|| GossipPlane::new(self.config.gossip, self.config.seed));
         let ctx = self.ctx;
         let degrade = self.config.degrade;
         let recovery = self.config.recovery;
@@ -494,6 +562,11 @@ impl FleetSim {
             arrival_nanos[i] = ev.at_nanos;
             let node = ev.client as usize % self.nodes.len();
             q.push(ev.at_nanos, EventKind::Arrival { request: i, node });
+        }
+        if let Some(plane) = gossip_plane.as_mut() {
+            if total > 0 {
+                q.push(plane.next_round_nanos(0), EventKind::GossipRound);
+            }
         }
 
         while let Some(event) = q.pop() {
@@ -545,15 +618,29 @@ impl FleetSim {
                     let sev = severity_at(degrade, now) * faults.link_severity(now);
                     match recovery {
                         Some(rec) => {
+                            // The cooperative stress check runs before the
+                            // breaker admission so a shed request can never
+                            // leak a half-open probe slot.
+                            let n = &mut self.nodes[node];
+                            if n.stress_sheds(f64::from(score), self.config.delta) {
+                                n.stats.stress_shed += 1;
+                                n.stats.degraded_local += 1;
+                                outcomes[request] = Some(Outcome {
+                                    completed_nanos: now,
+                                    route: OutcomeRoute::DegradedLocal,
+                                    label: edge_label,
+                                });
+                                continue;
+                            }
                             // Breaker check precedes charging: a refused
                             // appeal never leaves the node, so it must not
                             // spend offload budget.
-                            let allowed = self.nodes[node]
+                            let admission = self.nodes[node]
                                 .breaker
                                 .as_mut()
-                                .is_none_or(|b| b.allows(now));
+                                .map_or(Admission::Allowed, |b| b.admit(now));
                             let n = &mut self.nodes[node];
-                            if !allowed {
+                            if admission == Admission::Denied {
                                 n.stats.breaker_denied += 1;
                                 n.stats.degraded_local += 1;
                                 outcomes[request] = Some(Outcome {
@@ -571,6 +658,7 @@ impl FleetSim {
                                 decided_nanos: now,
                                 attempt: 1,
                                 prev_backoff_ms: 0.0,
+                                is_probe: admission == Admission::Probe,
                             });
                             let state = appeal_state[request].as_mut().expect("just set");
                             send_appeal(
@@ -581,7 +669,7 @@ impl FleetSim {
                                 now,
                                 sev,
                                 input_bytes,
-                                &link,
+                                &links[node],
                                 &rec,
                                 &mut link_rng,
                                 &mut q,
@@ -593,7 +681,8 @@ impl FleetSim {
                             if let Some(a) = n.adaptive.as_mut() {
                                 a.charge(&ctx.offload_cost);
                             }
-                            let up = link.sample_transmit_ms(input_bytes, sev, &mut link_rng);
+                            let up =
+                                links[node].sample_transmit_ms(input_bytes, sev, &mut link_rng);
                             let service = ms_to_nanos(up.service_ms).max(1);
                             match n.uplink.offer(now, service) {
                                 None => {
@@ -605,7 +694,8 @@ impl FleetSim {
                                     });
                                 }
                                 Some(departure) => {
-                                    let prop = link.sample_propagation_ms(sev, &mut link_rng);
+                                    let prop =
+                                        links[node].sample_propagation_ms(sev, &mut link_rng);
                                     q.push(
                                         departure.saturating_add(ms_to_nanos(prop)),
                                         EventKind::CloudArrival {
@@ -646,7 +736,7 @@ impl FleetSim {
                             &mut self.nodes,
                             now,
                             &images,
-                            &link,
+                            &links,
                             degrade,
                             &faults,
                             &mut link_rng,
@@ -654,6 +744,12 @@ impl FleetSim {
                         ),
                         CloudPush::ScheduleDeadline(at) => q.push(at, EventKind::CloudDeadline),
                         CloudPush::Queued => {}
+                        CloudPush::Shed => {
+                            // The backlog gate dropped the appeal at ingress;
+                            // like a blackout drop, the edge only learns via
+                            // its attempt deadline.
+                            self.nodes[node].stats.cloud_shed += 1;
+                        }
                     }
                 }
                 EventKind::CloudDeadline => {
@@ -663,7 +759,7 @@ impl FleetSim {
                             &mut self.nodes,
                             now,
                             &images,
-                            &link,
+                            &links,
                             degrade,
                             &faults,
                             &mut link_rng,
@@ -677,6 +773,7 @@ impl FleetSim {
                     decided_nanos,
                     attempt,
                     label,
+                    signal,
                 } => {
                     let n = &mut self.nodes[node];
                     if outcomes[request].is_some() {
@@ -686,11 +783,14 @@ impl FleetSim {
                         n.stats.late_responses += 1;
                         continue;
                     }
+                    // An answer for a superseded attempt is a straggler: it
+                    // resolves the request, but must not settle the probe
+                    // slot held by the *current* attempt.
+                    let is_probe =
+                        appeal_state[request].is_some_and(|s| s.attempt == attempt && s.is_probe);
                     if faults.corrupts_response(now, request, attempt) {
                         n.stats.response_corrupt += 1;
-                        if let Some(b) = n.breaker.as_mut() {
-                            b.on_failure(now);
-                        }
+                        n.record_appeal_failure(now, is_probe);
                         let rec = recovery.expect("corrupting faults require a recovery policy");
                         let state = appeal_state[request]
                             .as_mut()
@@ -713,9 +813,8 @@ impl FleetSim {
                     if let Some(a) = n.adaptive.as_mut() {
                         a.observe(round_trip_ms);
                     }
-                    if let Some(b) = n.breaker.as_mut() {
-                        b.on_success(now, round_trip_ms);
-                    }
+                    n.record_appeal_success(now, round_trip_ms, is_probe);
+                    n.observe_cloud_signal(now, &signal);
                     outcomes[request] = Some(Outcome {
                         completed_nanos: now,
                         route: OutcomeRoute::Cloud,
@@ -729,15 +828,15 @@ impl FleetSim {
                         continue;
                     }
                     let rec = recovery.expect("retries only exist under a recovery policy");
-                    let allowed = self.nodes[node]
+                    let admission = self.nodes[node]
                         .breaker
                         .as_mut()
-                        .is_none_or(|b| b.allows(now));
+                        .map_or(Admission::Allowed, |b| b.admit(now));
                     let n = &mut self.nodes[node];
                     let state = appeal_state[request]
                         .as_mut()
                         .expect("retry for a tracked appeal");
-                    if !allowed {
+                    if admission == Admission::Denied {
                         n.stats.breaker_denied += 1;
                         n.stats.degraded_local += 1;
                         outcomes[request] = Some(Outcome {
@@ -747,6 +846,10 @@ impl FleetSim {
                         });
                         continue;
                     }
+                    // A retry admitted at the open-timer boundary *is* the
+                    // half-open probe: tag the attempt so it ledgers once,
+                    // as a probe, not twice.
+                    state.is_probe = admission == Admission::Probe;
                     let sev = severity_at(degrade, now) * faults.link_severity(now);
                     send_appeal(
                         n,
@@ -756,7 +859,7 @@ impl FleetSim {
                         now,
                         sev,
                         input_bytes,
-                        &link,
+                        &links[node],
                         &rec,
                         &mut link_rng,
                         &mut q,
@@ -782,9 +885,8 @@ impl FleetSim {
                     }
                     let n = &mut self.nodes[node];
                     n.stats.appeal_timeouts += 1;
-                    if let Some(b) = n.breaker.as_mut() {
-                        b.on_failure(now);
-                    }
+                    let is_probe = state.is_probe;
+                    n.record_appeal_failure(now, is_probe);
                     retry_or_degrade(
                         n,
                         request,
@@ -796,6 +898,82 @@ impl FleetSim {
                         &mut q,
                         &mut outcomes,
                     );
+                }
+                EventKind::GossipRound => {
+                    let plane = gossip_plane.as_mut().expect("gossip rounds imply a plane");
+                    let stale = plane.config().stale_nanos();
+                    let node_count = self.nodes.len();
+                    // Phase 1: every node digests its last round (resetting
+                    // the per-round counters) before anything is exchanged,
+                    // so all messages this round carry same-round snapshots.
+                    let digests: Vec<HealthDigest> = (0..node_count)
+                        .map(|i| {
+                            let open = self.nodes[i].breaker_open_for_digest(now);
+                            self.nodes[i]
+                                .health
+                                .as_mut()
+                                .expect("gossip requires health state")
+                                .take_digest(i, now, open)
+                        })
+                        .collect();
+                    // Phase 2: push in node order. A message to peer `p`
+                    // carries the sender's own digest plus every still-fresh
+                    // entry of its view except those about `p` itself — so
+                    // no node ever holds hearsay about itself.
+                    for (i, &own) in digests.iter().enumerate() {
+                        let peers = plane.select_peers(i, node_count);
+                        if peers.is_empty() {
+                            continue;
+                        }
+                        let fresh: Vec<HealthDigest> = self.nodes[i]
+                            .health
+                            .as_ref()
+                            .expect("gossip requires health state")
+                            .view
+                            .entries()
+                            .filter(|d| {
+                                FleetHealthView::staleness_weight(d.at_nanos, now, stale) > 0.0
+                            })
+                            .copied()
+                            .collect();
+                        for &p in &peers {
+                            let payload: Vec<HealthDigest> = std::iter::once(own)
+                                .chain(fresh.iter().copied().filter(|d| d.origin != p))
+                                .collect();
+                            self.nodes[i].stats.gossip_sent += 1;
+                            self.nodes[i].stats.gossip_entries += payload.len() as u64;
+                            let receiver = &mut self.nodes[p];
+                            let (mut applied, mut stale_dropped) = (0u64, 0u64);
+                            {
+                                let view = &mut receiver
+                                    .health
+                                    .as_mut()
+                                    .expect("gossip requires health state")
+                                    .view;
+                                for digest in payload {
+                                    if view.merge(digest) {
+                                        applied += 1;
+                                    } else {
+                                        stale_dropped += 1;
+                                    }
+                                }
+                            }
+                            receiver.stats.gossip_received += 1;
+                            receiver.stats.gossip_applied += applied;
+                            receiver.stats.gossip_stale += stale_dropped;
+                        }
+                    }
+                    // Phase 3: fold the merged views into policy — refresh
+                    // each node's stress and run the pre-emptive-open check.
+                    for i in 0..node_count {
+                        self.nodes[i].update_stress(now);
+                        self.nodes[i].preemptive_check(now);
+                    }
+                    // Rounds stop once the trace is fully resolved, so the
+                    // simulation terminates.
+                    if outcomes.iter().any(|o| o.is_none()) {
+                        q.push(plane.next_round_nanos(now), EventKind::GossipRound);
+                    }
                 }
             }
         }
@@ -890,6 +1068,8 @@ impl FleetSim {
                 degraded_local: n.stats().degraded_local,
                 breaker_denied: n.stats().breaker_denied,
                 retries: n.stats().retries,
+                stress_shed: n.stats().stress_shed,
+                preemptive_opens: n.stats().preemptive_opens,
                 busy_ms: n.stats().busy_nanos as f64 / 1e6,
                 final_budget_ms: n.adaptive().map(AdaptiveBudget::current_budget_ms),
                 tightenings: n.adaptive().map_or(0, AdaptiveBudget::tightenings),
@@ -897,6 +1077,9 @@ impl FleetSim {
             .collect();
         let stat_sum = |f: fn(&crate::node::NodeStats) -> u64| -> u64 {
             self.nodes.iter().map(|n| f(n.stats())).sum()
+        };
+        let breaker_sum = |f: fn(&CircuitBreaker) -> u64| -> u64 {
+            self.nodes.iter().filter_map(EdgeNode::breaker).map(f).sum()
         };
         let phase_metrics = |(reqs, cloud_n, mut lats): (u64, u64, Vec<f64>)| {
             lats.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -918,6 +1101,7 @@ impl FleetSim {
             degraded_local: degraded,
             breaker_denied: stat_sum(|s| s.breaker_denied),
             retries: stat_sum(|s| s.retries),
+            stress_shed: stat_sum(|s| s.stress_shed),
             appeal_timeouts: stat_sum(|s| s.appeal_timeouts),
             link_down: stat_sum(|s| s.link_down),
             appeal_queue_full: stat_sum(|s| s.appeal_queue_full),
@@ -926,27 +1110,29 @@ impl FleetSim {
             response_corrupt: stat_sum(|s| s.response_corrupt),
             late_responses: stat_sum(|s| s.late_responses),
             crash_stalls: stat_sum(|s| s.crash_stalls),
-            breaker_opened: self
-                .nodes
-                .iter()
-                .filter_map(EdgeNode::breaker)
-                .map(CircuitBreaker::opened)
-                .sum(),
-            breaker_half_opened: self
-                .nodes
-                .iter()
-                .filter_map(EdgeNode::breaker)
-                .map(CircuitBreaker::half_opened)
-                .sum(),
-            breaker_closed: self
-                .nodes
-                .iter()
-                .filter_map(EdgeNode::breaker)
-                .map(CircuitBreaker::closed)
-                .sum(),
+            breaker_opened: breaker_sum(CircuitBreaker::opened),
+            breaker_half_opened: breaker_sum(CircuitBreaker::half_opened),
+            breaker_closed: breaker_sum(CircuitBreaker::closed),
+            preemptive_opens: stat_sum(|s| s.preemptive_opens),
+            probe_elections: stat_sum(|s| s.probe_elections),
+            probe_attempts: breaker_sum(CircuitBreaker::probe_attempts),
+            probe_ok: breaker_sum(CircuitBreaker::probe_ok),
+            probe_failed: breaker_sum(CircuitBreaker::probe_failed),
+            probe_orphaned: breaker_sum(CircuitBreaker::probe_orphaned),
+            probe_unresolved: breaker_sum(CircuitBreaker::probes_in_flight),
+            cloud_shed: stat_sum(|s| s.cloud_shed),
+            cloud_signals: stat_sum(|s| s.cloud_signals),
+            gossip_sent: stat_sum(|s| s.gossip_sent),
+            gossip_received: stat_sum(|s| s.gossip_received),
+            gossip_entries: stat_sum(|s| s.gossip_entries),
+            gossip_applied: stat_sum(|s| s.gossip_applied),
+            gossip_stale: stat_sum(|s| s.gossip_stale),
             degraded_agreement,
             recovery_enabled: self.config.recovery.is_some(),
             faults_scripted: !self.config.faults.is_empty(),
+            gossip_enabled: self.config.gossip.enabled,
+            cooperative_enabled: self.config.cooperative.is_some(),
+            cloud_shed_enabled: self.config.cloud.shed_backlog_ms.is_some(),
             uplink_accepted: self.nodes.iter().map(EdgeNode::uplink_accepted).sum(),
             uplink_rejected: self.nodes.iter().map(EdgeNode::uplink_rejected).sum(),
             p50_ms: percentile(&latencies, 0.50),
@@ -997,11 +1183,15 @@ mod tests {
                 max_batch: 8,
                 deadline_ms: 2.0,
                 batch_overhead_ms: 1.0,
+                shed_backlog_ms: None,
             },
             link: StochasticLink::wifi(),
+            node_links: None,
             degrade: None,
             adaptive: None,
             recovery: None,
+            gossip: GossipConfig::disabled(),
+            cooperative: None,
             faults: FaultPlan::none(),
             slo_ms: 100.0,
             chunk: ChunkPolicy::sequential(),

@@ -15,7 +15,8 @@ use appealnet_core::parallel::ChunkPolicy;
 use appealnet_core::two_head::TwoHeadNet;
 use appealnet_fleet::trace::{TraceShape, TraceSpec};
 use appealnet_fleet::{
-    BreakerConfig, CloudConfig, FleetConfig, FleetMetrics, FleetSim, RecoveryConfig, RetryConfig,
+    BreakerConfig, CloudConfig, CooperativeConfig, FleetConfig, FleetMetrics, FleetSim,
+    GossipConfig, RecoveryConfig, RetryConfig,
 };
 
 const MS: u64 = 1_000_000;
@@ -30,11 +31,15 @@ fn config(delta: f64, faults: FaultPlan, recovery: Option<RecoveryConfig>) -> Fl
             max_batch: 8,
             deadline_ms: 2.0,
             batch_overhead_ms: 1.0,
+            shed_backlog_ms: None,
         },
         link: StochasticLink::wifi(),
+        node_links: None,
         degrade: None,
         adaptive: None,
         recovery,
+        gossip: GossipConfig::disabled(),
+        cooperative: None,
         faults,
         slo_ms: 100.0,
         chunk: ChunkPolicy::sequential(),
@@ -252,5 +257,164 @@ fn faulted_runs_replay_byte_identically() {
         first.render(),
         second.render(),
         "scripted faults must stay byte-reproducible"
+    );
+}
+
+fn full_blackout() -> FaultPlan {
+    FaultPlan::new(
+        2021,
+        vec![FaultEvent::CloudBlackout {
+            from_nanos: 10 * MS,
+            until_nanos: u64::MAX,
+        }],
+    )
+    .unwrap()
+}
+
+/// A recovery ladder tight enough to detect failures inside the short test
+/// traces (the stock 250 ms appeal deadline outlives them entirely).
+fn tight_recovery() -> RecoveryConfig {
+    RecoveryConfig {
+        appeal_deadline_ms: 40.0,
+        retry: RetryConfig {
+            max_attempts: 3,
+            base_backoff_ms: 5.0,
+            max_backoff_ms: 40.0,
+        },
+        breaker: Some(BreakerConfig::default_for_appeals()),
+    }
+}
+
+fn cooperative_config(faults: FaultPlan) -> FleetConfig {
+    let mut c = config(0.9, faults, Some(tight_recovery()));
+    c.gossip = GossipConfig::default_for_fleet();
+    c.cooperative = Some(CooperativeConfig::default_for_fleet());
+    c
+}
+
+/// The cooperative policy must actually fire under a full blackout — gossip
+/// digests flow, a quorum of unhealthy neighbours pre-emptively opens
+/// breakers, fleet stress sheds appeals locally — and every new ledger must
+/// reconcile exactly.
+#[test]
+fn cooperative_policy_fires_and_ledgers_reconcile_under_blackout() {
+    let m = run(cooperative_config(full_blackout()), &trace(96, 2 * MS));
+    checked(&m);
+    assert!(m.gossip_sent > 0, "gossip rounds must exchange digests");
+    assert_eq!(m.gossip_sent, m.gossip_received);
+    assert!(m.gossip_applied > 0, "fresh digests must merge into views");
+    assert!(
+        m.preemptive_opens > 0,
+        "a quorum of unhealthy neighbours must pre-open breakers"
+    );
+    assert!(
+        m.stress_shed > 0,
+        "fleet stress must shed appeals before they reach the breaker"
+    );
+    assert!(
+        m.probe_elections >= m.preemptive_opens,
+        "every cooperative trip runs a probe election"
+    );
+    assert_eq!(m.completed, 96, "no request may strand");
+}
+
+/// A cooperative fleet must beat the same fleet with gossip disabled on both
+/// headline outcomes of a full blackout: SLO violations and wasted uplink
+/// (accepted transfers that never produced a cloud answer).
+#[test]
+fn cooperative_fleet_beats_independent_under_full_blackout() {
+    let spec = trace(96, 2 * MS);
+    let indep = run(config(0.9, full_blackout(), Some(tight_recovery())), &spec);
+    let coop = run(cooperative_config(full_blackout()), &spec);
+    checked(&indep);
+    checked(&coop);
+    assert!(
+        coop.slo_violations < indep.slo_violations,
+        "cooperative SLO violations {} must beat independent {}",
+        coop.slo_violations,
+        indep.slo_violations
+    );
+    let wasted = |m: &FleetMetrics| m.uplink_accepted - m.cloud_answered;
+    assert!(
+        wasted(&coop) < wasted(&indep),
+        "cooperative wasted uplink {} must beat independent {}",
+        wasted(&coop),
+        wasted(&indep)
+    );
+}
+
+/// Cooperative runs are as byte-reproducible as everything else: the gossip
+/// plane draws from its own salted RNG streams, so two identical configs
+/// replay identical bytes.
+#[test]
+fn cooperative_runs_replay_byte_identically() {
+    let spec = trace(96, 2 * MS);
+    let first = run(cooperative_config(full_blackout()), &spec);
+    let second = run(cooperative_config(full_blackout()), &spec);
+    assert_eq!(
+        first.render(),
+        second.render(),
+        "gossip must stay byte-reproducible"
+    );
+}
+
+/// Gossip without the cooperative policy observes but never acts: digests
+/// flow and ledgers reconcile, while every cooperative counter stays zero.
+#[test]
+fn gossip_without_policy_observes_but_never_acts() {
+    let mut c = config(0.9, full_blackout(), Some(tight_recovery()));
+    c.gossip = GossipConfig::default_for_fleet();
+    let m = run(c, &trace(96, 2 * MS));
+    checked(&m);
+    assert!(m.gossip_sent > 0);
+    assert_eq!(m.stress_shed, 0);
+    assert_eq!(m.preemptive_opens, 0);
+    assert_eq!(m.probe_elections, 0);
+}
+
+/// Satellite regression: a retry admitted exactly at the breaker's
+/// open-timer deadline *is* the half-open probe. The attempt must ledger
+/// once — as a probe — and the probe ledger must reconcile; the old code
+/// double-counted it as a retry plus a synthetic probe.
+#[test]
+fn retry_admitted_at_the_open_timer_boundary_ledgers_one_probe() {
+    // open_ms == base_backoff == max_backoff: a failure that trips the
+    // breaker schedules its retry for the same virtual nanosecond the open
+    // timer expires, forcing the Open -> HalfOpen admission tie.
+    let recovery = RecoveryConfig {
+        appeal_deadline_ms: 20.0,
+        retry: RetryConfig {
+            max_attempts: 3,
+            base_backoff_ms: 40.0,
+            max_backoff_ms: 40.0,
+        },
+        breaker: Some(BreakerConfig {
+            window: 4,
+            failure_threshold: 0.5,
+            slow_ms: 10_000.0,
+            open_ms: 40.0,
+            probes: 1,
+        }),
+    };
+    let plan = FaultPlan::new(
+        2021,
+        vec![FaultEvent::CloudBlackout {
+            from_nanos: 10 * MS,
+            until_nanos: 150 * MS,
+        }],
+    )
+    .unwrap();
+    let m = run(config(0.9, plan, Some(recovery)), &trace(192, 2 * MS));
+    checked(&m);
+    assert!(
+        m.breaker_half_opened > 0,
+        "the open timer must admit half-open traffic"
+    );
+    assert!(m.probe_attempts > 0, "probes must be admitted");
+    assert!(m.retries > 0, "the retry ladder must run");
+    assert_eq!(
+        m.probe_attempts,
+        m.probe_ok + m.probe_failed + m.probe_orphaned + m.probe_unresolved,
+        "every admitted probe resolves exactly once"
     );
 }

@@ -15,7 +15,7 @@ use appealnet_core::parallel::ChunkPolicy;
 use appealnet_core::two_head::TwoHeadNet;
 use appealnet_fleet::trace::{TraceShape, TraceSpec};
 use appealnet_fleet::{
-    AdaptiveConfig, CloudConfig, Degradation, FleetConfig, FleetMetrics, FleetSim,
+    AdaptiveConfig, CloudConfig, Degradation, FleetConfig, FleetMetrics, FleetSim, GossipConfig,
 };
 
 fn config(seed: u64, chunk: ChunkPolicy) -> FleetConfig {
@@ -28,11 +28,15 @@ fn config(seed: u64, chunk: ChunkPolicy) -> FleetConfig {
             max_batch: 8,
             deadline_ms: 2.0,
             batch_overhead_ms: 1.0,
+            shed_backlog_ms: None,
         },
         link: StochasticLink::lte(),
+        node_links: None,
         degrade: None,
         adaptive: None,
         recovery: None,
+        gossip: GossipConfig::disabled(),
+        cooperative: None,
         faults: FaultPlan::none(),
         slo_ms: 100.0,
         chunk,
@@ -157,5 +161,48 @@ fn adaptive_budget_offloads_less_than_static_when_the_link_degrades() {
     assert!(
         adaptive_m.budget_denied > 0,
         "the tightened budget must actually deny appeals"
+    );
+}
+
+#[test]
+fn homogeneous_node_links_replay_the_shared_link_bytes() {
+    // `node_links` with every slot equal to the shared preset must be
+    // indistinguishable from `None`: `StochasticLink` sampling is stateless,
+    // so per-node clones draw the same sequence as a shared clone.
+    let spec = trace(96, 2_000_000);
+    let shared = run(config(7, ChunkPolicy::sequential()), &spec);
+    let mut per_node = config(7, ChunkPolicy::sequential());
+    per_node.node_links = Some(vec![StochasticLink::lte(); 4]);
+    let explicit = run(per_node, &spec);
+    assert_eq!(
+        shared.render(),
+        explicit.render(),
+        "homogeneous per-node links must replay the shared-link bytes"
+    );
+}
+
+#[test]
+fn mixed_node_links_change_the_weather_and_still_reconcile() {
+    let spec = trace(96, 2_000_000);
+    let shared = run(config(7, ChunkPolicy::sequential()), &spec);
+    let mut mixed_config = config(7, ChunkPolicy::sequential());
+    mixed_config.node_links = Some(vec![
+        StochasticLink::lte(),
+        StochasticLink::wifi(),
+        StochasticLink::lte(),
+        StochasticLink::wifi(),
+    ]);
+    let mixed = run(mixed_config.clone(), &spec);
+    assert!(mixed.check().is_empty(), "{:?}", mixed.check());
+    assert_ne!(
+        shared.render(),
+        mixed.render(),
+        "a wifi/lte mix must actually change observable behaviour"
+    );
+    let again = run(mixed_config, &spec);
+    assert_eq!(
+        mixed.render(),
+        again.render(),
+        "mixed links must stay byte-reproducible"
     );
 }
