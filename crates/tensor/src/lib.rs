@@ -63,6 +63,7 @@ pub mod layers;
 pub mod loss;
 pub mod metrics;
 pub mod optim;
+pub mod quant;
 pub mod rng;
 pub mod tensor;
 
